@@ -1,0 +1,50 @@
+"""Ablation: FVCAM 1D vs 2D decomposition, and MSP vs SSP execution.
+
+Two of the design choices the paper examines head-on:
+
+* the 2-D (latitude, level) decomposition trades extra transpose
+  communication for a better surface-to-volume ratio and more usable
+  concurrency (Section 3.2);
+* the X1's MSP vs SSP modes trade multistreaming granularity against
+  scalar-unit participation (Section 7's tradeoff discussion).
+"""
+
+from __future__ import annotations
+
+from repro.apps.fvcam import FVCAM, FVCAMParams, FVCAMScenario, LatLonGrid, predict
+from repro.apps.lbmhd import LBMHDScenario
+from repro.apps.lbmhd import predict as lbmhd_predict
+from repro.apps.paratec import ParatecScenario
+from repro.apps.paratec import predict as paratec_predict
+from repro.simmpi import Communicator
+
+GRID = LatLonGrid(im=48, jm=96, km=8)
+
+
+def test_ablation_fvcam_1d_step(benchmark):
+    sim = FVCAM(FVCAMParams(grid=GRID, py=8, pz=1, dt=30.0), Communicator(8))
+    benchmark(sim.step)
+
+
+def test_ablation_fvcam_2d_step(benchmark, report):
+    sim = FVCAM(FVCAMParams(grid=GRID, py=4, pz=2, dt=30.0), Communicator(8))
+    benchmark(sim.step)
+
+    lines = [
+        "Ablation: decomposition and execution-mode tradeoffs (model)",
+        "",
+        "FVCAM 1D vs 2D at equal processor counts (ES, Gflop/P):",
+    ]
+    for p in (128, 256):
+        r1 = predict("ES", FVCAMScenario(p, 1)).gflops_per_proc
+        r2 = predict("ES", FVCAMScenario(p, 4)).gflops_per_proc
+        lines.append(f"  P={p}:  1D {r1:5.2f}   2D-4v {r2:5.2f}")
+    lines.append("")
+    lines.append("X1 MSP vs 4-SSP aggregates (Gflop per MSP-equivalent):")
+    msp = lbmhd_predict("X1", LBMHDScenario(512, 256)).gflops_per_proc
+    ssp = 4 * lbmhd_predict("X1-SSP", LBMHDScenario(512, 256)).gflops_per_proc
+    lines.append(f"  LBMHD3D:  MSP {msp:5.2f}   4-SSP {ssp:5.2f}  (MSP wins)")
+    msp = paratec_predict("X1", ParatecScenario(128)).gflops_per_proc
+    ssp = 4 * paratec_predict("X1-SSP", ParatecScenario(128)).gflops_per_proc
+    lines.append(f"  PARATEC:  MSP {msp:5.2f}   4-SSP {ssp:5.2f}  (SSP wins)")
+    report("ablation-decomp", "\n".join(lines))

@@ -1,0 +1,20 @@
+"""Figure 2 bench: traced FVCAM communication + the volume matrices."""
+
+from __future__ import annotations
+
+from repro.experiments import fig2
+
+
+def test_fig2_traced_decompositions(benchmark, report):
+    """Time the instrumented 64-rank 1D run behind Figure 2(a)."""
+    benchmark.pedantic(
+        lambda: fig2._traced_run(py=fig2.NPROCS, pz=1), rounds=1, iterations=1
+    )
+    report("fig2", fig2.render())
+
+
+def test_fig2_volume_claims(benchmark):
+    """Regenerate both matrices and verify the headline volume claim."""
+    result = benchmark.pedantic(fig2.run, rounds=1, iterations=1)
+    assert result.reduction > 1.0
+    assert result.offdiagonal_offsets("1d") == [1]

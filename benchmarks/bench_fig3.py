@@ -1,0 +1,11 @@
+"""Figure 3 bench: FVCAM %peak-vs-P model sweep."""
+
+from __future__ import annotations
+
+from repro.experiments import fig3
+
+
+def test_fig3_sweep(benchmark, report):
+    data = benchmark(fig3.run)
+    assert set(data) == set(fig3.MACHINES)
+    report("fig3", fig3.render())

@@ -1,0 +1,11 @@
+"""Figure 4 bench: simulated-days-per-day model sweep."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4
+
+
+def test_fig4_sweep(benchmark, report):
+    data = benchmark(fig4.run)
+    assert any(series for series in data.values())
+    report("fig4", fig4.render())

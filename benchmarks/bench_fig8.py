@@ -1,0 +1,11 @@
+"""Figure 8 bench: 256-processor four-application overview."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8
+
+
+def test_fig8_overview(benchmark, report):
+    data = benchmark(fig8.run)
+    assert set(data) == {"fvcam", "gtc", "lbmhd", "paratec"}
+    report("fig8", fig8.render())

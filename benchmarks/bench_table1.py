@@ -1,0 +1,34 @@
+"""Table 1 bench: platform catalog construction and timing-model setup."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+from repro.machines import get_machine, list_machines, make_model
+from repro.workload import Work
+
+
+def test_table1_catalog_and_models(benchmark, report):
+    """Time building every platform's processor model and rating a kernel."""
+    probe = Work(
+        name="probe",
+        flops=1e9,
+        bytes_unit=1e9,
+        vector_fraction=0.95,
+        avg_vector_length=128,
+    )
+
+    def rate_all() -> float:
+        total = 0.0
+        for spec in list_machines():
+            total += make_model(spec).sustained_gflops(probe)
+        return total
+
+    total = benchmark(rate_all)
+    assert total > 0
+    report("table1", table1.render())
+
+
+def test_table1_lookup(benchmark):
+    """Catalog lookup is cheap enough to sit in inner loops."""
+    result = benchmark(get_machine, "earth simulator")
+    assert result.name == "ES"

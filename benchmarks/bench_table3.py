@@ -1,0 +1,22 @@
+"""Table 3 bench: FVCAM mini-app dynamics step + the regenerated table."""
+
+from __future__ import annotations
+
+from repro.apps.fvcam import FVCAM, FVCAMParams, LatLonGrid
+from repro.experiments import table3
+from repro.simmpi import Communicator
+
+
+def test_table3_fvcam_step(benchmark, report):
+    """Time one full parallel dynamics step of the FVCAM mini-app."""
+    grid = LatLonGrid(im=48, jm=36, km=8)
+    sim = FVCAM(FVCAMParams(grid=grid, py=4, pz=2, dt=30.0), Communicator(8))
+    benchmark(sim.step)
+    assert sim.total_mass() > 0
+    report("table3", table3.render())
+
+
+def test_table3_model_sweep(benchmark):
+    """Time the full Table 3 model evaluation (65 machine x row cells)."""
+    cells = benchmark(table3.run)
+    assert len(cells) == len(table3.row_labels()) * len(table3.MACHINES)

@@ -1,0 +1,34 @@
+"""Table 4 bench: GTC particle step + the regenerated table."""
+
+from __future__ import annotations
+
+from repro.apps.gtc import GTC, GTCParams
+from repro.experiments import table4
+from repro.simmpi import Communicator
+
+
+def test_table4_gtc_step(benchmark, report):
+    """Time one full PIC step (charge/field/push/shift) across 8 ranks."""
+    params = GTCParams(
+        mpsi=24, mtheta=32, ntoroidal=4, particles_per_cell=20
+    )
+    sim = GTC(params, Communicator(8))
+    benchmark(sim.step)
+    assert sim.total_particles() == 4 * params.particles_per_domain
+    report("table4", table4.render())
+
+
+def test_table4_charge_deposition(benchmark):
+    """Time the deposition kernel alone (the paper's critical phase)."""
+    from repro.apps.gtc import deposit_scalar, load_particles, TorusGrid, PoloidalGrid
+    import numpy as np
+
+    torus = TorusGrid(plane=PoloidalGrid(mpsi=32, mtheta=64), ntoroidal=1)
+    particles = load_particles(torus, 100_000, 0, np.random.default_rng(0))
+    rho = benchmark(deposit_scalar, torus.plane, particles, 0.02)
+    assert rho.sum() > 0
+
+
+def test_table4_model_sweep(benchmark):
+    cells = benchmark(table4.run)
+    assert len(cells) == len(table4.row_labels()) * len(table4.MACHINES)

@@ -1,0 +1,45 @@
+"""Table 5 bench: LBMHD3D lattice update + the regenerated table."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.lbmhd import (
+    CollisionParams,
+    LBMHD3D,
+    LBMHDParams,
+    collide,
+    equilibrium_state,
+    orszag_tang_fields,
+    stream_periodic,
+)
+from repro.experiments import table5
+from repro.simmpi import Communicator
+
+
+def test_table5_lbmhd_step(benchmark, report):
+    """Time one fused collide+stream across 8 simulated ranks."""
+    sim = LBMHD3D(LBMHDParams(shape=(24, 24, 24)), Communicator(8))
+    benchmark(sim.step)
+    report("table5", table5.render())
+
+
+def test_table5_collision_kernel(benchmark):
+    """The collision kernel alone — LBMHD's 68%-of-peak workhorse."""
+    rho, u, B = orszag_tang_fields((32, 32, 32), 0.05, 0.05)
+    state = equilibrium_state(rho, u, B)
+    params = CollisionParams(tau=0.8, tau_m=0.8)
+    out = benchmark(collide, state, params)
+    assert np.isfinite(out).all()
+
+
+def test_table5_streaming_kernel(benchmark):
+    rho, u, B = orszag_tang_fields((32, 32, 32), 0.05, 0.05)
+    state = equilibrium_state(rho, u, B)
+    out = benchmark(stream_periodic, state)
+    assert out.shape == state.shape
+
+
+def test_table5_model_sweep(benchmark):
+    cells = benchmark(table5.run)
+    assert len(cells) == len(table5.row_labels()) * len(table5.MACHINES)

@@ -1,0 +1,69 @@
+"""Table 6 bench: PARATEC parallel FFT / H-apply + the regenerated table."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.paratec import (
+    Atom,
+    GSphere,
+    Hamiltonian,
+    ParallelFFT3D,
+    Paratec,
+    ParatecParams,
+    SphereDistribution,
+)
+from repro.experiments import table6
+from repro.simmpi import Communicator
+
+
+def _setup(nranks=4, ecut=12.0, grid=(16, 16, 16)):
+    sphere = GSphere(ecut=ecut, grid_shape=grid)
+    dist = SphereDistribution(sphere, nranks)
+    comm = Communicator(nranks)
+    fft = ParallelFFT3D(dist, comm)
+    return sphere, dist, fft
+
+
+def test_table6_parallel_fft(benchmark, report):
+    """Time a distributed sphere->real->sphere FFT round trip."""
+    sphere, dist, fft = _setup()
+    rng = np.random.default_rng(0)
+    psi = dist.scatter(
+        rng.standard_normal(sphere.num_g)
+        + 1j * rng.standard_normal(sphere.num_g)
+    )
+
+    def roundtrip():
+        return fft.real_to_sphere(fft.sphere_to_real(psi))
+
+    out = benchmark(roundtrip)
+    assert len(out) == 4
+    report("table6", table6.render())
+
+
+def test_table6_hamiltonian_apply(benchmark):
+    """Time H|psi> — kinetic + FFT-mediated local potential."""
+    sphere, dist, fft = _setup()
+    ham = Hamiltonian.from_atoms(fft, [Atom(position=(0.5, 0.5, 0.5))])
+    rng = np.random.default_rng(1)
+    psi = dist.scatter(
+        rng.standard_normal(sphere.num_g)
+        + 1j * rng.standard_normal(sphere.num_g)
+    )
+    out = benchmark(ham.apply, psi)
+    assert len(out) == 4
+
+
+def test_table6_scf_sweep(benchmark):
+    """Time a full miniature SCF band sweep."""
+    p = Paratec(
+        ParatecParams(scf_iterations=1, cg_iterations=3), Communicator(2)
+    )
+    result = benchmark(p.run, update_density=False)
+    assert len(result.eigenvalues) == p.params.nbands
+
+
+def test_table6_model_sweep(benchmark):
+    cells = benchmark(table6.run)
+    assert len(cells) == len(table6.row_labels()) * len(table6.MACHINES)

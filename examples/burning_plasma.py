@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""GTC multi-species: a burning D-T plasma with fusion alphas.
+
+The paper motivates its particle decomposition with exactly this
+workload: "Simulations with multiple species are essential to study
+the transport of the different products created by the fusion reaction
+in burning plasma experiments.  These multi-species calculations
+require a very large number of particles and will benefit from the
+added decomposition."
+
+The script loads a deuterium-tritium fuel mix plus a hot, doubly
+charged alpha minority, runs the PIC cycle, and shows why the vector
+machines could not take the hybrid MPI/OpenMP shortcut instead
+(the work-vector memory and vector-length arguments, quantified).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Communicator
+from repro.apps.gtc import (
+    GTC,
+    GTCParams,
+    Species,
+    analyze_hybrid,
+)
+from repro.machines import get_machine
+
+DT_BURN = (
+    Species(name="deuterium", charge=1.0, mass=2.0, fraction=0.45),
+    Species(name="tritium", charge=1.0, mass=3.0, fraction=0.45),
+    Species(name="alpha", charge=2.0, mass=4.0, temperature=60.0, fraction=0.10),
+)
+
+
+def main() -> None:
+    params = GTCParams(
+        mpsi=20,
+        mtheta=32,
+        ntoroidal=4,
+        particles_per_cell=15,
+        dt=0.004,
+        species=DT_BURN,
+    )
+    sim = GTC(params, Communicator(8))  # 2-way particle decomposition
+    print("=== burning-plasma census ===")
+    for name, row in sim.species_census().items():
+        print(
+            f"{name:<10} {int(row['count']):7,d} particles, "
+            f"net charge {row['charge']:10.0f}"
+        )
+
+    sim.run(6)
+    print("\nafter 6 PIC steps:")
+    for name, row in sim.species_census().items():
+        print(f"{name:<10} {int(row['count']):7,d} particles (conserved)")
+
+    # hot alphas sample phase space fastest
+    alphas = np.concatenate(
+        [p.vpar[p.species.astype(int) == 2] for p in sim.particles]
+    )
+    fuel = np.concatenate(
+        [p.vpar[p.species.astype(int) < 2] for p in sim.particles]
+    )
+    print(
+        f"\nthermal speeds: fuel {np.abs(fuel).mean():.2f}, "
+        f"alphas {np.abs(alphas).mean():.2f} "
+        "(fast products stress the toroidal shift)"
+    )
+
+    print("\n=== why not hybrid MPI/OpenMP instead? ===")
+    print(
+        f"{'machine':<10} {'grid copies/CPU':>16} {'max plane pts':>14} "
+        f"{'4-thread rate':>14}"
+    )
+    for m in ("Opteron", "Power3", "X1", "ES", "SX-8"):
+        v = analyze_hybrid(get_machine(m))
+        verdict = "ok" if v.hybrid_attractive else "loses"
+        print(
+            f"{m:<10} {v.copies_per_cpu:>16d} {v.max_plane_points:>14,d} "
+            f"x{v.rate_factor_4_threads:>5.2f} ({verdict})"
+        )
+    print(
+        "\nThe 256 work-vector grid copies and the thread-split vector\n"
+        "loops rule hybrid mode out on the vector machines — hence the\n"
+        "paper's pure-MPI particle decomposition."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""GTC: gyrokinetic particle-in-cell transport in a tokamak torus.
+
+Walks through the paper's §4: the five-phase PIC step, the work-vector
+deposition that unlocked vectorization, and the new particle
+decomposition that carried GTC from 64-way to 2048-way concurrency —
+"opening the door to a new set of high-phase-space-resolution
+simulations".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Communicator, get_machine
+from repro.apps.gtc import (
+    GTC,
+    GTCParams,
+    GTCScenario,
+    choose_decomposition,
+    predict,
+    work_vector_memory_overhead,
+)
+
+
+def main() -> None:
+    # -- the physics skeleton -------------------------------------------
+    params = GTCParams(
+        mpsi=24, mtheta=48, ntoroidal=4, particles_per_cell=20, dt=0.02
+    )
+    sim = GTC(params, Communicator(8))  # 2-way particle decomposition
+    print("=== GTC mini-run: 4 toroidal domains x 2 particle splits ===")
+    print(f"particles: {sim.total_particles():,}")
+    q0 = sim.total_charge()
+    sim.run(10)
+    print(f"charge drift after 10 steps: {sim.total_charge() - q0:.2e}")
+    rho = sim.domain_charge(0)
+    print(
+        f"domain-0 charge grid: min {rho.min():.2f}, max {rho.max():.2f} "
+        "(turbulent-ish density field)"
+    )
+
+    # -- the memory cost of vectorization ---------------------------------
+    print("\n=== work-vector method: vectorization vs memory ===")
+    overhead = work_vector_memory_overhead(sim.torus.plane, 256)
+    base = sim.torus.plane.num_points * 8
+    print(
+        f"grid plane: {base / 1024:.0f} KiB; 256 private copies: "
+        f"{overhead / 2**20:.1f} MiB ({overhead // base}x) — why "
+        "MPI/OpenMP hybrid is impossible on the vector machines."
+    )
+
+    # -- the particle decomposition at paper scale ------------------------
+    print("\n=== the new decomposition: 64-way ceiling broken ===")
+    for p in (64, 512, 2048):
+        d = choose_decomposition(p)
+        print(
+            f"P={p:5d}: {d.ntoroidal} toroidal domains x "
+            f"{d.npe_per_domain} particle splits"
+        )
+
+    print("\n=== Table 4 at P=2048 (model vs paper headline) ===")
+    r = predict("ES", GTCScenario(2048, 3200))
+    print(
+        f"ES, 2048 processors: {r.gflops_per_proc:.2f} Gflop/P "
+        f"({r.pct_peak:.0f}% of peak) -> {r.aggregate_tflops:.1f} Tflop/s "
+        "aggregate (paper: 3.7 Tflop/s, the first Teraflop-scale GTC run)"
+    )
+    for m in ("Opteron", "SX-8"):
+        r = predict(m, GTCScenario(256, 400))
+        print(f"{m}, 256 processors: {r.gflops_per_proc:.2f} Gflop/P")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The paper's bottom line: scalar vs vector across all four codes.
+
+Regenerates the Figure 8 overview (256 processors, %peak and speed
+relative to the Earth Simulator), walks through the architectural
+explanations with the roofline/Amdahl tools, and checks every headline
+claim from the abstract.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig8, paper_data
+from repro.machines import get_machine
+from repro.perfmodel import Roofline, required_vector_fraction
+
+
+def main() -> None:
+    print(fig8.render())
+
+    print("\n=== why: architectural balance (roofline view) ===")
+    print(f"{'machine':<10} {'peak GF':>8} {'B/F':>6} {'ridge F/B':>10}")
+    for name in ("Power3", "Itanium2", "Opteron", "X1", "ES", "SX-8"):
+        m = get_machine(name)
+        r = Roofline(m)
+        print(
+            f"{name:<10} {m.peak_gflops:8.1f} {m.bytes_per_flop:6.2f} "
+            f"{r.ridge_intensity:10.2f}"
+        )
+    print(
+        "\nThe ES turns compute-bound at just 0.30 flops/byte — LBMHD's\n"
+        "~0.8 flops/byte keeps its vector pipes saturated at 68% of peak,\n"
+        "while every superscalar platform starves at <15%."
+    )
+
+    print("\n=== why: Amdahl's law on a 1/8-speed scalar unit ===")
+    for target in (0.2, 0.4, 0.6):
+        f = required_vector_fraction(target, 0.125)
+        print(
+            f"sustaining {target * 100:3.0f}% of ES peak requires "
+            f"{f * 100:5.1f}% vector operations"
+        )
+    print(
+        "— which is why the paper's vectorization work (the GTC\n"
+        "work-vector deposition, FVCAM's restructured latitude loops)\n"
+        "was the price of admission on the vector machines."
+    )
+
+    print("\n=== abstract headline claims, model vs paper ===")
+    from repro.apps.fvcam import FVCAMScenario, simulated_days_per_day
+    from repro.apps.gtc import GTCScenario
+    from repro.apps.gtc import predict as gtc_predict
+    from repro.apps.lbmhd import ES_HEADLINE
+    from repro.apps.lbmhd import predict as lbmhd_predict
+    from repro.apps.paratec import ParatecScenario
+    from repro.apps.paratec import predict as paratec_predict
+
+    gtc = gtc_predict("ES", GTCScenario(2048, 3200))
+    print(
+        f"GTC breaks the Teraflop barrier: {gtc.aggregate_tflops:.1f} "
+        f"Tflop/s on 2048 ES processors (paper: "
+        f"{paper_data.HEADLINES['gtc_es_2048_tflops']})"
+    )
+    lbmhd = lbmhd_predict("ES", ES_HEADLINE)
+    print(
+        f"LBMHD3D on 4800 ES processors: {lbmhd.aggregate_tflops:.1f} "
+        f"Tflop/s (paper: >{paper_data.HEADLINES['lbmhd_es_4800_tflops']:.0f})"
+    )
+    paratec = paratec_predict("ES", ParatecScenario(2048))
+    print(
+        f"PARATEC on 2048 ES processors: {paratec.aggregate_tflops:.1f} "
+        f"Tflop/s (paper: {paper_data.HEADLINES['paratec_es_2048_tflops']})"
+    )
+    fvcam = simulated_days_per_day("X1E", FVCAMScenario(672, 7))
+    print(
+        f"FVCAM on 672 X1E processors: {fvcam:.0f} simulated days/day "
+        f"(paper: >{paper_data.HEADLINES['fvcam_x1e_672_simdays']:.0f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""PARATEC: plane-wave DFT on a two-atom cell (a CdSe dot in miniature).
+
+The paper's §6 benchmark is a 488-atom CdSe quantum dot, "the largest
+cell size atomistic simulation to date" with the code.  The mini-app
+solves the same equations end to end — Kohn–Sham via all-band CG over a
+load-balanced G-sphere with a handwritten parallel 3-D FFT — on a cell
+small enough for a laptop, then evaluates the Table 6 model at the
+paper's scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Communicator
+from repro.apps.paratec import (
+    Atom,
+    Paratec,
+    ParatecParams,
+    ParatecScenario,
+    predict,
+)
+
+
+def main() -> None:
+    params = ParatecParams(
+        ecut=10.0,
+        grid_shape=(14, 14, 14),
+        nbands=6,
+        atoms=(
+            Atom(position=(0.25, 0.25, 0.25), amplitude=6.0, sigma=0.5),
+            Atom(position=(0.75, 0.75, 0.75), amplitude=6.0, sigma=0.5),
+        ),
+        cg_iterations=8,
+        scf_iterations=5,
+    )
+    solver = Paratec(params, Communicator(4))
+    print("=== SCF on a 2-atom cell, 4 simulated ranks ===")
+    print(f"plane waves: {solver.sphere.num_g:,} (sphere at 10 Ha cutoff)")
+    print(
+        "G-columns per rank:",
+        [len(solver.dist.columns_of(r)) for r in range(4)],
+        "| points per rank:",
+        solver.dist.counts().tolist(),
+    )
+
+    result = solver.run()
+    print(f"\nSCF iterations: {result.iterations}")
+    print(f"potential residual: {result.potential_change:.2e}")
+    print("eigenvalues (Ha):", np.round(result.eigenvalues, 4))
+    print(f"band energy: {result.band_energy:.4f} Ha")
+
+    rho = solver.density()
+    peak = np.unravel_index(np.argmax(rho), rho.shape)
+    print(
+        f"density peaks at grid point {peak} — on the atoms, as the\n"
+        "conduction-band-minimum plot of the paper's Figure 7 shows."
+    )
+
+    print("\n=== Table 6 at paper scale: 488-atom CdSe dot (model) ===")
+    print(f"{'machine':<10} {'P':>5} {'Gflop/P':>9} {'%peak':>7}")
+    for machine, p in [
+        ("Power3", 128),
+        ("Itanium2", 256),
+        ("Opteron", 256),
+        ("X1", 256),
+        ("ES", 2048),
+        ("SX-8", 256),
+    ]:
+        r = predict(machine, ParatecScenario(p))
+        print(
+            f"{machine:<10} {p:>5} {r.gflops_per_proc:9.2f} "
+            f"{r.pct_peak:6.1f}%"
+        )
+    es = predict("ES", ParatecScenario(2048))
+    print(
+        f"\nES aggregate at 2048 processors: {es.aggregate_tflops:.1f} "
+        "Tflop/s (paper: 5.5 Tflop/s — the highest to date)"
+    )
+
+
+if __name__ == "__main__":
+    main()

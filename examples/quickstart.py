@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: run a real simulation and rate it on the paper's machines.
+
+This five-minute tour exercises the three layers of the library:
+
+1. run the LBMHD3D mini-app (real lattice Boltzmann MHD numerics) on a
+   simulated 8-rank communicator and watch its conserved quantities;
+2. attach a platform's cost models and read the virtual wall-clock;
+3. evaluate the paper-scale performance model across all seven HEC
+   platforms — one row of the paper's Table 5.
+"""
+
+from __future__ import annotations
+
+from repro import Communicator, get_machine
+from repro.apps.lbmhd import LBMHD3D, LBMHDParams, LBMHDScenario, predict
+from repro.machines import PAPER_ORDER
+
+def main() -> None:
+    # -- 1. real numerics on an ideal (cost-free) communicator ---------
+    print("=== LBMHD3D on 8 simulated ranks (16^3 lattice) ===")
+    sim = LBMHD3D(LBMHDParams(shape=(16, 16, 16)), Communicator(8))
+    d0 = sim.diagnostics()
+    sim.run(steps=20)
+    d1 = sim.diagnostics()
+    print(f"mass:            {d0.mass:.6f} -> {d1.mass:.6f} (conserved)")
+    print(
+        f"kinetic energy:  {d0.kinetic_energy:.4f} -> "
+        f"{d1.kinetic_energy:.4f} (decays viscously)"
+    )
+    print(
+        f"magnetic energy: {d0.magnetic_energy:.4f} -> "
+        f"{d1.magnetic_energy:.4f}"
+    )
+
+    # -- 2. the same run with a platform's virtual clocks -------------
+    print("\n=== Same run, timed on Earth Simulator cost models ===")
+    timed = LBMHD3D(
+        LBMHDParams(shape=(16, 16, 16)),
+        Communicator(8, machine=get_machine("ES")),
+    )
+    timed.run(steps=20)
+    print(f"virtual wall-clock: {timed.comm.elapsed * 1e3:.3f} ms")
+    print(f"load imbalance:     {timed.comm.imbalance() * 100:.1f}%")
+
+    # -- 3. the paper-scale model: Table 5's 512^3 / 256-way row -------
+    print("\n=== Table 5 row: 512^3 lattice on 256 processors ===")
+    scenario = LBMHDScenario(grid=512, nprocs=256)
+    print(f"{'machine':<10} {'Gflop/P':>8} {'%peak':>7}")
+    for name in PAPER_ORDER:
+        if name == "X1E":
+            continue  # the paper has no X1E data for LBMHD
+        r = predict(name, scenario)
+        print(f"{name:<10} {r.gflops_per_proc:8.2f} {r.pct_peak:6.1f}%")
+    print(
+        "\nThe vector machines win by ~10x; the ES sustains the highest\n"
+        "fraction of peak — the paper's headline result."
+    )
+
+
+if __name__ == "__main__":
+    main()

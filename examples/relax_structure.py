@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""PARATEC structural relaxation via Hellmann–Feynman forces.
+
+"Forces can be easily calculated and used to relax the atoms into
+their equilibrium positions."  The script solves the Kohn–Sham problem
+for a displaced dimer, computes the forces on the ions from the
+self-consistent density, and walks them downhill.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Communicator
+from repro.apps.paratec import (
+    Atom,
+    Paratec,
+    ParatecParams,
+    external_energy,
+    hellmann_feynman_forces,
+    relax_atoms,
+)
+
+
+def main() -> None:
+    atoms = (
+        Atom(position=(0.38, 0.5, 0.5), amplitude=6.0, sigma=1.0),
+        Atom(position=(0.68, 0.5, 0.5), amplitude=6.0, sigma=1.0),
+    )
+    params = ParatecParams(
+        ecut=9.0,
+        grid_shape=(14, 14, 14),
+        nbands=4,
+        atoms=atoms,
+        cg_iterations=6,
+        scf_iterations=4,
+    )
+    solver = Paratec(params, Communicator(2))
+    print("=== SCF for the displaced dimer ===")
+    result = solver.run()
+    print("eigenvalues (Ha):", np.round(result.eigenvalues, 4))
+
+    rho = solver.density()
+    forces = hellmann_feynman_forces(rho, list(atoms))
+    print("\nforces at the self-consistent geometry (screened, ~0):")
+    for i, f in enumerate(forces):
+        print(f"  atom {i}: [{f[0]:+.5f} {f[1]:+.5f} {f[2]:+.5f}]")
+
+    # Now displace the ions against the frozen electron cloud: the
+    # Hellmann-Feynman forces pull them straight back.
+    from dataclasses import replace
+
+    displaced = [
+        replace(a, position=(a.position[0] + 0.05, *a.position[1:]))
+        for a in atoms
+    ]
+    forces = hellmann_feynman_forces(rho, displaced)
+    print("\nforces after displacing both ions by +0.05 in x:")
+    for i, f in enumerate(forces):
+        print(f"  atom {i}: [{f[0]:+.5f} {f[1]:+.5f} {f[2]:+.5f}]")
+
+    print("\n=== frozen-density relaxation back to equilibrium ===")
+    relaxed, final_forces, energies = relax_atoms(
+        rho, displaced, step=10.0, iterations=60, force_tolerance=1e-5
+    )
+    print(
+        f"external energy: {energies[0]:.5f} -> {energies[-1]:.5f} Ha "
+        f"({len(energies) - 1} steps)"
+    )
+    for i, atom in enumerate(relaxed):
+        print(
+            f"  atom {i}: x = {displaced[i].position[0]:.3f} -> "
+            f"{atom.position[0]:.3f} (started at "
+            f"{atoms[i].position[0]:.3f})"
+        )
+    print(
+        f"max residual force: {np.abs(final_forces).max():.2e} "
+        "(production codes loop this against fresh SCF densities)"
+    )
+
+
+if __name__ == "__main__":
+    main()

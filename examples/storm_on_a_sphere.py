@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""FVCAM: a height anomaly evolving on the rotating-sphere grid.
+
+The paper's Figure 1 shows a Category IV hurricane "produced solely
+through the chaos of the atmospheric model" at 0.5-degree resolution.
+At mini-app scale we watch the same machinery: a Gaussian height
+anomaly sheared by a zonal jet under the finite-volume dynamics, with
+the FFT polar filter keeping the high latitudes stable, the Lagrangian
+remap keeping layers tidy, and total mass conserved to round-off.
+
+The script also prints the climate modeler's figure of merit from the
+paper's Figure 4 — simulated days per wall-clock day — for the D mesh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Communicator
+from repro.apps.fvcam import (
+    FVCAM,
+    FVCAMParams,
+    FVCAMScenario,
+    LatLonGrid,
+    simulated_days_per_day,
+)
+
+GRID = LatLonGrid(im=48, jm=36, km=4)
+RAMP = " .:-=+*#%@"
+
+
+def anomaly_plot(sim: FVCAM) -> str:
+    h, _, _ = sim.global_fields()
+    column = h.sum(axis=0)
+    anomaly = column - column.mean()
+    vmax = max(np.abs(anomaly).max(), 1e-12)
+    scaled = np.clip((anomaly / vmax + 1) / 2, 0, 1 - 1e-9)
+    idx = (scaled * len(RAMP)).astype(int)
+    return "\n".join(
+        "".join(RAMP[i] for i in row) for row in idx[::2]
+    )
+
+
+def main() -> None:
+    sim = FVCAM(
+        FVCAMParams(grid=GRID, py=4, pz=2, dt=120.0, bump_amplitude=120.0),
+        Communicator(8),
+    )
+    m0 = sim.total_mass()
+    print("=== column-height anomaly, t = 0 ===")
+    print(anomaly_plot(sim))
+
+    sim.run(60)
+    print("\n=== after 60 steps (sheared by the jet) ===")
+    print(anomaly_plot(sim))
+    drift = abs(sim.total_mass() / m0 - 1.0)
+    print(f"\nglobal mass drift: {drift:.2e} (flux-form conservation)")
+
+    print("\n=== Figure 4's figure of merit at paper scale (model) ===")
+    print("simulated days per wall-clock day on the D mesh:")
+    for machine, scenario in [
+        ("Power3", FVCAMScenario(672, 7)),
+        ("ES", FVCAMScenario(672, 7)),
+        ("X1E", FVCAMScenario(672, 7)),
+    ]:
+        rate = simulated_days_per_day(machine, scenario)
+        print(f"  {machine:<8} P={scenario.nprocs}: {rate:8.0f}")
+    print(
+        "\nA millennium-scale climate integration needs >1000x real time;\n"
+        "the X1E at 672 processors was the first to deliver >4200 for\n"
+        "FVCAM at this resolution."
+    )
+
+
+if __name__ == "__main__":
+    main()

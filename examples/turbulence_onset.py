@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""LBMHD3D: onset of MHD turbulence from an Orszag–Tang-like vortex.
+
+Reproduces the physics narrative of the paper's §5 and Figure 6: "a
+three-dimensional conducting fluid evolving from simple initial
+conditions through the onset of turbulence", where "the vorticity
+profile has considerably distorted after several hundred time steps".
+
+The script runs the lattice Boltzmann MHD solver, tracks the energy
+exchange between flow and field, and prints an ASCII rendering of the
+vorticity magnitude in an xy-plane before and after — tube-like
+structures giving way to filamentary ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Communicator
+from repro.apps.lbmhd import LBMHD3D, LBMHDParams, moments, vorticity
+
+SHAPE = (32, 32, 8)
+STEPS = 120
+RAMP = " .:-=+*#%@"
+
+
+def vorticity_slice(sim: LBMHD3D) -> np.ndarray:
+    state = sim.global_state()
+    _, u, _ = moments(state)
+    w = vorticity(u)
+    mag = np.sqrt((w**2).sum(axis=0))
+    return mag[:, :, SHAPE[2] // 2]
+
+
+def ascii_plot(field: np.ndarray, vmax: float) -> str:
+    scaled = np.clip(field / vmax, 0, 1 - 1e-9)
+    idx = (scaled * len(RAMP)).astype(int)
+    return "\n".join("".join(RAMP[i] for i in row) for row in idx)
+
+
+def main() -> None:
+    sim = LBMHD3D(
+        LBMHDParams(shape=SHAPE, tau=0.6, tau_m=0.6, u0=0.08, b0=0.08),
+        Communicator(8),
+    )
+    w0 = vorticity_slice(sim)
+    vmax = w0.max() * 1.8
+    print("=== vorticity |curl u|, xy-plane, t = 0 (tube-like) ===")
+    print(ascii_plot(w0, vmax))
+
+    print("\nstep   kinetic E   magnetic E   max|vorticity|")
+    for block in range(6):
+        sim.run(STEPS // 6)
+        d = sim.diagnostics()
+        w = vorticity_slice(sim)
+        print(
+            f"{sim.step_count:4d}   {d.kinetic_energy:9.4f}   "
+            f"{d.magnetic_energy:10.4f}   {w.max():10.4f}"
+        )
+
+    w1 = vorticity_slice(sim)
+    print(f"\n=== vorticity, t = {STEPS} (distorted) ===")
+    print(ascii_plot(w1, vmax))
+
+    d = sim.diagnostics()
+    print(
+        f"\nmass conserved to {abs(d.mass / (np.prod(SHAPE)) - 1.0):.2e} "
+        "relative; energy decays only through the BGK viscosity/resistivity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim: metadata lives in pyproject.toml.
+
+Kept so `pip install -e .` works in environments without the `wheel`
+package (PEP 660 editable installs need it; the legacy path does not).
+"""
+
+from setuptools import setup
+
+setup()

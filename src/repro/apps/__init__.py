@@ -1,0 +1,15 @@
+"""The four scientific applications of the paper, as working mini-apps.
+
+Each subpackage implements the real algorithm in NumPy against the
+simulated MPI runtime (:mod:`repro.simmpi`) plus an analytic workload
+model used to evaluate the paper-scale performance tables:
+
+* :mod:`repro.apps.fvcam` — finite-volume atmospheric dynamical core;
+* :mod:`repro.apps.gtc` — gyrokinetic particle-in-cell turbulence;
+* :mod:`repro.apps.lbmhd` — 3-D lattice Boltzmann magneto-hydrodynamics;
+* :mod:`repro.apps.paratec` — plane-wave density functional theory.
+"""
+
+from .base import APPLICATIONS, AppInfo, get_app_info
+
+__all__ = ["APPLICATIONS", "AppInfo", "get_app_info"]

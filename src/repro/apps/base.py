@@ -1,0 +1,66 @@
+"""Application registry — the paper's Table 2 (overview of applications).
+
+Each entry records the discipline, methods, and structure exactly as
+Table 2 lists them, plus the original code's approximate line count,
+so :mod:`repro.experiments.table2` can regenerate that table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AppInfo:
+    """One row of the paper's Table 2."""
+
+    name: str
+    key: str
+    lines: str
+    discipline: str
+    methods: str
+    structure: str
+
+
+APPLICATIONS: dict[str, AppInfo] = {
+    "fvcam": AppInfo(
+        name="FVCAM",
+        key="fvcam",
+        lines="200,000+",
+        discipline="Climate Modeling",
+        methods="Finite Volume, Navier-Stokes, FFT",
+        structure="Grid",
+    ),
+    "lbmhd": AppInfo(
+        name="LBMHD3D",
+        key="lbmhd",
+        lines="1,500",
+        discipline="Plasma Physics",
+        methods="Magneto-Hydrodynamics, Lattice Boltzmann",
+        structure="Lattice/Grid",
+    ),
+    "paratec": AppInfo(
+        name="PARATEC",
+        key="paratec",
+        lines="50,000",
+        discipline="Material Science",
+        methods="Density Functional Theory, Kohn Sham, FFT",
+        structure="Fourier/Grid",
+    ),
+    "gtc": AppInfo(
+        name="GTC",
+        key="gtc",
+        lines="5,000",
+        discipline="Magnetic Fusion",
+        methods="Particle in Cell, gyrophase-averaged Vlasov-Poisson",
+        structure="Particle/Grid",
+    ),
+}
+
+
+def get_app_info(key: str) -> AppInfo:
+    """Look up a registry entry by key (``fvcam``/``gtc``/``lbmhd``/``paratec``)."""
+    info = APPLICATIONS.get(key.lower())
+    if info is None:
+        raise KeyError(f"unknown application {key!r}; have {sorted(APPLICATIONS)}")
+    return info

@@ -1,0 +1,84 @@
+"""FVCAM — finite-volume Community Atmosphere Model dycore (paper §3)."""
+
+from .decomp import FVDecomposition
+from .eulerian import (
+    EulerianCore,
+    eulerian_step_work,
+    rossby_haurwitz_rate,
+)
+from .spectral import (
+    SpharmTransform,
+    gauss_latitudes,
+    legendre_functions,
+)
+from .dynamics import (
+    HALO,
+    DynamicsParams,
+    courant_lat,
+    courant_lon,
+    dynamics_work,
+    geopotential,
+    pressure_gradient,
+    transport_2d,
+)
+from .grid import D_GRID, EARTH_RADIUS, LatLonGrid
+from .physics import PhysicsParams, apply_physics, physics_work
+from .polarfilter import (
+    apply_polar_filter,
+    damping_coefficients,
+    filter_work,
+)
+from .ppm import advect, advect_vanleer, upwind_flux, vanleer_flux
+from .solver import FVCAM, FVCAMParams, initial_state
+from .vertical import remap_column, remap_work, transpose_bytes
+from .workload import (
+    OPENMP_THREADS,
+    PAPER_GRID,
+    TABLE3_ROWS,
+    FVCAMScenario,
+    predict,
+    simulated_days_per_day,
+)
+
+__all__ = [
+    "D_GRID",
+    "EARTH_RADIUS",
+    "FVCAM",
+    "FVCAMParams",
+    "FVCAMScenario",
+    "FVDecomposition",
+    "HALO",
+    "DynamicsParams",
+    "EulerianCore",
+    "LatLonGrid",
+    "SpharmTransform",
+    "OPENMP_THREADS",
+    "PAPER_GRID",
+    "PhysicsParams",
+    "TABLE3_ROWS",
+    "advect",
+    "advect_vanleer",
+    "apply_physics",
+    "apply_polar_filter",
+    "courant_lat",
+    "courant_lon",
+    "damping_coefficients",
+    "dynamics_work",
+    "eulerian_step_work",
+    "filter_work",
+    "gauss_latitudes",
+    "geopotential",
+    "initial_state",
+    "legendre_functions",
+    "physics_work",
+    "predict",
+    "pressure_gradient",
+    "remap_column",
+    "rossby_haurwitz_rate",
+    "remap_work",
+    "simulated_days_per_day",
+    "transport_2d",
+    "transpose_bytes",
+    "upwind_flux",
+    "vanleer_flux",
+]

@@ -1,0 +1,208 @@
+"""Spherical-harmonic transform machinery (CAM's Eulerian option).
+
+"The dynamical core of CAM provides two very different options for
+solving the equations of motion.  The first option, known as the
+Eulerian spectral transform method, exploits spherical harmonics to map
+a solution onto the sphere."  This module implements that machinery at
+mini-app scale: Gauss–Legendre latitudes, orthonormal associated
+Legendre functions by stable recurrence, and the forward/inverse
+spherical-harmonic transform (FFT in longitude, Legendre quadrature in
+latitude) with its spectral Laplacian.
+
+Conventions: triangular truncation ``T = lmax``; a real field on the
+``(nlat, nlon)`` Gaussian grid maps to complex coefficients ``f[l, m]``
+for ``0 <= m <= l <= lmax`` (negative-m coefficients are implied by the
+reality condition).  The associated Legendre functions are orthonormal
+on mu in [-1, 1]:  integral(P_lm * P_l'm) = delta_ll'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def gauss_latitudes(nlat: int) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian quadrature nodes (mu = sin(lat)) and weights.
+
+    Nodes ascend from south to north; weights integrate degree
+    2*nlat - 1 polynomials exactly — the property the Legendre analysis
+    relies on.
+    """
+    if nlat < 2:
+        raise ValueError("need at least two latitudes")
+    nodes, weights = np.polynomial.legendre.leggauss(nlat)
+    return nodes, weights
+
+
+def legendre_functions(lmax: int, mu: np.ndarray) -> np.ndarray:
+    """Orthonormal associated Legendre functions P[l, m, j].
+
+    Shape (lmax+1, lmax+1, len(mu)); entries with m > l are zero.
+    Computed with the standard stable (m-first) recurrence.
+    """
+    if lmax < 0:
+        raise ValueError("lmax must be non-negative")
+    mu = np.asarray(mu, dtype=np.float64)
+    sin_term = np.sqrt(np.maximum(1.0 - mu * mu, 0.0))
+    p = np.zeros((lmax + 1, lmax + 1, len(mu)))
+
+    # diagonal: P_mm
+    p[0, 0] = np.sqrt(0.5)
+    for m in range(1, lmax + 1):
+        p[m, m] = (
+            -np.sqrt((2.0 * m + 1.0) / (2.0 * m)) * sin_term * p[m - 1, m - 1]
+        )
+    # first off-diagonal: P_{m+1, m}
+    for m in range(lmax):
+        p[m + 1, m] = np.sqrt(2.0 * m + 3.0) * mu * p[m, m]
+    # general recurrence
+    for m in range(lmax + 1):
+        for l in range(m + 2, lmax + 1):
+            a = np.sqrt(
+                (4.0 * l * l - 1.0) / (l * l - m * m)
+            )
+            b = np.sqrt(
+                ((2.0 * l + 1.0) * ((l - 1.0) ** 2 - m * m))
+                / ((2.0 * l - 3.0) * (l * l - m * m))
+            )
+            p[l, m] = a * mu * p[l - 1, m] - b * p[l - 2, m]
+    return p
+
+
+@dataclass
+class SpharmTransform:
+    """Forward/inverse spherical-harmonic transform at truncation T=lmax.
+
+    Grid: ``nlat`` Gaussian latitudes x ``nlon`` equispaced longitudes,
+    with the alias-free defaults ``nlat = lmax + 1`` (adequate for
+    quadratic terms use ~3*lmax/2) and ``nlon >= 2*lmax + 1``.
+    """
+
+    lmax: int
+    nlat: int | None = None
+    nlon: int | None = None
+    radius: float = 1.0
+    mu: np.ndarray = field(init=False)
+    weights: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.lmax < 1:
+            raise ValueError("lmax must be >= 1")
+        if self.nlat is None:
+            self.nlat = self.lmax + 1
+        if self.nlon is None:
+            self.nlon = max(2 * self.lmax + 1, 4)
+        if self.nlat < self.lmax + 1:
+            raise ValueError("nlat must be at least lmax + 1")
+        if self.nlon < 2 * self.lmax + 1:
+            raise ValueError("nlon must be at least 2*lmax + 1")
+        self.mu, self.weights = gauss_latitudes(self.nlat)
+        # one extra degree so the mu-derivative recurrence stays exact
+        self._plm_ext = legendre_functions(self.lmax + 1, self.mu)
+        self._plm = self._plm_ext[: self.lmax + 1, : self.lmax + 1]
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        return (self.nlat, self.nlon)
+
+    @property
+    def latitudes(self) -> np.ndarray:
+        """Latitudes in radians, south to north."""
+        return np.arcsin(self.mu)
+
+    @property
+    def longitudes(self) -> np.ndarray:
+        return 2.0 * np.pi * np.arange(self.nlon) / self.nlon
+
+    def spectral_shape(self) -> tuple[int, int]:
+        return (self.lmax + 1, self.lmax + 1)
+
+    def analysis(self, grid: np.ndarray) -> np.ndarray:
+        """Grid (nlat, nlon) real field -> spectral f[l, m] (complex).
+
+        Only ``m <= lmax`` Fourier modes are used (triangular
+        truncation); higher zonal wavenumbers on the grid are discarded.
+        """
+        if grid.shape != self.grid_shape:
+            raise ValueError("field does not match the transform grid")
+        fm = np.fft.rfft(grid, axis=1) / self.nlon  # (nlat, nlon//2+1)
+        coeffs = np.zeros(self.spectral_shape(), dtype=complex)
+        # quadrature: f_lm = 2 pi ... folded into the normalization below
+        for m in range(self.lmax + 1):
+            # w_j * fm[j, m] summed against P_lm(mu_j)
+            weighted = self.weights * fm[:, m]
+            coeffs[m:, m] = self._plm[m:, m, :] @ weighted
+        return coeffs
+
+    def synthesis(self, coeffs: np.ndarray) -> np.ndarray:
+        """Spectral f[l, m] -> grid (nlat, nlon) real field."""
+        if coeffs.shape != self.spectral_shape():
+            raise ValueError("coefficients do not match the truncation")
+        fm = np.zeros((self.nlat, self.nlon // 2 + 1), dtype=complex)
+        for m in range(self.lmax + 1):
+            fm[:, m] = self._plm[m:, m, :].T @ coeffs[m:, m]
+        return np.fft.irfft(fm * self.nlon, n=self.nlon, axis=1)
+
+    def synthesis_dlambda(self, coeffs: np.ndarray) -> np.ndarray:
+        """Grid field of the zonal derivative d f / d lambda."""
+        m = np.arange(self.lmax + 1)
+        return self.synthesis_complex(coeffs * (1j * m)[None, :])
+
+    def synthesis_complex(self, coeffs: np.ndarray) -> np.ndarray:
+        """Synthesis allowing non-real results (internal helper)."""
+        fm = np.zeros((self.nlat, self.nlon // 2 + 1), dtype=complex)
+        for m in range(self.lmax + 1):
+            fm[:, m] = self._plm[m:, m, :].T @ coeffs[m:, m]
+        return np.fft.irfft(fm * self.nlon, n=self.nlon, axis=1)
+
+    def synthesis_mu_derivative(self, coeffs: np.ndarray) -> np.ndarray:
+        """Grid field of (1 - mu^2) * d f / d mu.
+
+        Uses the exact recurrence
+        ``(1-mu^2) dP_lm/dmu = -l e_{l+1,m} P_{l+1,m} + (l+1) e_{l,m} P_{l-1,m}``
+        with ``e_{l,m} = sqrt((l^2-m^2)/(4l^2-1))``, carried out with the
+        internally extended (lmax+1) Legendre table so no term is lost.
+        """
+        if coeffs.shape != self.spectral_shape():
+            raise ValueError("coefficients do not match the truncation")
+        L = self.lmax
+
+        def eps(l: np.ndarray, m: int) -> np.ndarray:
+            l = np.asarray(l, dtype=np.float64)
+            return np.sqrt(
+                np.maximum(l * l - m * m, 0.0) / (4.0 * l * l - 1.0)
+            )
+
+        fm = np.zeros((self.nlat, self.nlon // 2 + 1), dtype=complex)
+        for m in range(L + 1):
+            # target degrees go up to L+1 in the extended table
+            g = np.zeros(L + 2, dtype=complex)
+            for l in range(m, L + 1):
+                c = coeffs[l, m]
+                if c == 0:
+                    continue
+                # contributes -l e_{l+1,m} to degree l+1 ...
+                g[l + 1] += -l * eps(np.array(l + 1.0), m) * c
+                # ... and +(l+1) e_{l,m} to degree l-1
+                if l - 1 >= m:
+                    g[l - 1] += (l + 1.0) * eps(np.array(float(l)), m) * c
+            fm[:, m] = self._plm_ext[m:, m, :].T @ g[m:]
+        return np.fft.irfft(fm * self.nlon, n=self.nlon, axis=1)
+
+    def laplacian_eigenvalues(self) -> np.ndarray:
+        """-l(l+1)/a^2 per degree l (the spherical Laplacian spectrum)."""
+        l = np.arange(self.lmax + 1, dtype=np.float64)
+        return -l * (l + 1.0) / (self.radius**2)
+
+    def laplacian(self, coeffs: np.ndarray) -> np.ndarray:
+        """Spectral Laplacian: multiply each degree by -l(l+1)/a^2."""
+        return coeffs * self.laplacian_eigenvalues()[:, None]
+
+    def inverse_laplacian(self, coeffs: np.ndarray) -> np.ndarray:
+        """Solve nabla^2 psi = f spectrally (the l=0 mode is gauged to 0)."""
+        eig = self.laplacian_eigenvalues()
+        out = np.zeros_like(coeffs)
+        out[1:, :] = coeffs[1:, :] / eig[1:, None]
+        return out

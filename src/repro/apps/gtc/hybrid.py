@@ -1,0 +1,107 @@
+"""Why hybrid MPI/OpenMP GTC fails on the vector machines — quantified.
+
+The paper's §4 makes two distinct arguments, both modeled here:
+
+1. **Memory**: the work-vector method "requires as many copies of the
+   grid as the number of elements in the vector register (256 for the
+   ES and X1 in MSP mode) ... increases the memory footprint 2–8X
+   compared with the same calculation on a superscalar machine ...
+   severely limiting the problem sizes that can be simulated."
+   :func:`max_plane_points` turns the catalog's node-memory figures
+   into the largest poloidal plane each machine can afford.
+
+2. **Vector-length competition**: "the loop-level parallelization
+   reduces the size of the vector loops, which in turn decreases the
+   overall performance" — "vectorization and thread-based loop-level
+   parallelism compete directly with each other."
+   :func:`hybrid_rate_factor` evaluates the Hockney penalty of
+   splitting the particle loops across threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...machines.spec import MachineSpec, ProcessorKind
+from ...machines.vector import vector_efficiency
+from .deposit import DEFAULT_WORK_VECTOR_COPIES
+from .grid import PoloidalGrid
+
+#: Fraction of a CPU's memory share budgeted to charge-grid copies
+#: (the rest holds particles and field arrays).
+GRID_MEMORY_SHARE = 0.25
+
+#: Per-particle memory: 6 phase-space words plus integrator scratch.
+BYTES_PER_PARTICLE = 12 * 8
+
+
+def grid_copies_per_cpu(spec: MachineSpec) -> int:
+    """Private charge-grid copies each CPU's deposition needs."""
+    if spec.kind is ProcessorKind.VECTOR:
+        return DEFAULT_WORK_VECTOR_COPIES
+    return 1
+
+
+def max_plane_points(spec: MachineSpec) -> int:
+    """Largest poloidal-plane size (points) the memory budget allows.
+
+    Per-CPU memory share x GRID_MEMORY_SHARE must hold every grid copy
+    at 8 bytes per point.
+    """
+    per_cpu = spec.node.memory_gib * 2**30 / spec.node.cpus_per_node
+    budget = per_cpu * GRID_MEMORY_SHARE
+    return int(budget / (grid_copies_per_cpu(spec) * 8.0))
+
+
+def memory_footprint_ratio(vector: MachineSpec, scalar: MachineSpec) -> float:
+    """Grid-memory ratio of the vector code path over the scalar one."""
+    return grid_copies_per_cpu(vector) / grid_copies_per_cpu(scalar)
+
+
+def hybrid_rate_factor(spec: MachineSpec, threads: int) -> float:
+    """Relative particle-kernel rate when loops split across threads.
+
+    Threads divide the vectorized trip counts; the Hockney efficiency at
+    the shortened length (relative to the full-register length) is the
+    paper's "compete directly with each other" penalty.  Superscalar
+    machines are unaffected (factor 1.0) — which is why OpenMP was a
+    *win* there (it reduces MPI ranks) and a loss on the vector systems.
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    if spec.kind is not ProcessorKind.VECTOR or threads == 1:
+        return 1.0
+    full = vector_efficiency(spec.vector, spec.vector.register_length)
+    split = vector_efficiency(
+        spec.vector, max(1.0, spec.vector.register_length / threads)
+    )
+    return split / full
+
+
+@dataclass(frozen=True)
+class HybridVerdict:
+    """Summary row of the hybrid-mode analysis for one machine."""
+
+    machine: str
+    copies_per_cpu: int
+    max_plane_points: int
+    rate_factor_4_threads: float
+
+    @property
+    def hybrid_attractive(self) -> bool:
+        """OpenMP pays off only where it costs no vector performance."""
+        return self.rate_factor_4_threads > 0.95
+
+
+def analyze(spec: MachineSpec) -> HybridVerdict:
+    return HybridVerdict(
+        machine=spec.name,
+        copies_per_cpu=grid_copies_per_cpu(spec),
+        max_plane_points=max_plane_points(spec),
+        rate_factor_4_threads=hybrid_rate_factor(spec, 4),
+    )
+
+
+def supports_plane(spec: MachineSpec, plane: PoloidalGrid) -> bool:
+    """Does the machine's memory budget admit this poloidal grid?"""
+    return plane.num_points <= max_plane_points(spec)

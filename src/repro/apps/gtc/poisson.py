@@ -1,0 +1,115 @@
+"""Gyrokinetic Poisson solve on a poloidal plane.
+
+The PIC field solve: given the deposited charge density, solve
+
+    -laplacian(phi) = rho
+
+on the annulus, with the potential pinned to zero on the inner and
+outer flux surfaces and periodic in theta.  The discrete operator is
+the standard 5-point polar Laplacian
+
+    1/r d/dr (r dphi/dr) + 1/r^2 d2phi/dtheta2
+
+diagonalized by an FFT in theta: each poloidal harmonic ``m`` leaves a
+radial tridiagonal system, solved directly.  Within a toroidal domain
+the solve is cheap relative to the particle work ("the computational
+work directly involving the particles accounts for almost 85% of the
+overhead").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_banded
+
+from ...workload import Work
+from .grid import PoloidalGrid
+
+
+def laplacian(grid: PoloidalGrid, phi: np.ndarray) -> np.ndarray:
+    """Discrete polar Laplacian with Dirichlet-r / periodic-theta BCs.
+
+    Ghost values outside the annulus are zero (the Dirichlet pin).
+    """
+    if phi.shape != grid.shape:
+        raise ValueError("phi does not match the grid")
+    r = grid.radii[:, None]
+    dr, dth = grid.dr, grid.dtheta
+    r_half_plus = r + 0.5 * dr
+    r_half_minus = r - 0.5 * dr
+
+    phi_up = np.vstack([phi[1:], np.zeros((1, grid.mtheta))])
+    phi_dn = np.vstack([np.zeros((1, grid.mtheta)), phi[:-1]])
+    radial = (
+        r_half_plus * (phi_up - phi) - r_half_minus * (phi - phi_dn)
+    ) / (r * dr * dr)
+
+    poloidal = (
+        np.roll(phi, -1, axis=1) - 2.0 * phi + np.roll(phi, 1, axis=1)
+    ) / (r * r * dth * dth)
+    return radial + poloidal
+
+
+def solve_poisson(grid: PoloidalGrid, rho: np.ndarray) -> np.ndarray:
+    """Solve ``-laplacian(phi) = rho``; exact inverse of :func:`laplacian`."""
+    if rho.shape != grid.shape:
+        raise ValueError("rho does not match the grid")
+    r = grid.radii
+    dr, dth = grid.dr, grid.dtheta
+    m = np.fft.rfftfreq(grid.mtheta, d=1.0 / grid.mtheta)  # harmonics
+
+    rho_m = np.fft.rfft(rho, axis=1)  # (mpsi, nm)
+    phi_m = np.empty_like(rho_m)
+
+    # Tridiagonal radial operator per harmonic:
+    #   a_i phi_{i-1} + b_i phi_i + c_i phi_{i+1} = -rho_i
+    lower = (r - 0.5 * dr) / (r * dr * dr)  # coefficient of phi_{i-1}
+    upper = (r + 0.5 * dr) / (r * dr * dr)  # coefficient of phi_{i+1}
+    # theta second derivative of harmonic m: -(2 - 2 cos(m dth)) / dth^2
+    for k, mk in enumerate(m):
+        diag = (
+            -(lower + upper)
+            - (2.0 - 2.0 * np.cos(mk * dth)) / (r * r * dth * dth)
+        )
+        ab = np.zeros((3, grid.mpsi), dtype=complex)
+        ab[0, 1:] = upper[:-1]
+        ab[1, :] = diag
+        ab[2, :-1] = lower[1:]
+        phi_m[:, k] = solve_banded((1, 1), ab, -rho_m[:, k])
+
+    return np.fft.irfft(phi_m, n=grid.mtheta, axis=1)
+
+
+def electric_field(grid: PoloidalGrid, phi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """E = -grad(phi): radial and poloidal components on the grid."""
+    dr, dth = grid.dr, grid.dtheta
+    r = grid.radii[:, None]
+    phi_up = np.vstack([phi[1:], np.zeros((1, grid.mtheta))])
+    phi_dn = np.vstack([np.zeros((1, grid.mtheta)), phi[:-1]])
+    e_r = -(phi_up - phi_dn) / (2.0 * dr)
+    e_theta = -(np.roll(phi, -1, axis=1) - np.roll(phi, 1, axis=1)) / (
+        2.0 * r * dth
+    )
+    return e_r, e_theta
+
+
+def poisson_work(grid: PoloidalGrid, name: str = "gtc.poisson") -> Work:
+    """Workload of one field solve (FFTs + tridiagonal sweeps).
+
+    FFT cost 5 N log2 N per line; the tridiagonal solves are ~8 flops
+    per unknown per harmonic.  Vectorization runs across theta lines /
+    harmonics, so trip counts follow the grid dimensions.
+    """
+    n = grid.mtheta
+    fft_flops = 2 * grid.mpsi * 5.0 * n * np.log2(n)  # forward + inverse
+    tri_flops = 8.0 * grid.mpsi * (n // 2 + 1) * 2  # complex sweeps
+    points = grid.num_points
+    return Work(
+        name=name,
+        flops=fft_flops + tri_flops,
+        bytes_unit=16.0 * points * 6,
+        vector_fraction=0.92,
+        avg_vector_length=float(min(256, max(grid.mpsi, grid.mtheta))),
+        fma_fraction=0.7,
+        cache_fraction=0.5,
+    )

@@ -1,0 +1,105 @@
+"""BGK collision step for the LBMHD scheme.
+
+Collision is entirely local ("data local only to that spatial point,
+allowing concurrent, dependence-free point updates") — it is the
+perfectly vectorizable kernel that lets LBMHD3D hit 68% of peak on the
+Earth Simulator.  The loop body is, however, *complex*: it exhausts the
+X1's 32 vector registers ("vectorizing these complex loops will exhaust
+the hardware limits and force spilling to memory"), which the
+performance model charges via the register-demand hint
+``COLLISION_REGISTER_DEMAND``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...workload import Work
+from .equilibrium import FLOPS_PER_POINT, f_equilibrium, g_equilibrium
+from .fields import magnetic_field, momentum, split_state
+from .lattice import NSLOTS
+
+#: Vector-register demand of the fused collision loop body (live
+#: temporaries across the 27+45-component update); exceeds the X1's 32.
+COLLISION_REGISTER_DEMAND = 48.0
+
+#: Bytes touched per lattice point by a fused collide+stream sweep on a
+#: vector machine: read 72 words + write 72 words of state, plus ~20
+#: words of macroscopic temporaries that spill out of registers.
+BYTES_PER_POINT = 2 * NSLOTS * 8 + 160
+
+#: Cache-machine traffic per point: the cache-optimal layout still pays
+#: write-allocate line fills on the 72-word store stream, a separate
+#: moments pass over the 72-word state, and temporary spills — roughly
+#: 600 words/point.  This constant is fitted to the superscalar STREAM
+#: bandwidths and the paper's measured rates (see DESIGN.md §4).
+SCALAR_BYTES_PER_POINT = 600 * 8
+
+
+@dataclass(frozen=True)
+class CollisionParams:
+    """Relaxation times of the two BGK operators.
+
+    ``tau`` sets the viscosity ``nu = cs^2 (tau - 1/2)``; ``tau_m`` the
+    resistivity ``eta = cs^2 (tau_m - 1/2)``.  Stability needs both
+    > 1/2.
+    """
+
+    tau: float = 1.0
+    tau_m: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.tau <= 0.5 or self.tau_m <= 0.5:
+            raise ValueError("relaxation times must exceed 1/2 for stability")
+
+    @property
+    def viscosity(self) -> float:
+        return (self.tau - 0.5) / 3.0
+
+    @property
+    def resistivity(self) -> float:
+        return (self.tau_m - 0.5) / 3.0
+
+
+def collide(state: np.ndarray, params: CollisionParams) -> np.ndarray:
+    """One BGK collision over the whole (local) grid; returns new state.
+
+    The input is not modified.  Density, momentum, and total magnetic
+    field are conserved point-wise to round-off (tests enforce this).
+    """
+    f, g = split_state(state)
+    rho = f.sum(axis=0)
+    u = momentum(f) / rho
+    B = magnetic_field(g)
+
+    feq = f_equilibrium(rho, u, B)
+    geq = g_equilibrium(u, B)
+
+    out = np.empty_like(state)
+    f_out, g_out = split_state(out)
+    f_out[:] = f + (feq - f) / params.tau
+    g_out[:] = g + (geq - g) / params.tau_m
+    return out
+
+
+def collision_work(num_points: int, name: str = "lbmhd.collide_stream") -> Work:
+    """Workload descriptor for a fused collide+stream over ``num_points``.
+
+    Used both when charging virtual time during instrumented runs and by
+    the analytic paper-scale workload generator.  Vectorization traits:
+    the grid-point loop fully vectorizes with trip counts of a full
+    pencil (hundreds of points), with a tiny unvectorized remainder for
+    loop setup and boundary bookkeeping.
+    """
+    return Work(
+        name=name,
+        flops=float(FLOPS_PER_POINT) * num_points,
+        bytes_unit=float(BYTES_PER_POINT) * num_points,
+        scalar_bytes_unit=float(SCALAR_BYTES_PER_POINT) * num_points,
+        vector_fraction=0.994,
+        avg_vector_length=256.0,
+        fma_fraction=0.75,
+        cache_fraction=0.10,
+    )

@@ -1,0 +1,181 @@
+"""3-D block decomposition of the LBMHD lattice over ranks.
+
+"The 3D spatial grid is coupled to a 3D Q27 streaming lattice and block
+distributed over a 3D Cartesian processor grid."  Ranks are arranged in
+a near-cubic ``(px, py, pz)`` grid; each owns a contiguous block and
+exchanges one-cell face halos with its six neighbors.  The diagonal
+(edge/corner) ghost data that D3Q27 streaming needs is obtained by
+exchanging the axes *in order*, each phase forwarding the ghosts
+received in the previous ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...simmpi.comm import Communicator, Message
+
+
+def factor3d(nprocs: int) -> tuple[int, int, int]:
+    """Near-cubic factorization of a processor count.
+
+    Returns ``(px, py, pz)`` with ``px * py * pz == nprocs`` minimizing
+    the spread between factors (greedy over the sorted prime factors).
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    dims = [1, 1, 1]
+    remaining = nprocs
+    primes = []
+    d = 2
+    while d * d <= remaining:
+        while remaining % d == 0:
+            primes.append(d)
+            remaining //= d
+        d += 1
+    if remaining > 1:
+        primes.append(remaining)
+    for p in sorted(primes, reverse=True):
+        dims[int(np.argmin(dims))] *= p
+    return tuple(sorted(dims, reverse=True))  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class CartesianDecomposition3D:
+    """Maps ranks to blocks of a ``(gx, gy, gz)`` global lattice."""
+
+    global_shape: tuple[int, int, int]
+    proc_grid: tuple[int, int, int]
+
+    @classmethod
+    def create(
+        cls, global_shape: tuple[int, int, int], nprocs: int
+    ) -> "CartesianDecomposition3D":
+        grid = factor3d(nprocs)
+        return cls(global_shape=tuple(global_shape), proc_grid=grid)
+
+    def __post_init__(self) -> None:
+        for g, p in zip(self.global_shape, self.proc_grid):
+            if g % p != 0:
+                raise ValueError(
+                    f"global shape {self.global_shape} not divisible by "
+                    f"processor grid {self.proc_grid}"
+                )
+
+    @property
+    def nprocs(self) -> int:
+        px, py, pz = self.proc_grid
+        return px * py * pz
+
+    @property
+    def local_shape(self) -> tuple[int, int, int]:
+        return tuple(
+            g // p for g, p in zip(self.global_shape, self.proc_grid)
+        )  # type: ignore[return-value]
+
+    def coords(self, rank: int) -> tuple[int, int, int]:
+        px, py, pz = self.proc_grid
+        if not 0 <= rank < self.nprocs:
+            raise IndexError(f"rank {rank} out of range")
+        return (rank // (py * pz), (rank // pz) % py, rank % pz)
+
+    def rank_of(self, cx: int, cy: int, cz: int) -> int:
+        px, py, pz = self.proc_grid
+        return ((cx % px) * py + (cy % py)) * pz + (cz % pz)
+
+    def neighbor(self, rank: int, axis: int, direction: int) -> int:
+        """Periodic neighbor along ``axis`` (+1 or -1)."""
+        c = list(self.coords(rank))
+        c[axis] += direction
+        return self.rank_of(*c)
+
+    def local_slices(self, rank: int) -> tuple[slice, slice, slice]:
+        """Global-array slices of this rank's block."""
+        lx, ly, lz = self.local_shape
+        cx, cy, cz = self.coords(rank)
+        return (
+            slice(cx * lx, (cx + 1) * lx),
+            slice(cy * ly, (cy + 1) * ly),
+            slice(cz * lz, (cz + 1) * lz),
+        )
+
+    def scatter(self, global_array: np.ndarray) -> list[np.ndarray]:
+        """Split a (..., gx, gy, gz) array into per-rank local blocks."""
+        if global_array.shape[-3:] != self.global_shape:
+            raise ValueError("array does not match the global shape")
+        return [
+            np.ascontiguousarray(global_array[(..., *self.local_slices(r))])
+            for r in range(self.nprocs)
+        ]
+
+    def gather(self, locals_: list[np.ndarray]) -> np.ndarray:
+        """Assemble per-rank blocks back into a global array."""
+        if len(locals_) != self.nprocs:
+            raise ValueError("need one block per rank")
+        lead = locals_[0].shape[:-3]
+        out = np.empty((*lead, *self.global_shape), dtype=locals_[0].dtype)
+        for r, block in enumerate(locals_):
+            out[(..., *self.local_slices(r))] = block
+        return out
+
+
+def exchange_halos(
+    comm: Communicator,
+    decomp: CartesianDecomposition3D,
+    padded: list[np.ndarray],
+) -> None:
+    """Fill the one-cell ghost layers of every rank's padded state.
+
+    ``padded[r]`` has shape ``(slots, lx+2, ly+2, lz+2)`` with the core
+    already written.  Axes are exchanged in order so that the second and
+    third phases forward previously received ghosts, populating the
+    edge/corner ghosts needed by diagonal streaming.  Self-neighboring
+    axes (a single rank along that axis) wrap locally at zero cost,
+    matching the physical periodic boundary.
+    """
+    if len(padded) != decomp.nprocs:
+        raise ValueError("need one padded block per rank")
+    core_hi = [n for n in decomp.local_shape]  # index of last core plane
+
+    for axis in range(3):
+        ax = axis + 1  # slot axis is 0
+        n = core_hi[axis]
+        messages: list[Message] = []
+        local_wrap: list[int] = []
+        for rank in range(decomp.nprocs):
+            lo_nbr = decomp.neighbor(rank, axis, -1)
+            hi_nbr = decomp.neighbor(rank, axis, +1)
+            if lo_nbr == rank and hi_nbr == rank:
+                local_wrap.append(rank)
+                continue
+            lo_plane = np.take(padded[rank], 1, axis=ax)
+            hi_plane = np.take(padded[rank], n, axis=ax)
+            messages.append(Message(src=rank, dst=lo_nbr, payload=lo_plane, tag=axis))
+            messages.append(Message(src=rank, dst=hi_nbr, payload=hi_plane, tag=axis + 8))
+        received = comm.exchange(messages)
+
+        # Single rank along this axis: wrap the planes locally.
+        for rank in local_wrap:
+            idx_lo = [slice(None)] * 4
+            idx_hi = [slice(None)] * 4
+            idx_lo[ax], idx_hi[ax] = 0, n + 1
+            src_lo = [slice(None)] * 4
+            src_hi = [slice(None)] * 4
+            src_lo[ax], src_hi[ax] = 1, n
+            padded[rank][tuple(idx_lo)] = padded[rank][tuple(src_hi)]
+            padded[rank][tuple(idx_hi)] = padded[rank][tuple(src_lo)]
+
+        # exchange() delivers payload copies per destination in posting
+        # order; pair them back up with their messages and use the tag
+        # to pick the ghost plane: a *low* core plane sent leftwards
+        # lands in the receiver's *high* ghost, and vice versa.
+        counters: dict[int, int] = {}
+        for m in messages:
+            i = counters.get(m.dst, 0)
+            counters[m.dst] = i + 1
+            payload = received[m.dst][i]
+            ghost = [slice(None)] * 4
+            ghost[ax] = n + 1 if m.tag == axis else 0
+            padded[m.dst][tuple(ghost)] = payload

@@ -1,0 +1,91 @@
+"""Equilibrium distributions of the Dellar lattice-Boltzmann MHD scheme.
+
+Hydrodynamic equilibrium (moment-matched to second order)::
+
+    f_i^eq = w_i [ rho + xi.(rho u)/cs^2 + (A : (xi xi - cs^2 I)) / (2 cs^4) ]
+    A = rho u u + (|B|^2 / 2) I - B B        (momentum flux + Maxwell stress)
+
+Magnetic equilibrium (vector-valued, one 3-vector per direction)::
+
+    g_a^eq = W_a [ B + eta_a . (u B - B u) / cs^2 ]
+
+whose first moment is the induction electric-field tensor
+``Lambda_jk = u_j B_k - B_j u_k``, recovering resistive MHD with
+viscosity ``nu = cs^2 (tau - 1/2)`` and resistivity
+``eta = cs^2 (tau_m - 1/2)`` (Dellar, J. Comput. Phys. 2002 — reference
+[8] of the paper).
+
+The moment identities (density, momentum, stress, induction) are
+verified numerically by the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lattice import CS2, Q15_VELOCITIES, Q15_WEIGHTS, Q27_VELOCITIES, Q27_WEIGHTS
+
+
+def f_equilibrium(rho: np.ndarray, u: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Hydrodynamic equilibrium, shape (27, ...).
+
+    Parameters
+    ----------
+    rho:
+        Density, shape ``(...)``.
+    u, B:
+        Velocity and magnetic field, shape ``(3, ...)``.
+    """
+    xi = Q27_VELOCITIES.astype(np.float64)
+    w = Q27_WEIGHTS
+
+    xu = np.einsum("ia,a...->i...", xi, u)  # xi . u, shape (27, ...)
+    xB = np.einsum("ia,a...->i...", xi, B)
+    u2 = (u**2).sum(axis=0)
+    B2 = (B**2).sum(axis=0)
+
+    # A : xi xi  =  rho (xi.u)^2 + |B|^2/2 |xi|^2 - (xi.B)^2
+    xi2 = (xi**2).sum(axis=1)  # |xi_i|^2, shape (27,)
+    A_xixi = (
+        rho * xu**2
+        + 0.5 * np.multiply.outer(xi2, B2)
+        - xB**2
+    )
+    # tr(A) = rho |u|^2 + 3 |B|^2/2 - |B|^2 = rho|u|^2 + |B|^2/2
+    trA = rho * u2 + 0.5 * B2
+
+    feq = w[(slice(None),) + (None,) * rho.ndim] * (
+        rho + rho * xu / CS2 + (A_xixi - CS2 * trA) / (2.0 * CS2 * CS2)
+    )
+    return feq
+
+
+def g_equilibrium(u: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Magnetic equilibrium, shape (15, 3, ...)."""
+    eta = Q15_VELOCITIES.astype(np.float64)
+    W = Q15_WEIGHTS
+
+    # Lambda_jk = u_j B_k - B_j u_k  (antisymmetric), shape (3, 3, ...)
+    lam = np.einsum("j...,k...->jk...", u, B) - np.einsum(
+        "j...,k...->jk...", B, u
+    )
+    # eta_a . Lambda -> shape (15, 3(k), ...)
+    eta_lam = np.einsum("aj,jk...->ak...", eta, lam)
+
+    shape_tail = (None,) * (u.ndim - 1)
+    Wb = W[(slice(None), None) + shape_tail]
+    geq = Wb * (B[None, ...] + eta_lam / CS2)
+    return geq
+
+
+#: Analytic flop count per lattice point for the collision kernel
+#: (moments + both equilibria + BGK relaxation), derived by counting the
+#: arithmetic in the expressions above.  This is the constant used by the
+#: instrumented solver *and* by the paper-scale workload generator, so
+#: the two stay consistent by construction:
+#:   moments: f-sum 26, momentum 3*(27 mul + 26 add), B 3*14 ............ 241
+#:   xi.u / xi.B dot products: 2 * 27 * 5 ............................... 270
+#:   u^2, B^2, A:xixi, trA, feq assembly: 27 * ~14 + 20 ................. 398
+#:   g_eq: lambda 9*3, eta.lam 15*3*5(sparse), assembly 15*3*3 .......... 387
+#:   BGK relaxation: 2 * (27 + 45) ....................................... 144
+FLOPS_PER_POINT = 241 + 270 + 398 + 387 + 144  # = 1440

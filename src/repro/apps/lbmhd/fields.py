@@ -1,0 +1,94 @@
+"""Macroscopic moments of the LBMHD state.
+
+The packed state array has shape ``(NSLOTS, nx, ny, nz)``: slots
+``[0, 27)`` are the hydrodynamic distribution ``f_i`` and slots
+``[27, 72)`` are the three Cartesian components of the fifteen
+vector-valued magnetic distributions ``g_a``.  Macroscopic fields:
+
+    rho = sum_i f_i                 (density)
+    rho u = sum_i f_i xi_i          (momentum)
+    B = sum_a g_a                   (magnetic field)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lattice import NQ_F, NQ_G, Q15_VELOCITIES, Q27_VELOCITIES
+
+
+def split_state(state: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Views of the hydrodynamic and magnetic parts of a packed state.
+
+    Returns ``(f, g)`` with ``f`` of shape (27, ...) and ``g`` of shape
+    (15, 3, ...).  Both are views — mutating them mutates ``state``.
+    """
+    f = state[:NQ_F]
+    g = state[NQ_F:].reshape(NQ_G, 3, *state.shape[1:])
+    return f, g
+
+
+def density(f: np.ndarray) -> np.ndarray:
+    """rho(x) = sum_i f_i."""
+    return f.sum(axis=0)
+
+
+def momentum(f: np.ndarray) -> np.ndarray:
+    """rho*u (x), shape (3, ...)."""
+    return np.einsum("i...,ia->a...", f, Q27_VELOCITIES.astype(np.float64))
+
+
+def velocity(f: np.ndarray, rho: np.ndarray | None = None) -> np.ndarray:
+    """u(x) = momentum / rho, shape (3, ...)."""
+    if rho is None:
+        rho = density(f)
+    return momentum(f) / rho
+
+
+def magnetic_field(g: np.ndarray) -> np.ndarray:
+    """B(x) = sum_a g_a, shape (3, ...)."""
+    return g.sum(axis=0)
+
+
+def moments(state: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(rho, u, B) of a packed state."""
+    f, g = split_state(state)
+    rho = density(f)
+    u = momentum(f) / rho
+    return rho, u, magnetic_field(g)
+
+
+def kinetic_energy(rho: np.ndarray, u: np.ndarray) -> float:
+    """Total kinetic energy  1/2 sum rho |u|^2 over the (local) grid."""
+    return float(0.5 * (rho * (u**2).sum(axis=0)).sum())
+
+
+def magnetic_energy(B: np.ndarray) -> float:
+    """Total magnetic energy  1/2 sum |B|^2 over the (local) grid."""
+    return float(0.5 * (B**2).sum())
+
+
+def current_density(B: np.ndarray) -> np.ndarray:
+    """J = curl B via centered differences on the periodic lattice."""
+
+    def d(arr: np.ndarray, axis: int) -> np.ndarray:
+        return (np.roll(arr, -1, axis=axis) - np.roll(arr, 1, axis=axis)) / 2.0
+
+    jx = d(B[2], 1) - d(B[1], 2)
+    jy = d(B[0], 2) - d(B[2], 0)
+    jz = d(B[1], 0) - d(B[0], 1)
+    return np.stack([jx, jy, jz])
+
+
+def vorticity(u: np.ndarray) -> np.ndarray:
+    """omega = curl u via centered differences on the periodic lattice."""
+    return current_density(u)  # identical stencil
+
+
+def divergence(B: np.ndarray) -> np.ndarray:
+    """div B via centered differences (diagnostic; ~0 for valid states)."""
+
+    def d(arr: np.ndarray, axis: int) -> np.ndarray:
+        return (np.roll(arr, -1, axis=axis) - np.roll(arr, 1, axis=axis)) / 2.0
+
+    return d(B[0], 0) + d(B[1], 1) + d(B[2], 2)

@@ -1,0 +1,116 @@
+"""Lattice definitions for LBMHD3D.
+
+The hydrodynamic distribution streams on the full D3Q27 lattice ("a 3D
+Q27 streaming lattice ... 27 (26 plus the null vector)"); the
+vector-valued magnetic distribution uses the D3Q15 sublattice, matching
+the paper's "inner loops over velocity streaming vectors and magnetic
+field streaming vectors (typically 10-30 loop iterations)".
+
+Both lattices are isothermal with sound speed ``c_s^2 = 1/3`` and
+satisfy the moment identities (checked by tests):
+
+    sum_i w_i           = 1
+    sum_i w_i xi_ia xi_ib = c_s^2 delta_ab
+    sum_i w_i xi_ia xi_ib xi_ic xi_id
+        = c_s^4 (delta_ab delta_cd + delta_ac delta_bd + delta_ad delta_bc)
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+#: Lattice sound speed squared (both lattices).
+CS2 = 1.0 / 3.0
+
+
+def _build_d3q27() -> tuple[np.ndarray, np.ndarray]:
+    velocities = np.array(
+        list(itertools.product((0, 1, -1), repeat=3)), dtype=np.int64
+    )
+    # Reorder: rest first, then faces, edges, corners (by |xi|^2).
+    order = np.argsort([v @ v for v in velocities], kind="stable")
+    velocities = velocities[order]
+    weights = np.empty(27, dtype=np.float64)
+    for i, v in enumerate(velocities):
+        s = int(v @ v)
+        weights[i] = {0: 8.0 / 27.0, 1: 2.0 / 27.0, 2: 1.0 / 54.0, 3: 1.0 / 216.0}[s]
+    return velocities, weights
+
+
+def _build_d3q15() -> tuple[np.ndarray, np.ndarray]:
+    vels = [(0, 0, 0)]
+    vels += [
+        tuple(int(x) for x in row)
+        for row in np.vstack([np.eye(3, dtype=int), -np.eye(3, dtype=int)])
+    ]
+    vels += list(itertools.product((1, -1), repeat=3))
+    velocities = np.array(vels, dtype=np.int64)
+    weights = np.empty(15, dtype=np.float64)
+    for i, v in enumerate(velocities):
+        s = int(v @ v)
+        weights[i] = {0: 2.0 / 9.0, 1: 1.0 / 9.0, 3: 1.0 / 72.0}[s]
+    return velocities, weights
+
+
+#: D3Q27 velocities, shape (27, 3), integer lattice units; rest vector first.
+Q27_VELOCITIES, Q27_WEIGHTS = _build_d3q27()
+
+#: D3Q15 velocities, shape (15, 3); rest vector first.
+Q15_VELOCITIES, Q15_WEIGHTS = _build_d3q15()
+
+#: Number of hydrodynamic / magnetic streaming directions.
+NQ_F = 27
+NQ_G = 15
+
+#: State-vector slots: f occupies [0, 27), the three Cartesian components
+#: of each magnetic direction occupy [27, 27 + 45).
+NSLOTS = NQ_F + 3 * NQ_G
+
+
+def slot_shifts() -> np.ndarray:
+    """Streaming shift (3-vector) of every slot of the packed state.
+
+    f slots shift by their D3Q27 velocity; each magnetic direction's
+    three components shift together by the D3Q15 velocity.
+    """
+    shifts = np.empty((NSLOTS, 3), dtype=np.int64)
+    shifts[:NQ_F] = Q27_VELOCITIES
+    for a in range(NQ_G):
+        for k in range(3):
+            shifts[NQ_F + 3 * a + k] = Q15_VELOCITIES[a]
+    return shifts
+
+
+def opposite_index(velocities: np.ndarray) -> np.ndarray:
+    """Index of the opposite lattice vector for each direction."""
+    n = len(velocities)
+    opp = np.empty(n, dtype=np.int64)
+    for i, v in enumerate(velocities):
+        matches = np.nonzero((velocities == -v).all(axis=1))[0]
+        if len(matches) != 1:
+            raise ValueError("lattice is not inversion symmetric")
+        opp[i] = matches[0]
+    return opp
+
+
+def moment0(weights: np.ndarray) -> float:
+    return float(weights.sum())
+
+
+def moment2(velocities: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Second weight moment  sum_i w_i xi_i xi_i, shape (3, 3)."""
+    return np.einsum("i,ia,ib->ab", weights, velocities, velocities)
+
+
+def moment4(velocities: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Fourth weight moment, shape (3, 3, 3, 3)."""
+    return np.einsum(
+        "i,ia,ib,ic,id->abcd",
+        weights,
+        velocities,
+        velocities,
+        velocities,
+        velocities,
+    )

@@ -1,0 +1,119 @@
+"""Multiple-relaxation-time (projected/regularized) collision option.
+
+Production lattice Boltzmann codes rarely stop at plain BGK: relaxing
+the non-hydrodynamic ("ghost") content of the distributions at its own
+rate decouples stability from viscosity.  This module implements the
+projection form of that idea for the LBMHD state:
+
+* the non-equilibrium part of ``f`` is split into its traceless
+  second-moment (shear-stress) projection — relaxed at ``tau`` so the
+  viscosity is unchanged — and the ghost remainder, relaxed at
+  ``tau_ghost``;
+* the non-equilibrium part of ``g`` is split into its first-moment
+  (induction) projection — relaxed at ``tau_m``, preserving the
+  resistivity — and its ghost remainder.
+
+With ``tau_ghost == tau`` (and the magnetic analogue) the operator is
+*algebraically identical* to BGK, which the test suite checks; with
+``tau_ghost = 1`` the ghost modes are wiped each step (the fully
+"regularized" scheme), markedly more robust at low viscosity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .collision import CollisionParams
+from .equilibrium import f_equilibrium, g_equilibrium
+from .fields import magnetic_field, momentum, split_state
+from .lattice import CS2, Q15_VELOCITIES, Q15_WEIGHTS, Q27_VELOCITIES, Q27_WEIGHTS
+
+
+@dataclass(frozen=True)
+class MRTParams:
+    """Relaxation rates of the projected-MRT collision.
+
+    ``tau``/``tau_m`` keep their BGK meaning (viscosity/resistivity);
+    ``tau_ghost``/``tau_ghost_m`` govern the non-hydrodynamic modes.
+    """
+
+    tau: float = 0.8
+    tau_m: float = 0.8
+    tau_ghost: float = 1.0
+    tau_ghost_m: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("tau", "tau_m", "tau_ghost", "tau_ghost_m"):
+            if getattr(self, name) <= 0.5:
+                raise ValueError(f"{name} must exceed 1/2 for stability")
+
+    @property
+    def bgk(self) -> CollisionParams:
+        return CollisionParams(tau=self.tau, tau_m=self.tau_m)
+
+
+def _project_f_neq(f_neq: np.ndarray) -> np.ndarray:
+    """Shear-stress projection of a hydrodynamic non-equilibrium part.
+
+    Builds the traceless symmetric second moment of ``f_neq`` and
+    re-expands it onto the lattice; the projection carries zero density
+    and momentum by construction.
+    """
+    xi = Q27_VELOCITIES.astype(np.float64)
+    w = Q27_WEIGHTS
+    pi = np.einsum("i...,ia,ib->ab...", f_neq, xi, xi)
+    trace = np.einsum("aa...->...", pi)
+    eye = np.eye(3)
+    pi_traceless = pi - (trace / 3.0) * eye[(...,) + (None,) * (pi.ndim - 2)]
+    # w_i (xi xi - cs^2 I) : Pi / (2 cs^4)
+    quad = np.einsum("ia,ib->iab", xi, xi) - CS2 * eye[None, :, :]
+    contracted = np.einsum(
+        "iab,ab...->i...", w[:, None, None] * quad, pi_traceless
+    )
+    return contracted / (2.0 * CS2 * CS2)
+
+
+def _project_g_neq(g_neq: np.ndarray) -> np.ndarray:
+    """First-moment (induction) projection of the magnetic residue."""
+    eta = Q15_VELOCITIES.astype(np.float64)
+    W = Q15_WEIGHTS
+    lam = np.einsum("ak...,aj->jk...", g_neq, eta)
+    # W_a eta_a . Lambda / cs^2, with zero zeroth moment by oddness
+    proj = np.einsum("aj,jk...->ak...", eta, lam) / CS2
+    return W[(slice(None), None) + (None,) * (g_neq.ndim - 2)] * proj
+
+
+def collide_mrt(state: np.ndarray, params: MRTParams) -> np.ndarray:
+    """Projected-MRT collision over the whole (local) grid.
+
+    Conserves density, momentum, and total magnetic field point-wise,
+    exactly like the BGK operator it generalizes.
+    """
+    f, g = split_state(state)
+    rho = f.sum(axis=0)
+    u = momentum(f) / rho
+    B = magnetic_field(g)
+
+    feq = f_equilibrium(rho, u, B)
+    geq = g_equilibrium(u, B)
+
+    f_neq = f - feq
+    g_neq = g - geq
+    f_shear = _project_f_neq(f_neq)
+    g_ind = _project_g_neq(g_neq)
+
+    out = np.empty_like(state)
+    f_out, g_out = split_state(out)
+    f_out[:] = (
+        feq
+        + (1.0 - 1.0 / params.tau) * f_shear
+        + (1.0 - 1.0 / params.tau_ghost) * (f_neq - f_shear)
+    )
+    g_out[:] = (
+        geq
+        + (1.0 - 1.0 / params.tau_m) * g_ind
+        + (1.0 - 1.0 / params.tau_ghost_m) * (g_neq - g_ind)
+    )
+    return out

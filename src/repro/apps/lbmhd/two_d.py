@@ -1,0 +1,183 @@
+"""LBMHD2D — the predecessor code LBMHD3D extends.
+
+"As a further development of previous 2D codes, LBMHD3D simulates the
+behavior of a three-dimensional conducting fluid..."  This module is
+that predecessor: Dellar's two-dimensional lattice Boltzmann MHD on a
+D2Q9 hydrodynamic lattice with a vector-valued D2Q5 magnetic lattice —
+the configuration of Macnab et al. (reference [14] of the paper).  It
+shares the 3-D code's structure (moment-matched equilibria, BGK
+collision, pull streaming) at a quarter of the state size, and runs the
+classic 2-D Orszag–Tang vortex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...workload import Work
+
+#: D2Q9 velocities (rest first) and weights.
+Q9_VELOCITIES = np.array(
+    [
+        (0, 0),
+        (1, 0), (-1, 0), (0, 1), (0, -1),
+        (1, 1), (-1, -1), (1, -1), (-1, 1),
+    ],
+    dtype=np.int64,
+)
+Q9_WEIGHTS = np.array(
+    [4 / 9] + [1 / 9] * 4 + [1 / 36] * 4, dtype=np.float64
+)
+
+#: D2Q5 velocities and weights for the magnetic distributions.
+Q5_VELOCITIES = np.array(
+    [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)], dtype=np.int64
+)
+Q5_WEIGHTS = np.array([1 / 3] + [1 / 6] * 4, dtype=np.float64)
+
+CS2 = 1.0 / 3.0
+
+
+def f_equilibrium_2d(
+    rho: np.ndarray, u: np.ndarray, B: np.ndarray
+) -> np.ndarray:
+    """D2Q9 equilibrium with the 2-D Maxwell stress, shape (9, ...)."""
+    xi = Q9_VELOCITIES.astype(np.float64)
+    w = Q9_WEIGHTS
+    xu = np.einsum("ia,a...->i...", xi, u)
+    xB = np.einsum("ia,a...->i...", xi, B)
+    u2 = (u**2).sum(axis=0)
+    B2 = (B**2).sum(axis=0)
+    xi2 = (xi**2).sum(axis=1)
+    A_xixi = rho * xu**2 + 0.5 * np.multiply.outer(xi2, B2) - xB**2
+    # A = rho u u + (|B|^2/2) I - B B; the magnetic part is traceless
+    # in two dimensions, so tr(A) = rho |u|^2.
+    trA = rho * u2
+    feq = w[(slice(None),) + (None,) * rho.ndim] * (
+        rho + rho * xu / CS2 + (A_xixi - CS2 * trA) / (2.0 * CS2 * CS2)
+    )
+    return feq
+
+
+def g_equilibrium_2d(u: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Vector D2Q5 magnetic equilibrium, shape (5, 2, ...)."""
+    eta = Q5_VELOCITIES.astype(np.float64)
+    W = Q5_WEIGHTS
+    lam = np.einsum("j...,k...->jk...", u, B) - np.einsum(
+        "j...,k...->jk...", B, u
+    )
+    eta_lam = np.einsum("aj,jk...->ak...", eta, lam)
+    shape_tail = (None,) * (u.ndim - 1)
+    Wb = W[(slice(None), None) + shape_tail]
+    # D2Q5 first moment: sum W eta eta = (1/3) I  -> same cs^2
+    return Wb * (B[None, ...] + eta_lam / CS2)
+
+
+@dataclass(frozen=True)
+class LBMHD2DParams:
+    """2-D run configuration (periodic square lattice)."""
+
+    shape: tuple[int, int] = (32, 32)
+    tau: float = 0.8
+    tau_m: float = 0.8
+    u0: float = 0.05
+    b0: float = 0.05
+
+    def __post_init__(self) -> None:
+        if any(n < 4 for n in self.shape):
+            raise ValueError("lattice must be at least 4 cells per side")
+        if self.tau <= 0.5 or self.tau_m <= 0.5:
+            raise ValueError("relaxation times must exceed 1/2")
+
+
+class LBMHD2D:
+    """Serial 2-D lattice Boltzmann MHD (the 3-D code's ancestor)."""
+
+    app_key = "lbmhd2d"
+
+    def __init__(self, params: LBMHD2DParams) -> None:
+        self.params = params
+        nx, ny = params.shape
+        x = 2.0 * np.pi * np.arange(nx) / nx
+        y = 2.0 * np.pi * np.arange(ny) / ny
+        X, Y = np.meshgrid(x, y, indexing="ij")
+        rho = np.ones(params.shape)
+        # the classic 2-D Orszag-Tang vortex
+        u = np.stack([-params.u0 * np.sin(Y), params.u0 * np.sin(X)])
+        B = np.stack([-params.b0 * np.sin(Y), params.b0 * np.sin(2.0 * X)])
+        self.f = f_equilibrium_2d(rho, u, B)
+        self.g = g_equilibrium_2d(u, B)
+        self.step_count = 0
+
+    # -- moments --------------------------------------------------------
+
+    def moments(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        rho = self.f.sum(axis=0)
+        mom = np.einsum(
+            "i...,ia->a...", self.f, Q9_VELOCITIES.astype(np.float64)
+        )
+        B = self.g.sum(axis=0)
+        return rho, mom / rho, B
+
+    def total_mass(self) -> float:
+        return float(self.f.sum())
+
+    def total_momentum(self) -> np.ndarray:
+        return np.einsum(
+            "ixy,ia->a", self.f, Q9_VELOCITIES.astype(np.float64)
+        )
+
+    def total_B(self) -> np.ndarray:
+        return self.g.sum(axis=(0, 2, 3))
+
+    def energies(self) -> tuple[float, float]:
+        rho, u, B = self.moments()
+        return (
+            float(0.5 * (rho * (u**2).sum(axis=0)).sum()),
+            float(0.5 * (B**2).sum()),
+        )
+
+    # -- update -----------------------------------------------------------
+
+    def step(self) -> None:
+        rho, u, B = self.moments()
+        feq = f_equilibrium_2d(rho, u, B)
+        geq = g_equilibrium_2d(u, B)
+        self.f = self.f + (feq - self.f) / self.params.tau
+        self.g = self.g + (geq - self.g) / self.params.tau_m
+        # pull streaming via periodic rolls
+        for i, (cx, cy) in enumerate(Q9_VELOCITIES):
+            self.f[i] = np.roll(self.f[i], (cx, cy), axis=(0, 1))
+        for a, (cx, cy) in enumerate(Q5_VELOCITIES):
+            self.g[a] = np.roll(self.g[a], (cx, cy), axis=(1, 2))
+        self.step_count += 1
+
+    def run(self, steps: int) -> None:
+        for _ in range(steps):
+            self.step()
+
+    def vorticity(self) -> np.ndarray:
+        _, u, _ = self.moments()
+
+        def d(arr, axis):
+            return (np.roll(arr, -1, axis) - np.roll(arr, 1, axis)) / 2.0
+
+        return d(u[1], 0) - d(u[0], 1)
+
+
+#: Per-point arithmetic of the 2-D collision (counted as in 3-D).
+FLOPS_PER_POINT_2D = 9 * 14 + 5 * 2 * 8 + 110  # ~ 316
+
+
+def step_work_2d(num_points: int) -> Work:
+    """Workload of one 2-D step — a quarter of the 3-D state traffic."""
+    return Work(
+        name="lbmhd2d.step",
+        flops=float(FLOPS_PER_POINT_2D) * num_points,
+        bytes_unit=2.0 * (9 + 10) * 8.0 * num_points,
+        vector_fraction=0.994,
+        avg_vector_length=256.0,
+        fma_fraction=0.75,
+    )

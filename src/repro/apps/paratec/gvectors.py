@@ -1,0 +1,172 @@
+"""Plane-wave basis: the G-vector sphere and its column distribution.
+
+PARATEC expands the Kohn–Sham wavefunctions in plane waves with kinetic
+energy below a cutoff — "the data layout in Fourier space is a sphere
+of points, rather than a standard square grid.  The sphere is load
+balanced by distributing the different length columns from the sphere
+to different processors such that each processor holds a similar number
+of points in Fourier space."
+
+A *column* is the set of sphere points sharing (gx, gy); columns near
+the sphere's equator are long, those near the rim short.  The greedy
+longest-column-first assignment used here is the standard scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _wrap_index(k: np.ndarray, n: int) -> np.ndarray:
+    """Map signed frequency index to FFT array index (0..n-1)."""
+    return np.mod(k, n)
+
+
+@dataclass(frozen=True)
+class GSphere:
+    """All integer G-vectors with  |G|^2 / 2 <= ecut  (units of 2 pi / L).
+
+    Attributes
+    ----------
+    grid_shape:
+        Real-space FFT grid (n1, n2, n3); must hold the sphere with
+        margin (checked), since products of wavefunctions need up to
+        2 G_max per dimension.
+    """
+
+    ecut: float
+    grid_shape: tuple[int, int, int]
+    vectors: np.ndarray = field(init=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.ecut <= 0:
+            raise ValueError("ecut must be positive")
+        gmax = int(np.floor(np.sqrt(2.0 * self.ecut)))
+        for n in self.grid_shape:
+            if n < 2 * gmax + 1:
+                raise ValueError(
+                    f"FFT grid {self.grid_shape} too small for ecut "
+                    f"{self.ecut} (need >= {2 * gmax + 1} per dimension)"
+                )
+        rng = np.arange(-gmax, gmax + 1)
+        gx, gy, gz = np.meshgrid(rng, rng, rng, indexing="ij")
+        g2 = gx**2 + gy**2 + gz**2
+        mask = 0.5 * g2 <= self.ecut
+        vecs = np.stack([gx[mask], gy[mask], gz[mask]], axis=1)
+        # canonical ordering: by column (gx, gy), then gz
+        order = np.lexsort((vecs[:, 2], vecs[:, 1], vecs[:, 0]))
+        object.__setattr__(self, "vectors", vecs[order])
+
+    @property
+    def num_g(self) -> int:
+        return len(self.vectors)
+
+    @property
+    def kinetic(self) -> np.ndarray:
+        """|G|^2 / 2 for every sphere point (the kinetic operator)."""
+        return 0.5 * (self.vectors.astype(np.float64) ** 2).sum(axis=1)
+
+    def grid_indices(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """FFT-grid indices of each sphere point (negative wrapped)."""
+        n1, n2, n3 = self.grid_shape
+        return (
+            _wrap_index(self.vectors[:, 0], n1),
+            _wrap_index(self.vectors[:, 1], n2),
+            _wrap_index(self.vectors[:, 2], n3),
+        )
+
+    def columns(self) -> list[tuple[tuple[int, int], np.ndarray]]:
+        """Sphere points grouped into (gx, gy) columns.
+
+        Returns ``[(key, point_indices), ...]`` where ``point_indices``
+        index into :attr:`vectors` (contiguous by construction).
+        """
+        keys = self.vectors[:, 0] * 100_000 + self.vectors[:, 1]
+        change = np.nonzero(np.diff(keys))[0] + 1
+        bounds = np.concatenate([[0], change, [self.num_g]])
+        out = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            key = (int(self.vectors[lo, 0]), int(self.vectors[lo, 1]))
+            out.append((key, np.arange(lo, hi)))
+        return out
+
+
+def load_balance_columns(
+    columns: list[tuple[tuple[int, int], np.ndarray]], nranks: int
+) -> list[list[int]]:
+    """Greedy longest-first assignment of column indices to ranks.
+
+    Returns ``assignment[rank] = [column_index, ...]`` minimizing the
+    spread of per-rank point counts; the imbalance is bounded by one
+    (longest remaining) column, which tests verify.
+    """
+    if nranks < 1:
+        raise ValueError("nranks must be >= 1")
+    order = sorted(
+        range(len(columns)), key=lambda c: len(columns[c][1]), reverse=True
+    )
+    loads = np.zeros(nranks, dtype=np.int64)
+    assignment: list[list[int]] = [[] for _ in range(nranks)]
+    for c in order:
+        r = int(np.argmin(loads))
+        assignment[r].append(c)
+        loads[r] += len(columns[c][1])
+    return assignment
+
+
+@dataclass(frozen=True)
+class SphereDistribution:
+    """A G-sphere split over ranks by load-balanced columns."""
+
+    sphere: GSphere
+    nranks: int
+
+    def __post_init__(self) -> None:
+        cols = self.sphere.columns()
+        assignment = load_balance_columns(cols, self.nranks)
+        point_lists = []
+        for rank_cols in assignment:
+            if rank_cols:
+                pts = np.concatenate([cols[c][1] for c in rank_cols])
+            else:
+                pts = np.empty(0, dtype=np.int64)
+            point_lists.append(np.sort(pts))
+        object.__setattr__(self, "_points", point_lists)
+        object.__setattr__(self, "_columns", assignment)
+        object.__setattr__(self, "_all_columns", cols)
+
+    def points_of(self, rank: int) -> np.ndarray:
+        """Sphere-point indices owned by a rank."""
+        return self._points[rank]
+
+    def columns_of(self, rank: int) -> list[int]:
+        return list(self._columns[rank])
+
+    def counts(self) -> np.ndarray:
+        return np.array([len(p) for p in self._points])
+
+    def max_imbalance(self) -> int:
+        """Largest minus smallest per-rank point count."""
+        c = self.counts()
+        return int(c.max() - c.min())
+
+    def scatter(self, coefficients: np.ndarray) -> list[np.ndarray]:
+        """Split full-sphere coefficient array(s) into per-rank slices.
+
+        Works on shape (..., num_g).
+        """
+        if coefficients.shape[-1] != self.sphere.num_g:
+            raise ValueError("coefficient array does not match the sphere")
+        return [coefficients[..., p].copy() for p in self._points]
+
+    def gather(self, locals_: list[np.ndarray]) -> np.ndarray:
+        """Reassemble per-rank slices into the full-sphere array."""
+        if len(locals_) != self.nranks:
+            raise ValueError("need one slice per rank")
+        lead = locals_[0].shape[:-1]
+        out = np.zeros((*lead, self.sphere.num_g), dtype=locals_[0].dtype)
+        for rank, arr in enumerate(locals_):
+            out[..., self._points[rank]] = arr
+        return out

@@ -1,0 +1,135 @@
+"""Kleinman–Bylander nonlocal pseudopotential projectors.
+
+"The pseudopotentials are of the standard norm-conserving variety" —
+norm-conserving pseudopotentials carry, besides the local part, a
+separable *nonlocal* term acting per angular-momentum channel:
+
+    V_nl |psi> = sum_a sum_p  D_p  |beta_p^a> <beta_p^a | psi>
+
+The projectors live naturally in G-space (a radial form factor times a
+structure phase), so applying ``V_nl`` is two zgemm-shaped contractions
+per band — more of exactly the BLAS3-regime work the paper's PARATEC
+analysis leans on.
+
+The mini-app uses Gaussian s-channel projectors (one per atom), which
+keeps the Hamiltonian Hermitian (tested) and shifts eigenvalues with
+the sign of ``D_p`` (tested against perturbation theory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...simmpi.comm import Communicator
+from ...workload import Work
+from .gvectors import SphereDistribution
+from .hamiltonian import Atom
+
+
+@dataclass(frozen=True)
+class NonlocalChannel:
+    """One separable projector channel on one atom."""
+
+    atom: Atom
+    strength: float = 1.0  # D_p: positive = repulsive channel
+    width: float = 0.8  # Gaussian form-factor width (reciprocal units)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("projector width must be positive")
+
+
+class NonlocalPotential:
+    """Distributed separable V_nl over a sphere distribution.
+
+    Projector coefficients are precomputed per rank; an application is
+    ``<beta|psi>`` (local dots + subgroup Allreduce) followed by the
+    rank-one updates — the same communication/BLAS3 pattern as the
+    production code's nonlocal term.
+    """
+
+    def __init__(
+        self,
+        dist: SphereDistribution,
+        comm: Communicator,
+        channels: list[NonlocalChannel],
+    ) -> None:
+        if comm.nprocs != dist.nranks:
+            raise ValueError("communicator size does not match distribution")
+        self.dist = dist
+        self.comm = comm
+        self.channels = list(channels)
+
+        sphere = dist.sphere
+        g = sphere.vectors.astype(np.float64)
+        g_sq = (g**2).sum(axis=1)
+        self._beta_local: list[list[np.ndarray]] = []  # [channel][rank]
+        for ch in self.channels:
+            tau = np.asarray(ch.atom.position)
+            phase = np.exp(-2j * np.pi * (g @ tau))
+            form = np.exp(-0.5 * g_sq * ch.width**2)
+            beta = form * phase
+            # normalize so <beta|beta> = 1 over the full sphere
+            beta = beta / np.linalg.norm(beta)
+            self._beta_local.append(
+                [beta[dist.points_of(r)] for r in range(dist.nranks)]
+            )
+
+    @property
+    def num_projectors(self) -> int:
+        return len(self.channels)
+
+    def projections(self, psi_locals: list[np.ndarray]) -> np.ndarray:
+        """<beta_p | psi> for every channel (one Allreduce per apply)."""
+        partial = np.zeros((self.comm.nprocs, self.num_projectors), dtype=complex)
+        for r, psi_r in enumerate(psi_locals):
+            for p, betas in enumerate(self._beta_local):
+                partial[r, p] = np.vdot(betas[r], psi_r)
+        reduced = self.comm.allreduce([partial[r] for r in range(self.comm.nprocs)])
+        return reduced[0]
+
+    def apply(self, psi_locals: list[np.ndarray]) -> list[np.ndarray]:
+        """V_nl |psi> as per-rank sphere slices."""
+        coeffs = self.projections(psi_locals)
+        out = [np.zeros_like(p) for p in psi_locals]
+        for p, ch in enumerate(self.channels):
+            amp = ch.strength * coeffs[p]
+            for r in range(self.comm.nprocs):
+                out[r] += amp * self._beta_local[p][r]
+        return out
+
+    def apply_work(self, name: str = "paratec.nonlocal") -> Work:
+        """Per-rank Work of one application (2 x nproj x ng_local zaxpy)."""
+        ng_local = self.dist.sphere.num_g / self.dist.nranks
+        flops = 16.0 * self.num_projectors * ng_local
+        return Work(
+            name=name,
+            flops=flops,
+            bytes_unit=16.0 * self.num_projectors * ng_local * 2,
+            blas3_fraction=1.0,
+            cache_fraction=0.8,
+        )
+
+
+def attach_nonlocal(hamiltonian, vnl: NonlocalPotential):
+    """Wrap a Hamiltonian's ``apply`` to include the nonlocal term.
+
+    Returns the same Hamiltonian object with a composed ``apply``; the
+    original local-only behaviour stays available as ``apply_local``.
+    """
+    if getattr(hamiltonian, "_nonlocal_attached", False):
+        raise ValueError("nonlocal term already attached")
+    local_apply = hamiltonian.apply
+
+    def apply_with_nonlocal(psi_locals):
+        out = local_apply(psi_locals)
+        extra = vnl.apply(psi_locals)
+        return [a + b for a, b in zip(out, extra)]
+
+    hamiltonian.apply_local = local_apply
+    hamiltonian.apply = apply_with_nonlocal
+    hamiltonian._nonlocal_attached = True
+    hamiltonian.nonlocal_term = vnl
+    return hamiltonian

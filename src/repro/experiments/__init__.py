@@ -1,0 +1,49 @@
+"""Experiment modules — one per table/figure of the paper's evaluation.
+
+Each module exposes ``run()`` (structured data) and ``render()`` (the
+printable table/figure).  The CLI lives in
+:mod:`repro.experiments.runner` (``repro-experiments``).
+"""
+
+from . import (  # noqa: F401
+    breakdown,
+    fig2,
+    fig3,
+    fig4,
+    fig8,
+    figviz,
+    modelcard,
+    paper_data,
+    roofline_view,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    validate,
+    whatif,
+)
+from .runner import EXPERIMENTS, main
+
+__all__ = [
+    "EXPERIMENTS",
+    "breakdown",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig8",
+    "figviz",
+    "modelcard",
+    "roofline_view",
+    "main",
+    "paper_data",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "validate",
+    "whatif",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` — same as the ``repro-experiments`` CLI."""
+
+import sys
+
+from .runner import main
+
+sys.exit(main())

@@ -1,0 +1,81 @@
+"""Shared rendering helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machines.catalog import get_machine
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One model-vs-paper comparison cell."""
+
+    machine: str
+    model_gflops: float
+    paper_gflops: float | None
+
+    @property
+    def model_pct(self) -> float:
+        return get_machine(self.machine).pct_of_peak(self.model_gflops)
+
+    @property
+    def paper_pct(self) -> float | None:
+        if self.paper_gflops is None:
+            return None
+        return get_machine(self.machine).pct_of_peak(self.paper_gflops)
+
+    @property
+    def ratio(self) -> float | None:
+        if self.paper_gflops in (None, 0.0):
+            return None
+        return self.model_gflops / self.paper_gflops
+
+
+def render_comparison(
+    title: str,
+    row_labels: list[str],
+    machines: list[str],
+    cells: dict[tuple[str, str], Cell],
+) -> str:
+    """Render a model|paper side-by-side table.
+
+    ``cells[(row_label, machine)]`` supplies each entry; missing cells
+    print as the paper's em-dash.
+    """
+    width = 17
+    lines = [title, ""]
+    header = f"{'row':<18}|"
+    for m in machines:
+        header += f" {m:^{width}} |"
+    lines.append(header)
+    sub = f"{'':<18}|"
+    for _ in machines:
+        sub += f" {'model  paper  r':^{width}} |"
+    lines.append(sub)
+    lines.append("-" * len(header))
+    for label in row_labels:
+        row = f"{label:<18}|"
+        for m in machines:
+            cell = cells.get((label, m))
+            if cell is None:
+                row += f" {'--':^{width}} |"
+            elif cell.paper_gflops is None:
+                row += f" {cell.model_gflops:5.2f} {'--':>6} {'':>4} |"
+            else:
+                row += (
+                    f" {cell.model_gflops:5.2f} {cell.paper_gflops:6.2f}"
+                    f" {cell.ratio:4.2f} |"
+                )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def mean_abs_deviation(cells: dict) -> float:
+    """Mean |model/paper - 1| over the cells with paper values."""
+    devs = [
+        abs(c.ratio - 1.0)
+        for c in cells.values()
+        if c is not None and c.ratio is not None
+    ]
+    return sum(devs) / len(devs) if devs else 0.0

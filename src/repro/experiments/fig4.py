@@ -1,0 +1,57 @@
+"""Figure 4 — FVCAM simulated days per wall-clock day."""
+
+from __future__ import annotations
+
+from ..apps.fvcam import TABLE3_ROWS, FVCAMScenario, simulated_days_per_day
+from . import paper_data
+
+MACHINES = ["Power3", "Itanium2", "X1", "X1E", "ES"]
+
+#: Machines with published Table 3 entries per scenario (others dashed).
+_PUBLISHED = {
+    (s.label, s.nprocs): set(paper_data.TABLE3.get((s.label, s.nprocs), {}))
+    for s in TABLE3_ROWS
+}
+
+
+def run() -> dict[str, list[tuple[str, int, float]]]:
+    """Per-machine [(config, P, simulated days/day), ...] series."""
+    out: dict[str, list[tuple[str, int, float]]] = {m: [] for m in MACHINES}
+    for scenario in TABLE3_ROWS:
+        for machine in MACHINES:
+            if machine not in _PUBLISHED.get(
+                (scenario.label, scenario.nprocs), set()
+            ):
+                continue
+            rate = simulated_days_per_day(machine, scenario)
+            out[machine].append((scenario.label, scenario.nprocs, rate))
+    return out
+
+
+def render() -> str:
+    data = run()
+    lines = [
+        "Figure 4: FVCAM simulated days per wall-clock day (model),",
+        "evaluated at the published Table 3 cells",
+        "",
+    ]
+    for machine, series in data.items():
+        if not series:
+            continue
+        lines.append(f"{machine}:")
+        for label, nprocs, rate in series:
+            lines.append(f"   {label:<7} P={nprocs:<5d} {rate:9.0f} days/day")
+    best = max(
+        (rate, m, p)
+        for m, series in data.items()
+        for _, p, rate in series
+    )
+    lines.append("")
+    lines.append(
+        f"fastest configuration: {best[1]} at P={best[2]} -> "
+        f"{best[0]:.0f} simulated days/day "
+        f"(paper: speedup over real time of over "
+        f"{paper_data.HEADLINES['fvcam_x1e_672_simdays']:.0f} on 672 "
+        "processors of the X1E)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""The paper's illustrative figures (1, 5, 6, 7), as ASCII renderings.
+
+These figures are physics products rather than measurements:
+
+* Figure 1 — an FVCAM storm ("produced solely through the chaos of the
+  atmospheric model"): we render the evolving column-height anomaly.
+* Figure 5 — the electrostatic potential of a GTC simulation, whole
+  volume and a poloidal cross-section with its "elongated eddies".
+* Figure 6 — LBMHD vorticity evolving "from well-defined tube-like
+  structures into turbulent structures".
+* Figure 7 — the conduction-band-minimum electron state of a CdSe dot:
+  we render the ground-state density of the PARATEC mini-cell.
+
+Each `run()` executes the real mini-app and returns the field; each
+`render()` prints it with a density ramp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simmpi import Communicator
+
+RAMP = " .:-=+*#%@"
+
+
+def ascii_field(field: np.ndarray, width: int = 64) -> str:
+    """Render a 2-D field with a linear density ramp (rows downsampled)."""
+    if field.ndim != 2:
+        raise ValueError("expected a 2-D field")
+    rows, cols = field.shape
+    col_step = max(1, cols // width)
+    row_step = max(1, rows // (width // 2))
+    sampled = field[::row_step, ::col_step]
+    lo, hi = float(sampled.min()), float(sampled.max())
+    span = hi - lo if hi > lo else 1.0
+    scaled = np.clip((sampled - lo) / span, 0.0, 1.0 - 1e-9)
+    idx = (scaled * len(RAMP)).astype(int)
+    return "\n".join("".join(RAMP[i] for i in row) for row in idx)
+
+
+# -- Figure 1: FVCAM storm ---------------------------------------------------
+
+
+def fig1_run(steps: int = 60) -> tuple[np.ndarray, np.ndarray]:
+    """(initial, evolved) column-height anomaly of an FVCAM run."""
+    from ..apps.fvcam import FVCAM, FVCAMParams, LatLonGrid
+
+    grid = LatLonGrid(im=48, jm=36, km=4)
+    sim = FVCAM(
+        FVCAMParams(grid=grid, py=4, pz=1, dt=120.0, bump_amplitude=150.0),
+        Communicator(4),
+    )
+
+    def anomaly() -> np.ndarray:
+        h, _, _ = sim.global_fields()
+        column = h.sum(axis=0)
+        return column - column.mean(axis=1, keepdims=True)
+
+    before = anomaly()
+    sim.run(steps)
+    return before, anomaly()
+
+
+# -- Figure 5: GTC electrostatic potential -------------------------------
+
+
+def fig5_run(steps: int = 8) -> np.ndarray:
+    """Poloidal cross-section of the GTC potential after some steps."""
+    from ..apps.gtc import GTC, GTCParams
+
+    sim = GTC(
+        GTCParams(mpsi=24, mtheta=48, ntoroidal=4, particles_per_cell=20),
+        Communicator(4),
+    )
+    sim.run(steps)
+    return sim.phi[0].copy()
+
+
+# -- Figure 6: LBMHD vorticity ------------------------------------------------
+
+
+def fig6_run(steps: int = 100) -> tuple[np.ndarray, np.ndarray]:
+    """(initial, evolved) vorticity magnitude in an xy-plane."""
+    from ..apps.lbmhd import LBMHD3D, LBMHDParams, moments, vorticity
+
+    sim = LBMHD3D(
+        LBMHDParams(shape=(32, 32, 8), tau=0.6, tau_m=0.6, u0=0.08, b0=0.08),
+        Communicator(8),
+    )
+
+    def slice_now() -> np.ndarray:
+        _, u, _ = moments(sim.global_state())
+        w = vorticity(u)
+        return np.sqrt((w**2).sum(axis=0))[:, :, 4]
+
+    before = slice_now()
+    sim.run(steps)
+    return before, slice_now()
+
+
+# -- Figure 7: PARATEC electron state ---------------------------------------
+
+
+def fig7_run() -> np.ndarray:
+    """Mid-plane slice of the converged ground-state density."""
+    from ..apps.paratec import Paratec, ParatecParams
+
+    solver = Paratec(ParatecParams(), Communicator(2))
+    solver.run()
+    rho = solver.density()
+    return rho[:, :, rho.shape[2] // 2]
+
+
+def run() -> dict[str, np.ndarray]:
+    f1_before, f1_after = fig1_run()
+    f6_before, f6_after = fig6_run()
+    return {
+        "fig1_before": f1_before,
+        "fig1_after": f1_after,
+        "fig5": fig5_run(),
+        "fig6_before": f6_before,
+        "fig6_after": f6_after,
+        "fig7": fig7_run(),
+    }
+
+
+def render() -> str:
+    data = run()
+    parts = [
+        "Illustrative figures (physics products of the mini-apps)",
+        "",
+        "Figure 1 analogue — FVCAM column-height anomaly, t = 0:",
+        ascii_field(data["fig1_before"]),
+        "",
+        "... after 60 steps (sheared and advected by the jet):",
+        ascii_field(data["fig1_after"]),
+        "",
+        "Figure 5 analogue — GTC electrostatic potential, poloidal plane",
+        "(rows = flux surfaces, columns = poloidal angle; eddies elongate",
+        "along theta):",
+        ascii_field(data["fig5"]),
+        "",
+        "Figure 6 analogue — LBMHD vorticity |curl u|, t = 0 (tubes):",
+        ascii_field(data["fig6_before"]),
+        "",
+        "... after 100 steps (distorted toward turbulence):",
+        ascii_field(data["fig6_after"]),
+        "",
+        "Figure 7 analogue — PARATEC ground-state density, mid-plane",
+        "(localized on the atoms):",
+        ascii_field(data["fig7"]),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,74 @@
+"""The paper's published numbers, transcribed table by table.
+
+Every experiment renders its model output side by side with these
+reference values, and EXPERIMENTS.md is generated from the comparison.
+Units: Gflop/s per processor ("Gflop/P").  X1-SSP entries are the
+aggregate of 4 SSPs, as printed in the paper.
+"""
+
+from __future__ import annotations
+
+#: Table 3 — FVCAM on the D mesh.  {(config, P): {machine: Gflop/P}}
+TABLE3: dict[tuple[str, int], dict[str, float]] = {
+    ("1D", 32): {"Power3": 0.12, "Itanium2": 0.40, "X1": 1.72, "X1E": 1.88, "ES": 1.33},
+    ("1D", 64): {"Power3": 0.12, "X1E": 1.67, "ES": 1.12},
+    ("1D", 128): {"Power3": 0.11, "ES": 0.81},
+    ("1D", 256): {"Power3": 0.10, "ES": 0.54},
+    ("2D-4v", 128): {"Power3": 0.11, "Itanium2": 0.33, "X1": 1.34, "X1E": 1.48, "ES": 1.01},
+    ("2D-4v", 256): {"Power3": 0.09, "Itanium2": 0.30, "X1": 1.05, "X1E": 1.19, "ES": 0.83},
+    ("2D-4v", 376): {"Itanium2": 0.27, "X1E": 0.99},
+    ("2D-4v", 512): {"Power3": 0.09, "ES": 0.57},
+    ("2D-7v", 336): {"Power3": 0.09, "Itanium2": 0.29, "X1": 0.96, "X1E": 1.09, "ES": 0.79},
+    ("2D-7v", 644): {"Itanium2": 0.23, "X1E": 0.71},
+    ("2D-7v", 672): {"Power3": 0.07, "X1E": 0.70, "ES": 0.56},
+    ("2D-7v", 896): {"Power3": 0.06, "ES": 0.44},
+    ("2D-7v", 1680): {"Power3": 0.05},
+}
+
+#: Table 4 — GTC, fixed 3.2M particles/processor.  {P: {machine: Gflop/P}}
+TABLE4: dict[int, dict[str, float]] = {
+    64: {"Power3": 0.14, "Itanium2": 0.39, "Opteron": 0.59, "X1": 1.29, "X1-SSP": 1.12, "ES": 1.60, "SX-8": 2.39},
+    128: {"Power3": 0.14, "Itanium2": 0.39, "Opteron": 0.59, "X1": 1.22, "X1-SSP": 1.00, "ES": 1.56, "SX-8": 2.28},
+    256: {"Power3": 0.14, "Itanium2": 0.38, "Opteron": 0.57, "X1": 1.17, "X1-SSP": 0.92, "ES": 1.55, "SX-8": 2.32},
+    512: {"Power3": 0.14, "Itanium2": 0.38, "Opteron": 0.51, "ES": 1.53},
+    1024: {"Power3": 0.14, "Itanium2": 0.37, "ES": 1.88},
+    2048: {"Power3": 0.13, "Itanium2": 0.37, "ES": 1.82},
+}
+
+#: Particles-per-cell labels of Table 4's rows.
+TABLE4_PPC: dict[int, int] = {64: 100, 128: 200, 256: 400, 512: 800, 1024: 1600, 2048: 3200}
+
+#: Table 5 — LBMHD3D.  {(grid, P): {machine: Gflop/P}}
+TABLE5: dict[tuple[int, int], dict[str, float]] = {
+    (256, 16): {"Power3": 0.14, "Itanium2": 0.26, "Opteron": 0.70, "X1": 5.19, "ES": 5.50, "SX-8": 7.89},
+    (256, 64): {"Power3": 0.15, "Itanium2": 0.35, "Opteron": 0.68, "X1": 5.24, "ES": 5.25, "SX-8": 8.10},
+    (512, 256): {"Power3": 0.14, "Itanium2": 0.32, "Opteron": 0.60, "X1": 5.26, "X1-SSP": 1.34 * 4, "ES": 5.45, "SX-8": 9.52},
+    (512, 512): {"Power3": 0.14, "Itanium2": 0.35, "Opteron": 0.59, "X1-SSP": 1.34 * 4, "ES": 5.21},
+    (1024, 1024): {"X1-SSP": 1.30 * 4, "ES": 5.44},
+    (1024, 2048): {"ES": 5.41},
+}
+
+#: Table 6 — PARATEC, 488-atom CdSe dot.  {P: {machine: Gflop/P}}
+TABLE6: dict[int, dict[str, float]] = {
+    64: {"Power3": 0.94, "X1": 4.25, "X1-SSP": 4.32, "SX-8": 7.91},
+    128: {"Power3": 0.93, "Itanium2": 2.84, "X1": 3.19, "X1-SSP": 3.72, "ES": 5.12, "SX-8": 7.53},
+    256: {"Power3": 0.85, "Itanium2": 2.63, "Opteron": 1.98, "X1": 3.05, "ES": 4.97, "SX-8": 6.81},
+    512: {"Power3": 0.73, "Itanium2": 2.44, "Opteron": 0.95, "ES": 4.36},
+    1024: {"Power3": 0.60, "Itanium2": 1.77, "ES": 3.64},
+    2048: {"ES": 2.67},
+}
+
+#: Headline aggregate claims from the abstract/conclusions.
+HEADLINES = {
+    "gtc_es_2048_tflops": 3.7,
+    "lbmhd_es_4800_tflops": 26.0,
+    "paratec_es_2048_tflops": 5.5,
+    "fvcam_x1e_672_simdays": 4200.0,
+    "lbmhd_es_pct_peak": 68.0,
+}
+
+
+def lookup(app: str, key, machine: str) -> float | None:
+    """Paper value for one cell; None when the paper has a dash."""
+    table = {"fvcam": TABLE3, "gtc": TABLE4, "lbmhd": TABLE5, "paratec": TABLE6}[app]
+    return table.get(key, {}).get(machine)

@@ -1,0 +1,90 @@
+"""CLI entry point: regenerate any table or figure of the paper.
+
+Usage::
+
+    repro-experiments              # everything
+    repro-experiments table5 fig8  # a selection
+    python -m repro.experiments table3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    fig2,
+    fig3,
+    fig4,
+    fig8,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    whatif,
+)
+from . import breakdown, figviz, modelcard, roofline_view, validate
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig8": fig8,
+    "whatif": whatif,
+    "breakdown": breakdown,
+    "validate": validate,
+    "figviz": figviz,
+    "modelcard": modelcard,
+    "roofline": roofline_view,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Leading Computational "
+            "Methods on Scalar and Vector HEC Platforms' (SC 2005)."
+        ),
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        choices=[*EXPERIMENTS, "all"],
+        default=["all"],
+        help="which experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        help="also write each experiment's output to DIR/<name>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.names else args.names
+    save_dir = None
+    if args.save:
+        import pathlib
+
+        save_dir = pathlib.Path(args.save)
+        save_dir.mkdir(parents=True, exist_ok=True)
+    for i, name in enumerate(names):
+        if i:
+            print("\n" + "=" * 78 + "\n")
+        text = EXPERIMENTS[name].render()
+        print(text)
+        if save_dir is not None:
+            (save_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

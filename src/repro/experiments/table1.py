@@ -1,0 +1,42 @@
+"""Table 1 — architectural highlights of the evaluated platforms."""
+
+from __future__ import annotations
+
+from ..machines.catalog import list_machines
+
+
+def run() -> list[dict]:
+    """One record per platform, mirroring Table 1's columns."""
+    rows = []
+    for m in list_machines():
+        if m.name == "X1-SSP":  # a mode of the X1, not a Table 1 row
+            continue
+        rows.append(
+            {
+                "Platform": m.name,
+                "Network": m.interconnect_name,
+                "CPU/Node": m.node.cpus_per_node,
+                "Clock (MHz)": m.clock_mhz,
+                "Peak (GF/s)": m.peak_gflops,
+                "Stream BW (GB/s/CPU)": m.stream_bw_gbs,
+                "Peak Stream (B/F)": round(m.bytes_per_flop, 2),
+                "MPI Lat (usec)": m.mpi_latency_us,
+                "MPI BW (GB/s/CPU)": m.mpi_bw_gbs,
+                "Topology": m.topology.value,
+            }
+        )
+    return rows
+
+
+def render() -> str:
+    rows = run()
+    cols = list(rows[0].keys())
+    widths = {
+        c: max(len(c), *(len(str(r[c])) for r in rows)) for c in cols
+    }
+    lines = ["Table 1: Architectural highlights (model catalog)", ""]
+    lines.append("  ".join(f"{c:>{widths[c]}}" for c in cols))
+    lines.append("-" * (sum(widths.values()) + 2 * (len(cols) - 1)))
+    for r in rows:
+        lines.append("  ".join(f"{str(r[c]):>{widths[c]}}" for c in cols))
+    return "\n".join(lines)

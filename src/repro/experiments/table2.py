@@ -1,0 +1,31 @@
+"""Table 2 — overview of the scientific applications."""
+
+from __future__ import annotations
+
+from ..apps.base import APPLICATIONS
+
+
+def run() -> list[dict]:
+    order = ["fvcam", "lbmhd", "paratec", "gtc"]  # the paper's row order
+    return [
+        {
+            "Name": APPLICATIONS[k].name,
+            "Lines": APPLICATIONS[k].lines,
+            "Discipline": APPLICATIONS[k].discipline,
+            "Methods": APPLICATIONS[k].methods,
+            "Structure": APPLICATIONS[k].structure,
+        }
+        for k in order
+    ]
+
+
+def render() -> str:
+    rows = run()
+    cols = list(rows[0].keys())
+    widths = {c: max(len(c), *(len(str(r[c])) for r in rows)) for c in cols}
+    lines = ["Table 2: Overview of scientific applications", ""]
+    lines.append("  ".join(f"{c:<{widths[c]}}" for c in cols))
+    lines.append("-" * (sum(widths.values()) + 2 * (len(cols) - 1)))
+    for r in rows:
+        lines.append("  ".join(f"{str(r[c]):<{widths[c]}}" for c in cols))
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Table 3 — FVCAM on the 0.5 x 0.625 degree D mesh."""
+
+from __future__ import annotations
+
+from ..apps.fvcam import TABLE3_ROWS, predict
+from . import paper_data
+from .common import Cell, mean_abs_deviation, render_comparison
+
+MACHINES = ["Power3", "Itanium2", "X1", "X1E", "ES"]
+
+
+def run() -> dict[tuple[str, str], Cell]:
+    """All Table 3 cells: model prediction vs paper measurement."""
+    cells: dict[tuple[str, str], Cell] = {}
+    for scenario in TABLE3_ROWS:
+        key = (scenario.label, scenario.nprocs)
+        label = f"{scenario.label} P={scenario.nprocs}"
+        paper_row = paper_data.TABLE3.get(key, {})
+        for machine in MACHINES:
+            result = predict(machine, scenario)
+            cells[(label, machine)] = Cell(
+                machine=machine,
+                model_gflops=result.gflops_per_proc,
+                paper_gflops=paper_row.get(machine),
+            )
+    return cells
+
+
+def row_labels() -> list[str]:
+    return [f"{s.label} P={s.nprocs}" for s in TABLE3_ROWS]
+
+
+def render() -> str:
+    cells = run()
+    body = render_comparison(
+        "Table 3: FVCAM Gflop/P, model vs paper (r = model/paper)",
+        row_labels(),
+        MACHINES,
+        cells,
+    )
+    dev = mean_abs_deviation(cells)
+    return body + f"\n\nmean |model/paper - 1| over published cells: {dev:.2f}"

@@ -1,0 +1,54 @@
+"""Table 4 — GTC at fixed 3.2M particles per processor."""
+
+from __future__ import annotations
+
+from ..apps.gtc import TABLE4_ROWS, predict
+from . import paper_data
+from .common import Cell, mean_abs_deviation, render_comparison
+
+MACHINES = ["Power3", "Itanium2", "Opteron", "X1", "X1-SSP", "ES", "SX-8"]
+
+
+def run() -> dict[tuple[str, str], Cell]:
+    cells: dict[tuple[str, str], Cell] = {}
+    for scenario in TABLE4_ROWS:
+        label = f"P={scenario.nprocs} ({scenario.particles_per_cell}/cell)"
+        paper_row = paper_data.TABLE4.get(scenario.nprocs, {})
+        for machine in MACHINES:
+            result = predict(machine, scenario)
+            gflops = result.gflops_per_proc
+            if machine == "X1-SSP":
+                gflops *= 4  # the paper reports 4-SSP aggregates
+            cells[(label, machine)] = Cell(
+                machine="X1" if machine == "X1-SSP" else machine,
+                model_gflops=gflops,
+                paper_gflops=paper_row.get(machine),
+            )
+    return cells
+
+
+def row_labels() -> list[str]:
+    return [
+        f"P={s.nprocs} ({s.particles_per_cell}/cell)" for s in TABLE4_ROWS
+    ]
+
+
+def render() -> str:
+    cells = run()
+    body = render_comparison(
+        "Table 4: GTC Gflop/P, model vs paper (X1-SSP = 4-SSP aggregate)",
+        row_labels(),
+        MACHINES,
+        cells,
+    )
+    dev = mean_abs_deviation(cells)
+    # headline: 2048-way ES aggregate
+    from ..apps.gtc import GTCScenario
+
+    es = predict("ES", GTCScenario(2048, 3200))
+    body += (
+        f"\n\nmean |model/paper - 1| over published cells: {dev:.2f}"
+        f"\nES @2048 aggregate: {es.aggregate_tflops:.1f} Tflop/s "
+        f"(paper: {paper_data.HEADLINES['gtc_es_2048_tflops']} Tflop/s)"
+    )
+    return body

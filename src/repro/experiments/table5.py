@@ -1,0 +1,52 @@
+"""Table 5 — LBMHD3D across grid sizes and concurrencies."""
+
+from __future__ import annotations
+
+from ..apps.lbmhd import ES_HEADLINE, TABLE5_ROWS, predict
+from . import paper_data
+from .common import Cell, mean_abs_deviation, render_comparison
+
+MACHINES = ["Power3", "Itanium2", "Opteron", "X1", "X1-SSP", "ES", "SX-8"]
+
+
+def run() -> dict[tuple[str, str], Cell]:
+    cells: dict[tuple[str, str], Cell] = {}
+    for scenario in TABLE5_ROWS:
+        key = (scenario.grid, scenario.nprocs)
+        label = f"{scenario.label} P={scenario.nprocs}"
+        paper_row = paper_data.TABLE5.get(key, {})
+        for machine in MACHINES:
+            result = predict(machine, scenario)
+            gflops = result.gflops_per_proc
+            if machine == "X1-SSP":
+                gflops *= 4
+            cells[(label, machine)] = Cell(
+                machine="X1" if machine == "X1-SSP" else machine,
+                model_gflops=gflops,
+                paper_gflops=paper_row.get(machine),
+            )
+    return cells
+
+
+def row_labels() -> list[str]:
+    return [f"{s.label} P={s.nprocs}" for s in TABLE5_ROWS]
+
+
+def render() -> str:
+    cells = run()
+    body = render_comparison(
+        "Table 5: LBMHD3D Gflop/P, model vs paper (X1-SSP = 4-SSP aggregate)",
+        row_labels(),
+        MACHINES,
+        cells,
+    )
+    dev = mean_abs_deviation(cells)
+    es = predict("ES", ES_HEADLINE)
+    body += (
+        f"\n\nmean |model/paper - 1| over published cells: {dev:.2f}"
+        f"\nES @4800 aggregate: {es.aggregate_tflops:.1f} Tflop/s at "
+        f"{es.pct_peak:.0f}% of peak (paper: >"
+        f"{paper_data.HEADLINES['lbmhd_es_4800_tflops']:.0f} Tflop/s at "
+        f"{paper_data.HEADLINES['lbmhd_es_pct_peak']:.0f}%)"
+    )
+    return body

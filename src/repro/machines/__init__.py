@@ -1,0 +1,73 @@
+"""Platform substrate: specs and timing models of the seven HEC systems.
+
+The paper's Table 1 (architectural highlights) lives in
+:mod:`repro.machines.catalog`; the timing behaviour derived from it in
+:mod:`repro.machines.processor`, :mod:`repro.machines.memory`, and
+:mod:`repro.machines.vector`.
+"""
+
+from .catalog import (
+    EARTH_SIMULATOR,
+    ITANIUM2,
+    MACHINES,
+    OPTERON,
+    PAPER_ORDER,
+    POWER3,
+    SX8,
+    WORD_BYTES,
+    X1,
+    X1_SSP,
+    X1E,
+    get_machine,
+    list_machines,
+)
+from .memory import MemoryModel
+from .processor import (
+    LOOP_REGISTER_DEMAND,
+    ProcessorModel,
+    SuperscalarModel,
+    VectorModel,
+    make_model,
+)
+from .spec import (
+    CacheSpec,
+    MachineSpec,
+    NetworkTopology,
+    NodeSpec,
+    ProcessorKind,
+    ScalarSpec,
+    VectorSpec,
+)
+from .vector import VectorPipelineModel, n_half, vector_efficiency
+
+__all__ = [
+    "CacheSpec",
+    "EARTH_SIMULATOR",
+    "ITANIUM2",
+    "LOOP_REGISTER_DEMAND",
+    "MACHINES",
+    "MachineSpec",
+    "MemoryModel",
+    "NetworkTopology",
+    "NodeSpec",
+    "OPTERON",
+    "PAPER_ORDER",
+    "POWER3",
+    "ProcessorKind",
+    "ProcessorModel",
+    "ScalarSpec",
+    "SuperscalarModel",
+    "SX8",
+    "VectorModel",
+    "VectorPipelineModel",
+    "VectorSpec",
+    "WORD_BYTES",
+    "X1",
+    "X1E",
+    "X1_SSP",
+    "get_machine",
+    "list_machines",
+    "make_model",
+    "n_half",
+    "vector_efficiency",
+]

@@ -1,0 +1,346 @@
+"""The seven evaluated platforms, parameterized from Table 1 of the paper.
+
+Numeric columns (clock, peak, STREAM triad bandwidth, MPI latency and
+bandwidth, topology, CPUs/node) are copied from Table 1.  The nested
+microarchitectural parameters come from the Section 2 prose: vector
+register counts and lengths, scalar-unit ratios, MSP/SSP organisation,
+memory technology (FPLRAM vs DDR2), Ecache, and the X1E's shared network
+ports.  A handful of efficiency constants (``issue_efficiency``,
+``gather_bw_fraction``, ``blas3_efficiency``) are fitted so the model
+lands in the paper's observed ranges; each is annotated with the paper
+statement that motivates it.
+
+Note on the Power3 peak: Table 1's printed peak column is garbled in the
+source text ("0.7"), but the prose states 1.5 Gflop/s and the printed
+bytes/flop ratio 0.26 = 0.4/1.5 confirms it, so 1.5 is used here.
+
+>>> from repro.machines import get_machine
+>>> get_machine("ES").peak_gflops
+8.0
+"""
+
+from __future__ import annotations
+
+from .spec import (
+    CacheSpec,
+    MachineSpec,
+    NetworkTopology,
+    NodeSpec,
+    ProcessorKind,
+    ScalarSpec,
+    VectorSpec,
+)
+
+#: Double-precision word size used for all bandwidth/volume computations.
+WORD_BYTES = 8
+
+POWER3 = MachineSpec(
+    name="Power3",
+    kind=ProcessorKind.SUPERSCALAR,
+    clock_mhz=375.0,
+    peak_gflops=1.5,
+    stream_bw_gbs=0.4,
+    mpi_latency_us=16.3,
+    mpi_bw_gbs=0.13,
+    topology=NetworkTopology.FAT_TREE,
+    interconnect_name="SP Switch2",
+    node=NodeSpec(cpus_per_node=16, memory_gib=32.0),
+    scalar=ScalarSpec(
+        has_fma=True,
+        simd_pairing_efficiency=1.0,
+        fp_in_l1=True,
+        # Cache-line-granular random access vs stream (PIC grids).
+        gather_bw_fraction=0.35,
+        # "the (relatively old) IBM Power3 ... consistently achieves a
+        # higher fraction of peak than the Itanium2" -- generous issue
+        # efficiency for its two FMA pipes.
+        issue_efficiency=0.32,
+    ),
+    caches=(
+        CacheSpec(level=1, size_kib=64, bandwidth_gbs=3.2),
+        CacheSpec(level=2, size_kib=8192, bandwidth_gbs=1.6),
+    ),
+    # ESSL FFT/BLAS3: PARATEC tops 62% of peak on this machine.
+    blas3_efficiency=0.90,
+    max_processors=6080,
+    notes="380-node IBM pSeries 'Seaborg', NERSC/LBNL.",
+)
+
+ITANIUM2 = MachineSpec(
+    name="Itanium2",
+    kind=ProcessorKind.SUPERSCALAR,
+    clock_mhz=1400.0,
+    peak_gflops=5.6,
+    stream_bw_gbs=1.1,
+    mpi_latency_us=3.0,
+    mpi_bw_gbs=0.25,
+    topology=NetworkTopology.FAT_TREE,
+    interconnect_name="Quadrics Elan4",
+    node=NodeSpec(cpus_per_node=4, memory_gib=8.0),
+    scalar=ScalarSpec(
+        has_fma=True,
+        simd_pairing_efficiency=1.0,
+        # "floating point values cannot be stored in the first level of
+        # cache" -- register spills and irregular accesses hurt badly.
+        fp_in_l1=False,
+        gather_bw_fraction=0.30,
+        issue_efficiency=0.22,
+    ),
+    caches=(
+        CacheSpec(level=1, size_kib=16, holds_fp=False, bandwidth_gbs=22.4),
+        CacheSpec(level=2, size_kib=256, bandwidth_gbs=11.2),
+        CacheSpec(level=3, size_kib=6144, bandwidth_gbs=6.0),
+    ),
+    blas3_efficiency=0.88,
+    max_processors=4096,
+    notes="1024-node 'Thunder', LLNL.",
+)
+
+OPTERON = MachineSpec(
+    name="Opteron",
+    kind=ProcessorKind.SUPERSCALAR,
+    clock_mhz=2200.0,
+    peak_gflops=4.4,
+    stream_bw_gbs=2.3,
+    mpi_latency_us=6.0,
+    mpi_bw_gbs=0.59,
+    topology=NetworkTopology.FAT_TREE,
+    interconnect_name="InfiniBand",
+    node=NodeSpec(cpus_per_node=2, memory_gib=6.0),
+    scalar=ScalarSpec(
+        # "the Opteron's performance can be limited for dense linear
+        # algebra ... due to its lack of FMA" and SSE pairing constraints.
+        has_fma=False,
+        simd_pairing_efficiency=0.70,
+        fp_in_l1=True,
+        # On-chip memory controller: low-latency irregular access
+        # (paper credits this for the GTC/LBMHD wins).
+        gather_bw_fraction=0.35,
+        issue_efficiency=0.30,
+    ),
+    caches=(
+        CacheSpec(level=1, size_kib=64, bandwidth_gbs=35.2),
+        CacheSpec(level=2, size_kib=1024, bandwidth_gbs=8.8),
+    ),
+    blas3_efficiency=0.62,
+    # "The Quadrics-based Itanium2 platform also shows better scaling
+    # characteristics at high concurrency than the InfiniBand-based
+    # Opteron system, for the global all-to-all communication patterns"
+    bisection_oversubscription=4.0,
+    max_processors=640,
+    notes="320 dual-socket nodes, 'Jacquard', NERSC/LBNL.",
+)
+
+X1 = MachineSpec(
+    name="X1",
+    kind=ProcessorKind.VECTOR,
+    clock_mhz=800.0,
+    peak_gflops=12.8,
+    stream_bw_gbs=14.9,
+    mpi_latency_us=7.1,
+    mpi_bw_gbs=6.3,
+    topology=NetworkTopology.HYPERCUBE_4D,
+    interconnect_name="Cray custom",
+    node=NodeSpec(cpus_per_node=4, memory_gib=16.0),
+    vector=VectorSpec(
+        # MSP mode: four ganged SSPs, each with 64-word registers; the
+        # natural multistreamed trip count is 4 x 64 = 256.
+        register_length=256,
+        num_registers=32,
+        num_pipes=2,
+        startup_cycles=110.0,
+        # Only one of the four SSP scalar cores is useful in a
+        # multistreamed serial section: 0.8 Gflop/s of 12.8 peak.
+        scalar_ratio=0.0625,
+        # Word-granular random read-modify-write rate vs STREAM: vector
+        # gathers pay per-element bank-busy time, not per-line.
+        gather_bw_fraction=0.070,
+        multistream_width=4,
+    ),
+    caches=(
+        CacheSpec(level=0, size_kib=2048, bandwidth_gbs=38.0, shared=True),
+    ),
+    # Smaller fraction of time in optimised libraries vectorises well:
+    # "on the X1 the code spends a much smaller percentage of the total
+    # time in highly optimized 3D FFTs and BLAS3 libraries".
+    blas3_efficiency=0.72,
+    max_processors=512,
+    notes="512-MSP system at ORNL (decommissioned July 2005).",
+)
+
+X1_SSP = MachineSpec(
+    name="X1-SSP",
+    kind=ProcessorKind.VECTOR,
+    clock_mhz=800.0,
+    peak_gflops=3.2,
+    stream_bw_gbs=14.9 / 4.0,
+    mpi_latency_us=7.1,
+    mpi_bw_gbs=6.3 / 4.0,
+    topology=NetworkTopology.HYPERCUBE_4D,
+    interconnect_name="Cray custom",
+    node=NodeSpec(cpus_per_node=16, memory_gib=16.0),
+    vector=VectorSpec(
+        register_length=64,
+        num_registers=32,
+        num_pipes=2,
+        startup_cycles=55.0,
+        # The SSP's own 400 MHz two-way scalar core: 0.8 of 3.2 Gflop/s,
+        # and in SSP mode *every* scalar unit participates.
+        scalar_ratio=0.25,
+        gather_bw_fraction=0.070,
+        multistream_width=1,
+    ),
+    caches=(
+        CacheSpec(level=0, size_kib=2048, bandwidth_gbs=38.0, shared=True),
+    ),
+    blas3_efficiency=0.72,
+    max_processors=2048,
+    notes="X1 run in single-streaming mode; report 4-SSP aggregates "
+    "against one MSP as the paper does.",
+)
+
+X1E = MachineSpec(
+    name="X1E",
+    kind=ProcessorKind.VECTOR,
+    clock_mhz=1130.0,
+    peak_gflops=18.0,
+    stream_bw_gbs=9.7,
+    mpi_latency_us=5.0,
+    mpi_bw_gbs=2.9,
+    topology=NetworkTopology.HYPERCUBE_4D,
+    interconnect_name="Cray custom",
+    # Doubled module density: two 4-MSP nodes share memory and ports.
+    node=NodeSpec(cpus_per_node=4, memory_gib=8.0, network_ports_shared_by=2),
+    vector=VectorSpec(
+        register_length=256,
+        num_registers=32,
+        num_pipes=2,
+        startup_cycles=110.0,
+        scalar_ratio=0.0625,
+        gather_bw_fraction=0.070,
+        multistream_width=4,
+    ),
+    caches=(
+        CacheSpec(level=0, size_kib=2048, bandwidth_gbs=54.0, shared=True),
+    ),
+    blas3_efficiency=0.72,
+    max_processors=768,
+    notes="768-MSP system at ORNL; 41% faster clock than X1 without a "
+    "commensurate memory-bandwidth increase.",
+)
+
+EARTH_SIMULATOR = MachineSpec(
+    name="ES",
+    kind=ProcessorKind.VECTOR,
+    clock_mhz=1000.0,
+    peak_gflops=8.0,
+    stream_bw_gbs=26.3,
+    mpi_latency_us=5.6,
+    mpi_bw_gbs=1.5,
+    topology=NetworkTopology.CROSSBAR,
+    interconnect_name="custom single-stage IN crossbar",
+    node=NodeSpec(cpus_per_node=8, memory_gib=16.0),
+    vector=VectorSpec(
+        register_length=256,
+        num_registers=72,
+        num_pipes=4,
+        startup_cycles=70.0,
+        scalar_ratio=0.125,
+        # Specialized FPLRAM: word-granular random access at ~1.4 GB/s
+        # (0.053 x STREAM) -- the highest gather rate *per flop* in the
+        # study, which is why ES leads GTC in %peak.
+        gather_bw_fraction=0.053,
+    ),
+    caches=(),
+    blas3_efficiency=0.90,
+    max_processors=5120,
+    notes="640 8-CPU nodes, JAMSTEC Yokohama; no remote access.",
+)
+
+SX8 = MachineSpec(
+    name="SX-8",
+    kind=ProcessorKind.VECTOR,
+    clock_mhz=2000.0,
+    peak_gflops=16.0,
+    stream_bw_gbs=41.0,
+    mpi_latency_us=5.0,
+    mpi_bw_gbs=2.0,
+    topology=NetworkTopology.CROSSBAR,
+    interconnect_name="NEC IXS",
+    node=NodeSpec(cpus_per_node=8, memory_gib=128.0),
+    vector=VectorSpec(
+        register_length=256,
+        num_registers=72,
+        num_pipes=4,
+        startup_cycles=70.0,
+        scalar_ratio=0.125,
+        # Commodity DDR2-SDRAM: "the speed for random memory accesses has
+        # not been scaled accordingly" -- word-granular gather only ~1.5x
+        # the ES's absolute rate despite twice the peak.
+        gather_bw_fraction=0.054,
+    ),
+    caches=(),
+    blas3_efficiency=0.85,
+    max_processors=576,
+    notes="36-node (later 72) system at HLRS Stuttgart; dedicated "
+    "divide/sqrt hardware vs the ES.",
+)
+
+#: All platform records, keyed by canonical name.
+MACHINES: dict[str, MachineSpec] = {
+    m.name: m
+    for m in (POWER3, ITANIUM2, OPTERON, X1, X1_SSP, X1E, EARTH_SIMULATOR, SX8)
+}
+
+#: The order used for table columns throughout the paper.
+PAPER_ORDER: tuple[str, ...] = (
+    "Power3",
+    "Itanium2",
+    "Opteron",
+    "X1",
+    "X1-SSP",
+    "X1E",
+    "ES",
+    "SX-8",
+)
+
+_ALIASES = {
+    "power3": "Power3",
+    "seaborg": "Power3",
+    "itanium2": "Itanium2",
+    "thunder": "Itanium2",
+    "opteron": "Opteron",
+    "jacquard": "Opteron",
+    "x1": "X1",
+    "x1-msp": "X1",
+    "x1 (msp)": "X1",
+    "x1-ssp": "X1-SSP",
+    "x1 (ssp)": "X1-SSP",
+    "x1e": "X1E",
+    "es": "ES",
+    "earth simulator": "ES",
+    "earth-simulator": "ES",
+    "sx8": "SX-8",
+    "sx-8": "SX-8",
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a platform by name (case-insensitive, aliases allowed).
+
+    >>> get_machine("earth simulator").name
+    'ES'
+    """
+    key = _ALIASES.get(name.strip().lower())
+    if key is None:
+        if name in MACHINES:
+            return MACHINES[name]
+        raise KeyError(
+            f"unknown machine {name!r}; known: {sorted(MACHINES)}"
+        )
+    return MACHINES[key]
+
+
+def list_machines() -> list[MachineSpec]:
+    """All platforms in the paper's column order."""
+    return [MACHINES[n] for n in PAPER_ORDER]

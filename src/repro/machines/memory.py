@@ -1,0 +1,104 @@
+"""Memory-hierarchy timing model.
+
+Charges time for the traffic described by a :class:`repro.workload.Work`
+record on a particular :class:`repro.machines.spec.MachineSpec`:
+
+* unit-stride traffic runs at the machine's measured EP-STREAM triad
+  bandwidth (Table 1), the paper's own choice of "a more accurate measure
+  of (unit-stride) memory performance than theoretical peak";
+* the cache-resident fraction of unit-stride traffic is served at the
+  bandwidth of the innermost cache that holds floating-point data (the
+  Itanium2's L1 does not, which is one of the paper's explanations for
+  its GTC/LBMHD behaviour), or at the X1's shared Ecache;
+* gather/scatter traffic is served at ``gather_bw_fraction`` of STREAM —
+  the axis on which the ES's FPLRAM beats the SX-8's DDR2-SDRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workload import Work
+from .spec import MachineSpec, ProcessorKind
+
+#: Fallback cache speed-up over main memory when a cache level reports no
+#: explicit bandwidth figure.
+_DEFAULT_CACHE_SPEEDUP = 4.0
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Time calculator for the memory traffic of one kernel."""
+
+    spec: MachineSpec
+
+    @property
+    def stream_bw(self) -> float:
+        """Unit-stride bandwidth in bytes/second."""
+        return self.spec.stream_bw_gbs * 1e9
+
+    @property
+    def gather_bw(self) -> float:
+        """Irregular (gather/scatter) bandwidth in bytes/second."""
+        if self.spec.kind is ProcessorKind.VECTOR:
+            frac = self.spec.vector.gather_bw_fraction
+        else:
+            frac = self.spec.scalar.gather_bw_fraction
+        return self.stream_bw * frac
+
+    @property
+    def cache_bw(self) -> float:
+        """Bandwidth (bytes/s) of the fastest FP-holding cache level.
+
+        Falls back to ``_DEFAULT_CACHE_SPEEDUP`` x STREAM on machines
+        whose cache specs carry no bandwidth figure, and to plain STREAM
+        on cacheless vector machines (ES, SX-8).
+        """
+        best = 0.0
+        for cache in self.spec.caches:
+            if not cache.holds_fp:
+                continue
+            bw = cache.bandwidth_gbs * 1e9
+            if bw <= 0.0:
+                bw = self.stream_bw * _DEFAULT_CACHE_SPEEDUP
+            best = max(best, bw)
+        return best if best > 0.0 else self.stream_bw
+
+    def has_cache(self) -> bool:
+        return any(c.holds_fp for c in self.spec.caches)
+
+    def traffic_time(self, work: Work) -> float:
+        """Seconds spent moving this kernel's data.
+
+        The cached fraction of unit-stride traffic is charged at cache
+        bandwidth; everything else at STREAM; gathers at the irregular
+        rate.  Streams are assumed not to overlap each other (they share
+        the same memory ports).
+        """
+        unit = work.unit_bytes_on(
+            superscalar=self.spec.kind is ProcessorKind.SUPERSCALAR
+        )
+        cached = unit * work.cache_fraction
+        streamed = unit - cached
+        t = streamed / self.stream_bw
+        if cached > 0.0:
+            t += cached / self.cache_bw if self.has_cache() else cached / self.stream_bw
+        if work.bytes_gather > 0.0:
+            # Gathers are cache-served only on the superscalar machines:
+            # vector gather/scatter bypasses the X1's Ecache and the PIC
+            # working sets (256 work-vector grid copies) exceed it anyway.
+            gather_cached = (
+                work.bytes_gather * work.gather_cache_fraction
+                if self.spec.kind is ProcessorKind.SUPERSCALAR
+                else 0.0
+            )
+            t += gather_cached / self.cache_bw
+            t += (work.bytes_gather - gather_cached) / self.gather_bw
+        return t
+
+    def effective_bandwidth(self, work: Work) -> float:
+        """Aggregate bytes/s achieved on this kernel's traffic mix."""
+        total = work.total_bytes
+        if total == 0.0:
+            return float("inf")
+        return total / self.traffic_time(work)

@@ -1,0 +1,165 @@
+"""Processor timing models: translate :class:`Work` into virtual seconds.
+
+Two families, mirroring the paper's platform split:
+
+* :class:`SuperscalarModel` — issue-limited compute rate overlapped with
+  the memory-hierarchy time (whichever is slower dominates), with FMA /
+  SIMD-pairing corrections and a separate library (BLAS3/vendor-FFT)
+  regime running near peak.
+* :class:`VectorModel` — Amdahl composition of a Hockney-model vector
+  portion (overlapped with memory, as vector loads are pipelined behind
+  arithmetic) and a scalar-unit remainder running at ``scalar_ratio`` of
+  peak.  Register spills in complex loop bodies add memory traffic.
+
+Both expose a single method, :meth:`ProcessorModel.time`, returning the
+virtual seconds one processor needs for a :class:`Work` record, and
+:meth:`ProcessorModel.sustained_gflops` for reporting.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..workload import Work
+from .memory import MemoryModel
+from .spec import MachineSpec, ProcessorKind
+from .vector import VectorPipelineModel, spill_traffic_multiplier
+
+
+class ProcessorModel(abc.ABC):
+    """Common interface for platform timing models."""
+
+    spec: MachineSpec
+
+    @abc.abstractmethod
+    def time(self, work: Work) -> float:
+        """Virtual seconds for one processor to execute ``work``."""
+
+    def sustained_gflops(self, work: Work) -> float:
+        """Sustained rate (Gflop/s) on this kernel."""
+        t = self.time(work)
+        if t <= 0.0:
+            return self.spec.peak_gflops
+        return work.flops / t / 1e9
+
+    def pct_peak(self, work: Work) -> float:
+        return 100.0 * self.sustained_gflops(work) / self.spec.peak_gflops
+
+
+@dataclass(frozen=True)
+class SuperscalarModel(ProcessorModel):
+    """Timing for the Power3 / Itanium2 / Opteron commodity processors."""
+
+    spec: MachineSpec
+
+    def __post_init__(self) -> None:
+        if self.spec.kind is not ProcessorKind.SUPERSCALAR:
+            raise ValueError(f"{self.spec.name} is not superscalar")
+
+    @property
+    def memory(self) -> MemoryModel:
+        return MemoryModel(self.spec)
+
+    def _issue_rate(self, work: Work) -> float:
+        """Achievable flop/s on well-fed, non-library loop code."""
+        s = self.spec.scalar
+        if s.has_fma:
+            # Flops outside multiply-add pairs single-issue at half rate.
+            fma_mult = work.fma_fraction + (1.0 - work.fma_fraction) * 0.5
+        else:
+            # Peak assumes SIMD operand pairing, which cannot always be
+            # satisfied (the paper's Opteron/SSE caveat).
+            fma_mult = s.simd_pairing_efficiency
+        return self.spec.peak_gflops * 1e9 * s.issue_efficiency * fma_mult
+
+    def time(self, work: Work) -> float:
+        lib_flops = work.flops * work.blas3_fraction
+        loop_flops = work.flops - lib_flops
+
+        t_lib = lib_flops / (self.spec.peak_gflops * 1e9 * self.spec.blas3_efficiency)
+
+        t_cpu = loop_flops / self._issue_rate(work) if loop_flops else 0.0
+        t_mem = self.memory.traffic_time(work)
+        # Out-of-order / prefetched execution overlaps compute with
+        # memory; the slower of the two dominates the loop regime.
+        return t_lib + max(t_cpu, t_mem)
+
+
+#: Vector-register demand assumed for loop bodies, by named complexity.
+LOOP_REGISTER_DEMAND = {
+    "simple": 12.0,
+    "moderate": 24.0,
+    "complex": 48.0,
+}
+
+
+@dataclass(frozen=True)
+class VectorModel(ProcessorModel):
+    """Timing for the X1/X1E (MSP or SSP mode), ES, and SX-8.
+
+    Parameters
+    ----------
+    loop_registers:
+        Vector-register demand of the dominant loop body; kernels may
+        override per-call via :meth:`time_with_registers`.
+    """
+
+    spec: MachineSpec
+    loop_registers: float = LOOP_REGISTER_DEMAND["moderate"]
+
+    def __post_init__(self) -> None:
+        if self.spec.kind is not ProcessorKind.VECTOR:
+            raise ValueError(f"{self.spec.name} is not a vector machine")
+
+    @property
+    def pipeline(self) -> VectorPipelineModel:
+        return VectorPipelineModel(self.spec)
+
+    @property
+    def memory(self) -> MemoryModel:
+        return MemoryModel(self.spec)
+
+    def time(self, work: Work) -> float:
+        return self.time_with_registers(work, self.loop_registers)
+
+    def time_with_registers(self, work: Work, loop_registers: float) -> float:
+        lib_flops = work.flops * work.blas3_fraction
+        loop_flops = work.flops - lib_flops
+        vec_flops = loop_flops * work.vector_fraction
+        scal_flops = loop_flops - vec_flops
+
+        t_lib = lib_flops / (self.spec.peak_gflops * 1e9 * self.spec.blas3_efficiency)
+
+        # --- vectorized portion: pipelined compute overlapped with memory
+        rate_vec = self.pipeline.sustained_gflops(work.avg_vector_length) * 1e9
+        t_vec_cpu = vec_flops / rate_vec if vec_flops else 0.0
+
+        spill = spill_traffic_multiplier(self.spec.vector, loop_registers)
+        spilled_work = Work(
+            name=work.name,
+            flops=work.flops,
+            bytes_unit=work.bytes_unit * spill,
+            bytes_gather=work.bytes_gather,
+            cache_fraction=work.cache_fraction,
+            avg_vector_length=work.avg_vector_length,
+        )
+        t_mem = self.memory.traffic_time(spilled_work)
+        t_vec = max(t_vec_cpu, t_mem)
+
+        # --- scalar remainder: unvectorized code crawls at scalar_ratio.
+        t_scal = (
+            scal_flops / (self.pipeline.scalar_gflops() * 1e9)
+            if scal_flops
+            else 0.0
+        )
+        return t_lib + t_vec + t_scal
+
+
+def make_model(spec: MachineSpec, loop_registers: float | None = None) -> ProcessorModel:
+    """Factory: the right :class:`ProcessorModel` for a platform."""
+    if spec.kind is ProcessorKind.VECTOR:
+        if loop_registers is None:
+            return VectorModel(spec)
+        return VectorModel(spec, loop_registers=loop_registers)
+    return SuperscalarModel(spec)

@@ -1,0 +1,102 @@
+"""Vector-pipeline timing: Hockney (r_inf, n_1/2) model.
+
+A pipelined vector unit approaches its asymptotic rate ``r_inf`` only for
+long vectors; for a loop of trip count ``n`` the sustained rate is
+
+    r(n) = r_inf * n / (n + n_half)
+
+where ``n_half`` is the half-performance length (Hockney, *The Science of
+Computer Benchmarking*).  ``n_half`` grows with pipeline depth and with
+the number of parallel pipes that must all be filled; multistreamed
+(X1 MSP) execution additionally quadruples the element count needed to
+saturate the unit.
+
+This is the mechanism behind two recurring observations in the paper:
+
+* FVCAM's %peak on the vector machines falls with concurrency because
+  the per-subdomain latitude count — the vectorized FFT batch width —
+  shrinks ("The vector platforms also suffer from a reduction in vector
+  lengths at increasing concurrencies for this fixed size problem").
+* Register spilling in complex loop bodies (LBMHD's collision on the
+  32-register X1) turns into extra memory traffic, modeled here as a
+  spill traffic multiplier derived from register pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import MachineSpec, VectorSpec
+
+#: Registers comfortably available to a "simple" vectorized loop body.
+_BASE_REGISTER_BUDGET = 16.0
+
+
+def n_half(vec: VectorSpec) -> float:
+    """Half-performance vector length for this unit.
+
+    Scaled from the architectural startup cost: each vector instruction
+    pays ``startup_cycles`` of dead time across ``num_pipes`` pipe sets;
+    eight pipeline stages' worth of that dead time must be amortized per
+    result element, and a multistreamed unit needs its full width of
+    streams in flight before any of them saturates.
+    """
+    base = vec.startup_cycles * vec.num_pipes / 8.0
+    return base * max(1, vec.multistream_width) / max(1, vec.multistream_width // 2 or 1)
+
+
+def vector_efficiency(vec: VectorSpec, avg_vl: float) -> float:
+    """Fraction of vector peak sustained at mean trip count ``avg_vl``."""
+    if avg_vl <= 0:
+        return 0.0
+    nh = n_half(vec)
+    return avg_vl / (avg_vl + nh)
+
+
+def spill_traffic_multiplier(vec: VectorSpec, loop_registers: float) -> float:
+    """Extra unit-stride traffic factor caused by vector-register spills.
+
+    ``loop_registers`` is the register demand of the loop body (the
+    LBMHD collision loop needs ~48 live vector temporaries).  Machines
+    with head-room (ES/SX-8: 72 registers) spill nothing; the X1's 32
+    registers spill the excess, and every spilled value is written and
+    re-read once per loop sweep.
+    """
+    demand = max(loop_registers, _BASE_REGISTER_BUDGET)
+    if demand <= vec.num_registers:
+        return 1.0
+    spilled = demand - vec.num_registers
+    # Each spilled register adds a store+load stream alongside the
+    # loop's nominal traffic, in proportion to its share of live values.
+    return 1.0 + 2.0 * spilled / demand
+
+
+@dataclass(frozen=True)
+class VectorPipelineModel:
+    """Per-machine convenience wrapper over the Hockney formulas."""
+
+    spec: MachineSpec
+
+    def __post_init__(self) -> None:
+        if self.spec.vector is None:
+            raise ValueError(f"{self.spec.name} has no vector unit")
+
+    @property
+    def n_half(self) -> float:
+        return n_half(self.spec.vector)
+
+    def efficiency(self, avg_vl: float) -> float:
+        return vector_efficiency(self.spec.vector, avg_vl)
+
+    def sustained_gflops(self, avg_vl: float) -> float:
+        """Vector-unit rate (Gflop/s) at a given mean trip count."""
+        return self.spec.peak_gflops * self.efficiency(avg_vl)
+
+    def scalar_gflops(self) -> float:
+        """Rate of the attached scalar unit(s) usable in serial sections.
+
+        In multistreamed (MSP) execution only one of the ganged scalar
+        cores does useful work, which is already folded into the
+        ``scalar_ratio`` of the MSP-mode spec.
+        """
+        return self.spec.peak_gflops * self.spec.vector.scalar_ratio

@@ -1,0 +1,34 @@
+"""Interconnect substrate: topologies, message costs, collectives."""
+
+from .collectives import CollectiveModel
+from .model import PER_HOP_SECONDS, NetworkModel
+from .protocols import (
+    CommProtocol,
+    best_protocol,
+    latency_factor,
+    supported_protocols,
+)
+from .topology import (
+    FatTree,
+    FullCrossbar,
+    Hypercube4D,
+    Topology,
+    Torus2D,
+    make_topology,
+)
+
+__all__ = [
+    "CollectiveModel",
+    "CommProtocol",
+    "best_protocol",
+    "FatTree",
+    "FullCrossbar",
+    "Hypercube4D",
+    "latency_factor",
+    "NetworkModel",
+    "PER_HOP_SECONDS",
+    "Topology",
+    "Torus2D",
+    "supported_protocols",
+    "make_topology",
+]

@@ -1,0 +1,114 @@
+"""Message-passing cost model (Hockney latency/bandwidth + topology).
+
+Point-to-point cost of an ``n``-byte message between two processors:
+
+    t = latency + hops * per_hop + n / bandwidth
+
+with the measured MPI latency and per-processor MPI bandwidth of
+Table 1, a small per-hop router delay, and two derating mechanisms:
+
+* **intra-node** messages skip the network (shared-memory copy at the
+  node's STREAM bandwidth);
+* the **X1E port sharing** halves effective bandwidth when the paired
+  nodes' processors communicate simultaneously (Table 1's footnote).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machines.spec import MachineSpec
+from .topology import Topology, make_topology
+
+#: Router traversal delay per hop, seconds.  Small relative to the MPI
+#: latencies of Table 1; matters only for multi-hop torus routes.
+PER_HOP_SECONDS = 5.0e-8
+
+
+@dataclass
+class NetworkModel:
+    """Cost model for one platform's interconnect at ``nprocs`` scale.
+
+    ``protocol`` selects the interprocessor communication implementation
+    (two-sided MPI by default); one-sided protocols reduce latency on
+    the platforms whose networks support them.
+    """
+
+    spec: MachineSpec
+    nprocs: int
+    protocol: "CommProtocol | None" = None
+    topology: Topology = field(init=False)
+
+    #: MSP count beyond which the X1 interconnect degrades to a 2-D
+    #: torus ("For more than 512 MSPs, the interconnect is a 2D torus").
+    X1_TORUS_THRESHOLD = 512
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        kind = self.spec.topology
+        from ..machines.spec import NetworkTopology
+
+        if (
+            kind is NetworkTopology.HYPERCUBE_4D
+            and self.nprocs > self.X1_TORUS_THRESHOLD
+        ):
+            kind = NetworkTopology.TORUS_2D
+        self.topology = make_topology(kind, self.num_nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        per = self.spec.node.cpus_per_node
+        return (self.nprocs + per - 1) // per
+
+    def node_of(self, rank: int) -> int:
+        if not 0 <= rank < self.nprocs:
+            raise IndexError(f"rank {rank} out of range ({self.nprocs})")
+        return rank // self.spec.node.cpus_per_node
+
+    @property
+    def latency_s(self) -> float:
+        factor = 1.0
+        if self.protocol is not None:
+            from .protocols import latency_factor
+
+            factor = latency_factor(self.spec, self.protocol)
+        return self.spec.mpi_latency_us * 1e-6 * factor
+
+    @property
+    def bandwidth_Bps(self) -> float:
+        bw = self.spec.mpi_bw_gbs * 1e9
+        # X1E: node pairs share network ports.
+        return bw / self.spec.node.network_ports_shared_by
+
+    def ptp_time(self, nbytes: float, src: int, dst: int) -> float:
+        """Seconds for one point-to-point message, rank to rank."""
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        if src == dst:
+            return 0.0
+        a, b = self.node_of(src), self.node_of(dst)
+        if a == b:
+            # Intra-node: a memory copy at STREAM speed, small latency.
+            return 1e-6 + nbytes / (self.spec.stream_bw_gbs * 1e9)
+        hops = self.topology.hops(a, b)
+        return (
+            self.latency_s
+            + hops * PER_HOP_SECONDS
+            + nbytes / self.bandwidth_Bps
+        )
+
+    def contention_factor(self, concurrent_cross_fraction: float = 1.0) -> float:
+        """Bandwidth derating when a dense pattern floods the bisection.
+
+        ``concurrent_cross_fraction`` is the fraction of processors whose
+        traffic crosses the network bisection simultaneously (1.0 for a
+        full transpose, ~0 for nearest-neighbor halos).
+        """
+        if not 0.0 <= concurrent_cross_fraction <= 1.0:
+            raise ValueError("fraction outside [0, 1]")
+        base = (
+            self.topology.bisection_contention()
+            * self.spec.bisection_oversubscription
+        )
+        return 1.0 + (base - 1.0) * concurrent_cross_fraction

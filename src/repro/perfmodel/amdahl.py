@@ -1,0 +1,69 @@
+"""Amdahl's-law composition for partially vectorized codes.
+
+"As described by Amdahl's Law, the time taken by the portions of the
+code that are non-vectorizable can dominate the execution time,
+significantly reducing the achieved computational rate."  These helpers
+make that arithmetic explicit and are used by tests, docs, and the
+experiment narratives; the processor models implement the same
+composition internally.
+"""
+
+from __future__ import annotations
+
+
+def effective_rate(
+    peak: float, vector_fraction: float, scalar_ratio: float
+) -> float:
+    """Sustained rate when a fraction of the work runs on a slow unit.
+
+    Parameters
+    ----------
+    peak:
+        Rate of the fast (vector) unit.
+    vector_fraction:
+        Fraction of the *work* executing on the fast unit.
+    scalar_ratio:
+        Slow-unit rate as a fraction of ``peak`` (1/8 on the ES/SX-8).
+
+    Returns the harmonic composition ``1 / (f/peak + (1-f)/(r*peak))``.
+    """
+    if not 0.0 <= vector_fraction <= 1.0:
+        raise ValueError("vector_fraction outside [0, 1]")
+    if peak <= 0 or scalar_ratio <= 0:
+        raise ValueError("rates must be positive")
+    denom = vector_fraction / peak + (1.0 - vector_fraction) / (
+        peak * scalar_ratio
+    )
+    return 1.0 / denom
+
+
+def speedup_limit(vector_fraction: float) -> float:
+    """Asymptotic speedup from vectorizing a fraction of the work."""
+    if not 0.0 <= vector_fraction <= 1.0:
+        raise ValueError("vector_fraction outside [0, 1]")
+    if vector_fraction == 1.0:
+        return float("inf")
+    return 1.0 / (1.0 - vector_fraction)
+
+
+def required_vector_fraction(
+    target_fraction_of_peak: float, scalar_ratio: float
+) -> float:
+    """Vector-operation ratio needed to sustain a target % of peak.
+
+    Inverts :func:`effective_rate`; e.g. sustaining 60% of peak with a
+    1/8-speed scalar unit demands ~92% vectorization — why the paper's
+    vectorization work (GTC work-vector deposition, FVCAM loop
+    restructuring) was decisive.
+    """
+    if not 0.0 < target_fraction_of_peak <= 1.0:
+        raise ValueError("target must be in (0, 1]")
+    if not 0.0 < scalar_ratio <= 1.0:
+        raise ValueError("scalar_ratio must be in (0, 1]")
+    if target_fraction_of_peak <= scalar_ratio:
+        return 0.0
+    # 1/t = f + (1-f)/r  (rates normalized to peak)  =>  solve for f.
+    r = scalar_ratio
+    t = target_fraction_of_peak
+    f = (1.0 / t - 1.0 / r) / (1.0 - 1.0 / r)
+    return min(1.0, max(0.0, f))

@@ -1,0 +1,106 @@
+"""Per-phase time breakdowns of the modeled application steps.
+
+The paper's analysis reasons about phases — "the computational work
+directly involving the particles accounts for almost 85% of the
+overhead", "much of the computation time (typically 60%) involves FFTs
+and BLAS3 routines", "the global data transposes ... account for the
+bulk of PARATEC's communication overhead".  This module evaluates the
+modeled time of every named compute kernel and communication operation
+of an application step, so those statements can be checked against the
+model (and are, in the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machines.catalog import get_machine
+from ..machines.processor import make_model
+from ..machines.spec import MachineSpec
+
+
+def _app_module(app: str):
+    if app == "lbmhd":
+        from ..apps.lbmhd import workload
+    elif app == "gtc":
+        from ..apps.gtc import workload
+    elif app == "paratec":
+        from ..apps.paratec import workload
+    elif app == "fvcam":
+        from ..apps.fvcam import workload
+    else:
+        raise KeyError(f"unknown app {app!r}")
+    return workload
+
+
+@dataclass
+class PhaseBreakdown:
+    """Modeled per-phase seconds for one (app, machine, scenario)."""
+
+    app: str
+    machine: str
+    compute: dict[str, float] = field(default_factory=dict)
+    comm: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(self.compute.values())
+
+    @property
+    def comm_seconds(self) -> float:
+        return sum(self.comm.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.comm_seconds
+
+    def fraction(self, phase: str) -> float:
+        """Share of the step spent in one named phase."""
+        t = self.compute.get(phase, self.comm.get(phase))
+        if t is None:
+            raise KeyError(
+                f"unknown phase {phase!r}; have "
+                f"{sorted(self.compute) + sorted(self.comm)}"
+            )
+        return t / self.total_seconds
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_seconds / self.total_seconds
+
+    def render(self) -> str:
+        lines = [
+            f"{self.app} on {self.machine}: modeled step breakdown",
+        ]
+        total = self.total_seconds
+        for name, t in sorted(
+            self.compute.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(
+                f"  compute  {name:<22} {t * 1e3:9.2f} ms  "
+                f"{100 * t / total:5.1f}%"
+            )
+        for name, t in sorted(self.comm.items(), key=lambda kv: -kv[1]):
+            lines.append(
+                f"  comm     {name:<22} {t * 1e3:9.2f} ms  "
+                f"{100 * t / total:5.1f}%"
+            )
+        lines.append(f"  total    {'':<22} {total * 1e3:9.2f} ms")
+        return "\n".join(lines)
+
+
+def phase_breakdown(
+    app: str, scenario, machine: str | MachineSpec
+) -> PhaseBreakdown:
+    """Evaluate every named phase of one application scenario."""
+    spec = machine if isinstance(machine, MachineSpec) else get_machine(machine)
+    workload = _app_module(app)
+    model = make_model(spec)
+    compute = {
+        name: model.time(work)
+        for name, work in workload.kernel_works(spec, scenario).items()
+    }
+    comm = dict(workload.comm_times(spec, scenario))
+    return PhaseBreakdown(
+        app=app, machine=spec.name, compute=compute, comm=comm
+    )

@@ -1,0 +1,118 @@
+"""Result records and paper-style table formatting.
+
+Every experiment produces :class:`PerfResult` rows — one per (machine,
+concurrency, configuration) cell of the paper's tables — and the
+formatters here render them in the Gflop/P + %peak layout the paper
+uses, so the benchmark harness output can be compared against the
+original tables line by line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machines.catalog import get_machine
+
+
+@dataclass(frozen=True)
+class PerfResult:
+    """One table cell: an application run on one machine at one scale."""
+
+    app: str
+    machine: str
+    nprocs: int
+    gflops_per_proc: float
+    config: str = ""
+    wall_seconds: float = 0.0
+    total_flops: float = 0.0
+
+    @property
+    def pct_peak(self) -> float:
+        return get_machine(self.machine).pct_of_peak(self.gflops_per_proc)
+
+    @property
+    def aggregate_gflops(self) -> float:
+        return self.gflops_per_proc * self.nprocs
+
+    @property
+    def aggregate_tflops(self) -> float:
+        return self.aggregate_gflops / 1000.0
+
+    def cell(self) -> str:
+        """'G.GG  PP.P' pair as printed in the paper's tables."""
+        return f"{self.gflops_per_proc:5.2f} {self.pct_peak:5.1f}"
+
+
+@dataclass
+class ResultTable:
+    """A collection of results rendered as a paper-style table.
+
+    Rows are labeled by (config, nprocs); columns by machine, each
+    machine contributing a ``Gflop/P`` and a ``%Pk`` subcolumn.
+    """
+
+    title: str
+    machines: list[str]
+    results: list[PerfResult] = field(default_factory=list)
+
+    def add(self, result: PerfResult) -> None:
+        self.results.append(result)
+
+    def row_keys(self) -> list[tuple[str, int]]:
+        seen: list[tuple[str, int]] = []
+        for r in self.results:
+            key = (r.config, r.nprocs)
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    def lookup(self, config: str, nprocs: int, machine: str) -> PerfResult | None:
+        for r in self.results:
+            if (r.config, r.nprocs, r.machine) == (config, nprocs, machine):
+                return r
+        return None
+
+    def render(self) -> str:
+        col_w = 14
+        lines = [self.title]
+        header = f"{'Config':<12}{'P':>6} |"
+        for m in self.machines:
+            header += f" {m:^{col_w}} |"
+        lines.append(header)
+        sub = f"{'':<12}{'':>6} |"
+        for _ in self.machines:
+            sub += f" {'Gflop/P  %Pk':^{col_w}} |"
+        lines.append(sub)
+        lines.append("-" * len(header))
+        for config, nprocs in self.row_keys():
+            row = f"{config:<12}{nprocs:>6} |"
+            for m in self.machines:
+                r = self.lookup(config, nprocs, m)
+                cell = r.cell() if r is not None else f"{'--':^11}"
+                row += f" {cell:^{col_w}} |"
+            lines.append(row)
+        return "\n".join(lines)
+
+    def best_machine(self, config: str, nprocs: int) -> str | None:
+        """Machine with the highest Gflop/P for a row (absolute winner)."""
+        best: PerfResult | None = None
+        for m in self.machines:
+            r = self.lookup(config, nprocs, m)
+            if r is not None and (best is None or r.gflops_per_proc > best.gflops_per_proc):
+                best = r
+        return best.machine if best else None
+
+
+def relative_to(results: list[PerfResult], reference_machine: str) -> dict[str, float]:
+    """Runtime speed of each machine relative to a reference (Figure 8).
+
+    Because every machine executes the same flop count, the ratio of
+    Gflop/P values *is* the inverse ratio of runtimes; the paper's
+    "absolute speed relative to ES" panel is exactly this quantity.
+    """
+    ref = next((r for r in results if r.machine == reference_machine), None)
+    if ref is None:
+        raise KeyError(f"no result for reference machine {reference_machine!r}")
+    return {
+        r.machine: r.gflops_per_proc / ref.gflops_per_proc for r in results
+    }

@@ -1,0 +1,82 @@
+"""Roofline-style analysis helpers over the processor models.
+
+The paper's recurring explanation for who-wins-where is architectural
+balance: STREAM bytes per peak flop (Table 1's "Peak Stream" column)
+against each code's computational intensity.  These helpers expose that
+analysis directly: attainable rate vs intensity, the ridge point where a
+machine turns from memory-bound to compute-bound, and a classification
+of a given kernel on a given machine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..machines.memory import MemoryModel
+from ..machines.processor import make_model
+from ..machines.spec import MachineSpec, ProcessorKind
+from ..machines.vector import vector_efficiency
+from ..workload import Work
+
+
+class Bound(enum.Enum):
+    COMPUTE = "compute-bound"
+    MEMORY = "memory-bound"
+    SCALAR = "scalar-bound"
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """Attainable-performance envelope of one platform."""
+
+    spec: MachineSpec
+
+    @property
+    def peak(self) -> float:
+        """Compute roof, Gflop/s."""
+        return self.spec.peak_gflops
+
+    @property
+    def stream_roof_slope(self) -> float:
+        """Memory roof slope: Gflop/s per (flop/byte) of intensity."""
+        return self.spec.stream_bw_gbs
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity (flops/byte) at which the two roofs intersect."""
+        return self.peak / self.stream_roof_slope
+
+    def attainable(self, intensity: float) -> float:
+        """Classic roofline: min(peak, BW x intensity), Gflop/s."""
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        return min(self.peak, self.stream_roof_slope * intensity)
+
+    def classify(self, work: Work) -> Bound:
+        """Which resource limits this kernel on this machine?"""
+        model = make_model(self.spec)
+        mem = MemoryModel(self.spec)
+        t_mem = mem.traffic_time(work)
+        t_total = model.time(work)
+        if self.spec.kind is ProcessorKind.VECTOR:
+            scal_flops = work.flops * (1 - work.blas3_fraction) * (
+                1 - work.vector_fraction
+            )
+            t_scal = scal_flops / (
+                self.peak * self.spec.vector.scalar_ratio * 1e9
+            )
+            if t_scal > 0.5 * t_total:
+                return Bound.SCALAR
+        return Bound.MEMORY if t_mem >= 0.5 * t_total else Bound.COMPUTE
+
+    def sustained(self, work: Work) -> float:
+        """Modeled sustained rate for a kernel, Gflop/s per processor."""
+        return make_model(self.spec).sustained_gflops(work)
+
+
+def vector_length_roof(spec: MachineSpec, avg_vl: float) -> float:
+    """Compute roof reduced by finite vector length (vector machines)."""
+    if spec.kind is not ProcessorKind.VECTOR:
+        return spec.peak_gflops
+    return spec.peak_gflops * vector_efficiency(spec.vector, avg_vl)

@@ -1,0 +1,16 @@
+"""Simulated message-passing runtime (in-process SPMD over NumPy)."""
+
+from .clock import VirtualClock
+from .comm import Communicator, Message, Request
+from .timeline import Event, Timeline
+from .tracing import CommTrace
+
+__all__ = [
+    "Communicator",
+    "CommTrace",
+    "Event",
+    "Message",
+    "Request",
+    "Timeline",
+    "VirtualClock",
+]

@@ -1,0 +1,509 @@
+"""In-process simulated MPI: SPMD over decomposed NumPy arrays.
+
+The four applications in :mod:`repro.apps` are written against this
+runtime exactly as they would be against mpi4py: rank-local arrays,
+point-to-point exchanges, subcommunicators, ``Allreduce`` and
+``Alltoallv``.  The difference is that all ranks live in one Python
+process — the communicator *actually moves the bytes* between rank-local
+buffers (so the numerics are exact and decomposition-independence is
+testable), while per-rank virtual clocks are advanced by the platform's
+processor, memory and network cost models.
+
+Passing ``machine=None`` yields an *ideal* communicator: data still
+moves and traces still record, but no time is charged — this is the mode
+the correctness tests run in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..machines.processor import ProcessorModel, make_model
+from ..machines.spec import MachineSpec
+from ..network.collectives import CollectiveModel
+from ..network.model import NetworkModel
+from ..workload import Work, WorkloadMeter
+from .clock import VirtualClock
+from .timeline import Timeline
+from .tracing import CommTrace
+
+_REDUCERS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+    "prod": np.multiply,
+}
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message: local src rank -> local dst rank."""
+
+    src: int
+    dst: int
+    payload: np.ndarray
+    tag: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.payload.nbytes)
+
+
+@dataclass
+class Request:
+    """Handle for a posted nonblocking send (completed by ``waitall``)."""
+
+    comm: "Communicator"
+    message: Message
+    done: bool = False
+    data: np.ndarray | None = None
+
+    def _complete(self, delivered: np.ndarray) -> None:
+        self.done = True
+        self.data = delivered
+
+    def test(self) -> bool:
+        return self.done
+
+
+class Communicator:
+    """A group of simulated ranks sharing clocks, trace, and cost models.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of ranks in (the world of) this communicator.
+    machine:
+        Platform whose cost models charge virtual time; ``None`` for an
+        ideal zero-cost network/processor (pure-numerics mode).
+    trace:
+        Record per-pair communication volumes (Figure 2 instrumentation).
+    timeline:
+        Record per-rank compute/comm/wait intervals (Gantt profiling).
+    loop_registers:
+        Register-demand hint forwarded to the vector processor model.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        machine: MachineSpec | None = None,
+        trace: bool = False,
+        timeline: bool = False,
+        loop_registers: float | None = None,
+    ) -> None:
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.machine = machine
+        self._ranks: list[int] = list(range(nprocs))
+        self._clock = VirtualClock(nprocs)
+        self._trace = CommTrace(nprocs) if trace else None
+        self._timeline = Timeline(nprocs) if timeline else None
+        self._meter = WorkloadMeter()
+        self._pending: list[Request] = []
+        self._world: Communicator = self
+        if machine is not None:
+            self._proc: ProcessorModel | None = make_model(
+                machine, loop_registers=loop_registers
+            )
+            self._net: NetworkModel | None = NetworkModel(machine, nprocs)
+            self._coll: CollectiveModel | None = CollectiveModel(self._net)
+        else:
+            self._proc = None
+            self._net = None
+            self._coll = None
+
+    # -- construction of subgroups ------------------------------------
+
+    @classmethod
+    def _subgroup(cls, world: "Communicator", ranks: list[int]) -> "Communicator":
+        sub = cls.__new__(cls)
+        sub.machine = world.machine
+        sub._ranks = list(ranks)
+        sub._clock = world._clock
+        sub._trace = world._trace
+        sub._timeline = world._timeline
+        sub._meter = world._meter
+        sub._pending = []
+        sub._proc = world._proc
+        sub._net = world._net
+        sub._coll = world._coll
+        sub._world = world._world
+        return sub
+
+    def split(self, colors: Sequence[int]) -> list["Communicator"]:
+        """Partition this communicator by color, as ``MPI_Comm_split``.
+
+        ``colors[i]`` is the color of local rank ``i``; returns one
+        subcommunicator per distinct color, ordered by color value.
+        Local ranks within each subgroup follow the parent's rank order.
+        """
+        if len(colors) != self.nprocs:
+            raise ValueError("need one color per rank")
+        groups: dict[int, list[int]] = {}
+        for local, color in enumerate(colors):
+            groups.setdefault(color, []).append(self._ranks[local])
+        return [
+            Communicator._subgroup(self._world, groups[c])
+            for c in sorted(groups)
+        ]
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def nprocs(self) -> int:
+        return len(self._ranks)
+
+    @property
+    def ranks(self) -> list[int]:
+        """Global rank ids of this communicator's members."""
+        return list(self._ranks)
+
+    @property
+    def trace(self) -> CommTrace | None:
+        return self._trace
+
+    @property
+    def timeline(self) -> Timeline | None:
+        return self._timeline
+
+    @property
+    def meter(self) -> WorkloadMeter:
+        return self._meter
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual wall-clock so far (slowest rank of the world)."""
+        return self._clock.elapsed
+
+    def time(self, local_rank: int) -> float:
+        return self._clock.time(self._ranks[local_rank])
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._clock.times[self._ranks]
+
+    def imbalance(self) -> float:
+        return self._clock.imbalance()
+
+    def _g(self, local_rank: int) -> int:
+        return self._ranks[local_rank]
+
+    # -- compute ---------------------------------------------------------
+
+    def compute(self, local_rank: int, work: Work) -> float:
+        """Charge one rank for a kernel; returns the seconds charged."""
+        self._meter.record(work)
+        if self._proc is None:
+            return 0.0
+        dt = self._proc.time(work)
+        g = self._g(local_rank)
+        t0 = self._clock.time(g)
+        self._clock.advance(g, dt)
+        if self._timeline is not None:
+            self._timeline.record(g, t0, t0 + dt, work.name, "compute")
+        return dt
+
+    def compute_all(self, work_per_rank: Sequence[Work]) -> float:
+        """Charge every rank its own work; returns the max time charged."""
+        if len(work_per_rank) != self.nprocs:
+            raise ValueError("need one Work per rank")
+        return max(self.compute(r, w) for r, w in enumerate(work_per_rank))
+
+    # -- point-to-point ----------------------------------------------------
+
+    def exchange(self, messages: Sequence[Message]) -> dict[int, list[np.ndarray]]:
+        """Execute a phase of point-to-point messages.
+
+        All messages are posted "simultaneously" (non-blocking), then
+        completed: each sender's clock advances by its serialized send
+        costs; each receiver's clock waits for the latest arrival.
+        Returns ``{dst_local_rank: [payload, ...]}`` in posting order.
+
+        Payloads are copied, so senders may reuse their buffers.
+        """
+        received: dict[int, list[np.ndarray]] = {}
+        depart_base = {m.src: self._clock.time(self._g(m.src)) for m in messages}
+        send_accum: dict[int, float] = {}
+        arrivals: dict[int, float] = {}
+
+        for m in messages:
+            if not (0 <= m.src < self.nprocs and 0 <= m.dst < self.nprocs):
+                raise IndexError(f"message rank out of range: {m.src}->{m.dst}")
+            if self._trace is not None:
+                self._trace.record(self._g(m.src), self._g(m.dst), m.nbytes)
+            received.setdefault(m.dst, []).append(np.array(m.payload, copy=True))
+            if self._net is None:
+                continue
+            cost = self._net.ptp_time(m.nbytes, self._g(m.src), self._g(m.dst))
+            send_accum[m.src] = send_accum.get(m.src, 0.0) + cost
+            arrival = depart_base[m.src] + send_accum[m.src]
+            arrivals[m.dst] = max(arrivals.get(m.dst, 0.0), arrival)
+
+        if self._net is not None:
+            for src, dt in send_accum.items():
+                g = self._g(src)
+                t0 = self._clock.time(g)
+                self._clock.advance(g, dt)
+                if self._timeline is not None:
+                    self._timeline.record(g, t0, t0 + dt, "send", "comm")
+            for dst, t_arr in arrivals.items():
+                g = self._g(dst)
+                wait = t_arr - self._clock.time(g)
+                if wait > 0:
+                    t0 = self._clock.time(g)
+                    self._clock.advance(g, wait)
+                    if self._timeline is not None:
+                        self._timeline.record(
+                            g, t0, t0 + wait, "recv", "wait"
+                        )
+        return received
+
+    def sendrecv(
+        self, src: int, dst: int, payload: np.ndarray
+    ) -> np.ndarray:
+        """Single message convenience wrapper around :meth:`exchange`."""
+        out = self.exchange([Message(src=src, dst=dst, payload=payload)])
+        return out[dst][0]
+
+    # -- nonblocking-style API -----------------------------------------
+
+    def isend(
+        self, src: int, dst: int, payload: np.ndarray, tag: int = 0
+    ) -> "Request":
+        """Post a message for a later :meth:`waitall` (MPI_Isend style).
+
+        The payload is captured (copied) at post time, so the sender
+        may immediately reuse its buffer — eager-protocol semantics.
+        """
+        req = Request(
+            comm=self,
+            message=Message(
+                src=src, dst=dst, payload=np.array(payload, copy=True), tag=tag
+            ),
+        )
+        self._pending.append(req)
+        return req
+
+    def waitall(self) -> dict[int, list[np.ndarray]]:
+        """Complete every pending :meth:`isend` as one exchange phase.
+
+        Returns the same ``{dst: [payload, ...]}`` map as
+        :meth:`exchange` and marks all requests complete (each request's
+        :attr:`Request.data` is filled for receives addressed to it).
+        """
+        pending = self._pending
+        self._pending = []
+        if not pending:
+            return {}
+        received = self.exchange([r.message for r in pending])
+        counters: dict[int, int] = {}
+        for req in pending:
+            i = counters.get(req.message.dst, 0)
+            counters[req.message.dst] = i + 1
+            req._complete(received[req.message.dst][i])
+        return received
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._pending)
+
+    # -- collectives ---------------------------------------------------------
+
+    def barrier(self) -> None:
+        cost = self._coll.barrier(self.nprocs) if self._coll else 0.0
+        self._timed_collective("barrier", cost)
+
+    def allreduce(
+        self, contributions: Sequence[np.ndarray], op: str = "sum"
+    ) -> list[np.ndarray]:
+        """All-reduce one array per rank; every rank receives the result.
+
+        Mirrors GTC's particle-subgroup ``Allreduce``: contributions are
+        combined elementwise with ``op`` and each rank gets a private
+        copy of the reduced array.
+        """
+        if len(contributions) != self.nprocs:
+            raise ValueError("need one contribution per rank")
+        reducer = _REDUCERS.get(op)
+        if reducer is None:
+            raise KeyError(f"unknown reduction {op!r}; have {sorted(_REDUCERS)}")
+        result = np.array(contributions[0], copy=True)
+        for arr in contributions[1:]:
+            if arr.shape != result.shape:
+                raise ValueError("allreduce contributions must share a shape")
+            result = reducer(result, arr)
+
+        self._record_butterfly(result.nbytes, kind="allreduce")
+        cost = (
+            self._coll.allreduce(result.nbytes, self.nprocs)
+            if self._coll
+            else 0.0
+        )
+        self._timed_collective("allreduce", cost)
+        return [result.copy() for _ in range(self.nprocs)]
+
+    def alltoallv(
+        self, sendbufs: Sequence[Sequence[np.ndarray]]
+    ) -> list[list[np.ndarray]]:
+        """Personalized all-to-all: ``sendbufs[i][j]`` goes from i to j.
+
+        Returns ``recv[j][i]`` — the PARATEC FFT transpose and the FVCAM
+        dynamics-to-remap transpose are both built on this.
+        """
+        p = self.nprocs
+        if len(sendbufs) != p or any(len(row) != p for row in sendbufs):
+            raise ValueError("sendbufs must be a PxP nested sequence")
+        recv: list[list[np.ndarray]] = [
+            [np.array(sendbufs[i][j], copy=True) for i in range(p)]
+            for j in range(p)
+        ]
+        total = 0.0
+        for i in range(p):
+            for j in range(p):
+                nbytes = sendbufs[i][j].nbytes
+                total += nbytes
+                if self._trace is not None and i != j:
+                    self._trace.record(self._g(i), self._g(j), nbytes, "alltoall")
+        cost = 0.0
+        if self._coll is not None and p > 1:
+            cost = self._coll.alltoall(total / (p * p), p)
+        self._timed_collective("alltoall", cost)
+        return recv
+
+    def allgather(
+        self, contributions: Sequence[np.ndarray]
+    ) -> list[list[np.ndarray]]:
+        """Every rank receives every rank's contribution (in rank order)."""
+        if len(contributions) != self.nprocs:
+            raise ValueError("need one contribution per rank")
+        nbytes = sum(int(c.nbytes) for c in contributions)
+        if self._trace is not None:
+            self._record_butterfly(nbytes / max(self.nprocs, 1), "allgather")
+        cost = 0.0
+        if self._coll is not None and self.nprocs > 1:
+            # ring allgather: (p-1) rounds of one block each
+            alpha, beta = self._coll._alpha_beta()
+            per_block = nbytes / self.nprocs
+            cost = (self.nprocs - 1) * (alpha + per_block * beta)
+        self._timed_collective("allgather", cost)
+        return [
+            [np.array(c, copy=True) for c in contributions]
+            for _ in range(self.nprocs)
+        ]
+
+    def reduce_scatter(
+        self, contributions: Sequence[np.ndarray], op: str = "sum"
+    ) -> list[np.ndarray]:
+        """Element-wise reduce, then scatter equal blocks by rank.
+
+        Each rank contributes a full-length array and receives the
+        reduced values of its own 1/P block (flattened views; the block
+        split follows ``np.array_split`` semantics).
+        """
+        if len(contributions) != self.nprocs:
+            raise ValueError("need one contribution per rank")
+        reducer = _REDUCERS.get(op)
+        if reducer is None:
+            raise KeyError(f"unknown reduction {op!r}; have {sorted(_REDUCERS)}")
+        total = np.array(contributions[0], copy=True)
+        for arr in contributions[1:]:
+            if arr.shape != total.shape:
+                raise ValueError("contributions must share a shape")
+            total = reducer(total, arr)
+        blocks = np.array_split(total.ravel(), self.nprocs)
+
+        if self._trace is not None:
+            self._record_butterfly(total.nbytes / self.nprocs, "reduce_scatter")
+        cost = 0.0
+        if self._coll is not None and self.nprocs > 1:
+            # half the allreduce: log p rounds, n bytes total
+            cost = 0.5 * self._coll.allreduce(total.nbytes, self.nprocs)
+        self._timed_collective("reduce_scatter", cost)
+        return [b.copy() for b in blocks]
+
+    def scan(
+        self, contributions: Sequence[np.ndarray], op: str = "sum"
+    ) -> list[np.ndarray]:
+        """Inclusive prefix reduction: rank r gets reduce(ranks 0..r)."""
+        if len(contributions) != self.nprocs:
+            raise ValueError("need one contribution per rank")
+        reducer = _REDUCERS.get(op)
+        if reducer is None:
+            raise KeyError(f"unknown reduction {op!r}; have {sorted(_REDUCERS)}")
+        out: list[np.ndarray] = []
+        acc: np.ndarray | None = None
+        for arr in contributions:
+            acc = (
+                np.array(arr, copy=True)
+                if acc is None
+                else reducer(acc, arr)
+            )
+            out.append(acc.copy())
+        if self._trace is not None and self.nprocs > 1:
+            for r in range(self.nprocs - 1):
+                self._trace.record(
+                    self._g(r), self._g(r + 1), contributions[0].nbytes, "scan"
+                )
+        cost = 0.0
+        if self._coll is not None and self.nprocs > 1:
+            cost = self._coll.allreduce(contributions[0].nbytes, self.nprocs)
+        self._timed_collective("scan", cost)
+        return out
+
+    def gather(self, contributions: Sequence[np.ndarray], root: int = 0) -> list[np.ndarray]:
+        """Gather one array per rank onto ``root`` (returned as a list)."""
+        if len(contributions) != self.nprocs:
+            raise ValueError("need one contribution per rank")
+        nbytes = sum(int(c.nbytes) for c in contributions)
+        if self._trace is not None:
+            for i, c in enumerate(contributions):
+                if i != root:
+                    self._trace.record(self._g(i), self._g(root), c.nbytes, "gather")
+        cost = 0.0
+        if self._coll is not None and self.nprocs > 1:
+            cost = self._coll.broadcast(nbytes / self.nprocs, self.nprocs)
+        self._timed_collective("gather", cost)
+        return [np.array(c, copy=True) for c in contributions]
+
+    def _timed_collective(self, label: str, cost: float) -> None:
+        """Synchronize the group (wait) then charge a collective (comm)."""
+        if self._timeline is not None:
+            pre = {g: self._clock.time(g) for g in self._ranks}
+        t_sync = self._clock.synchronize(self._ranks)
+        if self._timeline is not None:
+            for g in self._ranks:
+                self._timeline.record(g, pre[g], t_sync, label, "wait")
+        if cost > 0:
+            self._clock.advance_group(self._ranks, cost)
+            if self._timeline is not None:
+                for g in self._ranks:
+                    self._timeline.record(
+                        g, t_sync, t_sync + cost, label, "comm"
+                    )
+
+    # -- internals ---------------------------------------------------------
+
+    def _record_butterfly(self, nbytes: float, kind: str) -> None:
+        """Trace the recursive-doubling pattern of a collective."""
+        if self._trace is None or self.nprocs == 1:
+            return
+        p = self.nprocs
+        step = 1
+        while step < p:
+            for i in range(p):
+                j = i ^ step
+                if j < p and i < j:
+                    self._trace.record(self._g(i), self._g(j), nbytes, kind)
+                    self._trace.record(self._g(j), self._g(i), nbytes, kind)
+            step <<= 1
+
+    def reset_clock(self) -> None:
+        self._clock.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mach = self.machine.name if self.machine else "ideal"
+        return f"Communicator(nprocs={self.nprocs}, machine={mach})"

@@ -1,0 +1,230 @@
+"""Machine-independent description of computational work.
+
+A :class:`Work` record is the contract between the application layer and
+the architecture models: applications (or their analytic workload
+generators) describe *what* a kernel does — how many flops, how many
+bytes at unit stride, how many bytes through gather/scatter, how
+vectorizable it is and at what trip counts — and the processor models in
+:mod:`repro.machines.processor` translate that into virtual time on a
+particular platform.
+
+The fields are exactly the axes along which the paper explains its
+results: computational intensity (flops/byte), vector-operation ratio,
+average vector length, irregular-access share, and library (BLAS3/FFT)
+fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Work:
+    """One kernel invocation's worth of computational work.
+
+    Attributes
+    ----------
+    name:
+        Kernel label, e.g. ``"lbmhd.collision"``; used in traces/reports.
+    flops:
+        Useful double-precision floating-point operations.
+    bytes_unit:
+        Bytes moved to/from memory with unit (or small constant) stride —
+        the traffic STREAM-like bandwidth applies to.
+    bytes_gather:
+        Bytes moved via indexed gather/scatter (PIC charge deposition,
+        table lookups); charged at the machine's irregular-access rate.
+    vector_fraction:
+        Fraction of ``flops`` inside vectorizable / multistreamable inner
+        loops.  The remainder runs on the scalar unit of a vector machine.
+    avg_vector_length:
+        Mean trip count of the vectorized inner loops.  Short loops pay
+        vector startup; this is the quantity FVCAM's per-latitude FFTs
+        starve at high concurrency.
+    blas3_fraction:
+        Fraction of ``flops`` spent in vendor dense-linear-algebra or
+        library-FFT kernels, charged at the machine's ``blas3_efficiency``
+        instead of the loop model (PARATEC: ~0.6).
+    fma_fraction:
+        Fraction of ``flops`` pairable into fused multiply-adds; machines
+        without FMA lose on the unpaired remainder.
+    cache_fraction:
+        Fraction of ``bytes_unit`` expected to be served from cache
+        (temporal reuse).  Vector machines other than the X1's Ecache
+        have no cache and ignore this.
+    scalar_bytes_unit:
+        Optional unit-stride traffic override applied on *cache-based*
+        (superscalar) machines.  The paper's codes use different data
+        layouts per architecture family, and cache machines additionally
+        pay write-allocate fills and multi-pass sweeps; kernels whose
+        cache-machine traffic genuinely differs set this.  ``None``
+        means "same as ``bytes_unit``".
+    gather_cache_fraction:
+        Fraction of ``bytes_gather`` served from cache on cache-based
+        machines (e.g. a PIC grid that fits in L2: accesses are random
+        but not DRAM-resident).  Cacheless vector machines ignore it.
+    """
+
+    name: str
+    flops: float
+    bytes_unit: float = 0.0
+    bytes_gather: float = 0.0
+    scalar_bytes_unit: float | None = None
+    gather_cache_fraction: float = 0.0
+    vector_fraction: float = 1.0
+    avg_vector_length: float = 256.0
+    blas3_fraction: float = 0.0
+    fma_fraction: float = 1.0
+    cache_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_unit < 0 or self.bytes_gather < 0:
+            raise ValueError(f"negative work in {self.name!r}")
+        if self.scalar_bytes_unit is not None and self.scalar_bytes_unit < 0:
+            raise ValueError(f"negative scalar traffic in {self.name!r}")
+        for fld in (
+            "vector_fraction",
+            "blas3_fraction",
+            "fma_fraction",
+            "cache_fraction",
+            "gather_cache_fraction",
+        ):
+            v = getattr(self, fld)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{fld}={v} outside [0, 1] in {self.name!r}")
+        if self.avg_vector_length < 1.0:
+            raise ValueError(
+                f"avg_vector_length must be >= 1 in {self.name!r}"
+            )
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_unit + self.bytes_gather
+
+    @property
+    def intensity(self) -> float:
+        """Computational intensity in flops per byte (inf if no traffic)."""
+        if self.total_bytes == 0:
+            return float("inf")
+        return self.flops / self.total_bytes
+
+    def scaled(self, factor: float) -> "Work":
+        """Return the same kernel shape with flops and traffic scaled.
+
+        Intensive properties (fractions, vector length) are preserved;
+        extensive ones (flops, bytes) multiply.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return replace(
+            self,
+            flops=self.flops * factor,
+            bytes_unit=self.bytes_unit * factor,
+            bytes_gather=self.bytes_gather * factor,
+            scalar_bytes_unit=(
+                None
+                if self.scalar_bytes_unit is None
+                else self.scalar_bytes_unit * factor
+            ),
+        )
+
+    def unit_bytes_on(self, superscalar: bool) -> float:
+        """Unit-stride traffic as seen by one machine family."""
+        if superscalar and self.scalar_bytes_unit is not None:
+            return self.scalar_bytes_unit
+        return self.bytes_unit
+
+    def combined(self, other: "Work", name: str | None = None) -> "Work":
+        """Merge two kernels into one aggregate record.
+
+        Extensive quantities add; fractional properties are flop-weighted
+        averages; the average vector length is the flop-weighted harmonic
+        mean (time at fixed rate-per-element is what averages linearly).
+        """
+        total_flops = self.flops + other.flops
+        if total_flops == 0:
+            w_self = 0.5
+        else:
+            w_self = self.flops / total_flops
+        w_other = 1.0 - w_self
+
+        def wavg(a: float, b: float) -> float:
+            return w_self * a + w_other * b
+
+        inv_vl = (
+            w_self / self.avg_vector_length + w_other / other.avg_vector_length
+        )
+        scalar_sum = (
+            None
+            if self.scalar_bytes_unit is None and other.scalar_bytes_unit is None
+            else (
+                (self.scalar_bytes_unit if self.scalar_bytes_unit is not None else self.bytes_unit)
+                + (other.scalar_bytes_unit if other.scalar_bytes_unit is not None else other.bytes_unit)
+            )
+        )
+        return Work(
+            name=name or f"{self.name}+{other.name}",
+            flops=total_flops,
+            bytes_unit=self.bytes_unit + other.bytes_unit,
+            bytes_gather=self.bytes_gather + other.bytes_gather,
+            scalar_bytes_unit=scalar_sum,
+            vector_fraction=wavg(self.vector_fraction, other.vector_fraction),
+            avg_vector_length=1.0 / inv_vl if inv_vl > 0 else 256.0,
+            blas3_fraction=wavg(self.blas3_fraction, other.blas3_fraction),
+            fma_fraction=wavg(self.fma_fraction, other.fma_fraction),
+            cache_fraction=(
+                (
+                    self.cache_fraction * self.bytes_unit
+                    + other.cache_fraction * other.bytes_unit
+                )
+                / (self.bytes_unit + other.bytes_unit)
+                if (self.bytes_unit + other.bytes_unit) > 0
+                else 0.0
+            ),
+        )
+
+
+def combine(works: list[Work], name: str = "aggregate") -> Work:
+    """Fold a list of :class:`Work` records into one aggregate record."""
+    if not works:
+        return Work(name=name, flops=0.0)
+    acc = works[0]
+    for w in works[1:]:
+        acc = acc.combined(w)
+    return replace(acc, name=name)
+
+
+@dataclass
+class WorkloadMeter:
+    """Accumulates instrumented :class:`Work` while an application runs.
+
+    Application kernels call :meth:`record` with the work they just
+    performed; tests compare the accumulated totals against the analytic
+    workload generators used for paper-scale predictions.
+    """
+
+    records: list[Work] | None = None
+
+    def __post_init__(self) -> None:
+        if self.records is None:
+            self.records = []
+
+    def record(self, work: Work) -> None:
+        self.records.append(work)
+
+    def total(self, name: str = "total") -> Work:
+        return combine(self.records, name=name)
+
+    def total_flops(self) -> float:
+        return sum(w.flops for w in self.records)
+
+    def by_kernel(self) -> dict[str, Work]:
+        """Aggregate recorded work grouped by kernel name."""
+        groups: dict[str, list[Work]] = {}
+        for w in self.records:
+            groups.setdefault(w.name, []).append(w)
+        return {k: combine(v, name=k) for k, v in groups.items()}
+
+    def reset(self) -> None:
+        self.records.clear()

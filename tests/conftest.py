@@ -1,0 +1,26 @@
+"""Shared fixtures for the reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines import list_machines
+from repro.simmpi import Communicator
+
+
+@pytest.fixture(params=[m.name for m in list_machines()])
+def machine_name(request) -> str:
+    """Every platform of Table 1, one at a time."""
+    return request.param
+
+
+@pytest.fixture
+def ideal_comm4() -> Communicator:
+    """A 4-rank communicator with no cost models (pure numerics)."""
+    return Communicator(4)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20050512)

@@ -1,0 +1,149 @@
+"""Tests for the experiment modules that regenerate tables and figures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    fig3,
+    fig4,
+    fig8,
+    paper_data,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.common import mean_abs_deviation
+
+
+class TestTable1:
+    def test_seven_platforms(self):
+        rows = table1.run()
+        assert len(rows) == 7
+        assert [r["Platform"] for r in rows] == [
+            "Power3", "Itanium2", "Opteron", "X1", "X1E", "ES", "SX-8",
+        ]
+
+    def test_render_contains_key_numbers(self):
+        text = table1.render()
+        assert "26.3" in text  # ES stream bandwidth
+        assert "4d-hypercube" in text
+
+
+class TestTable2:
+    def test_four_applications(self):
+        rows = table2.run()
+        assert [r["Name"] for r in rows] == [
+            "FVCAM", "LBMHD3D", "PARATEC", "GTC",
+        ]
+
+    def test_render(self):
+        assert "gyrophase-averaged Vlasov-Poisson" in table2.render()
+
+
+@pytest.mark.parametrize(
+    "module,threshold",
+    [(table3, 0.30), (table4, 0.15), (table5, 0.15), (table6, 0.25)],
+)
+def test_tables_reproduce_paper_within_band(module, threshold):
+    """The mean relative deviation from the published cells is small."""
+    cells = module.run()
+    assert mean_abs_deviation(cells) < threshold
+
+
+@pytest.mark.parametrize("module", [table3, table4, table5, table6])
+def test_tables_cover_all_published_cells(module):
+    cells = module.run()
+    published = [c for c in cells.values() if c.paper_gflops is not None]
+    assert len(published) >= 20
+
+
+class TestFig3:
+    def test_series_decline(self):
+        data = fig3.run()
+        for machine, series in data.items():
+            assert series[0][1] > series[-1][1]
+
+    def test_es_leads(self):
+        data = fig3.run()
+        for k in range(len(fig3.SERIES)):
+            best = max(data, key=lambda m: data[m][k][1])
+            assert best == "ES"
+
+    def test_render(self):
+        assert "ES" in fig3.render()
+
+
+class TestFig4:
+    def test_rates_positive_and_x1e_peaks(self):
+        data = fig4.run()
+        best = max(
+            (rate, m) for m, series in data.items() for _, _, rate in series
+        )
+        assert best[1] == "X1E"
+        assert best[0] == pytest.approx(
+            paper_data.HEADLINES["fvcam_x1e_672_simdays"], rel=0.25
+        )
+
+    def test_only_published_cells_evaluated(self):
+        data = fig4.run()
+        n_points = sum(len(s) for s in data.values())
+        n_published = sum(len(v) for v in paper_data.TABLE3.values())
+        assert n_points == n_published
+
+
+class TestFig8:
+    def test_structure(self):
+        data = fig8.run()
+        assert set(data) == {"fvcam", "gtc", "lbmhd", "paratec"}
+        assert "Opteron" not in data["fvcam"]  # unavailable in the paper
+        assert "Opteron" in data["gtc"]
+
+    def test_es_normalization(self):
+        data = fig8.run()
+        for app in data:
+            assert data[app]["ES"]["relative_to_es"] == pytest.approx(1.0)
+
+    def test_es_highest_pct_everywhere(self):
+        data = fig8.run()
+        for app, rows in data.items():
+            best = max(rows, key=lambda m: rows[m]["pct_peak"])
+            assert best == "ES", app
+
+    def test_sx8_fastest_absolute_on_three_apps(self):
+        # "The SX-8 does achieve the highest per-processor performance
+        # for LBMHD3D, GTC, and PARATEC"
+        data = fig8.run()
+        for app in ("gtc", "lbmhd", "paratec"):
+            rows = data[app]
+            best = max(rows, key=lambda m: rows[m]["gflops"])
+            assert best == "SX-8", app
+
+
+class TestRunnerRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "fig2", "fig3", "fig4", "fig8", "whatif", "breakdown", "validate",
+            "figviz", "modelcard", "roofline",
+        }
+
+    @pytest.mark.parametrize(
+        "name", ["table1", "table2", "table3", "table4", "table5", "table6",
+                 "fig3", "fig4", "fig8"]
+    )
+    def test_render_produces_text(self, name):
+        text = EXPERIMENTS[name].render()
+        assert isinstance(text, str) and len(text) > 100
+
+    def test_cli_main(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "LBMHD3D" in out

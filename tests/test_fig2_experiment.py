@@ -1,0 +1,63 @@
+"""Tests for the Figure 2 communication-volume experiment (traced runs).
+
+Separated from the other experiment tests because it executes two real
+64-rank FVCAM runs (a few seconds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig2
+
+
+@pytest.fixture(scope="module")
+def result() -> fig2.Fig2Result:
+    return fig2.run()
+
+
+class TestFig2Structure:
+    def test_1d_is_nearest_neighbor(self, result):
+        """Figure 2(a): 'a straightforward nearest neighbor pattern'."""
+        offsets = result.offdiagonal_offsets("1d")
+        assert offsets == [1]
+
+    def test_2d_diagonals_segmented(self, result):
+        """Figure 2(b): diagonal segments of length py, gaps at domain
+        boundaries (rank py-1 never talks to rank py)."""
+        m = result.volume_2d
+        py = fig2.NPROCS // 4
+        assert m[py - 1, py] == 0.0
+        assert m[0, 1] > 0.0
+
+    def test_2d_has_vertical_lines(self, result):
+        """The Pz-1 lines parallel to the diagonal at offsets of py."""
+        offsets = result.offdiagonal_offsets("2d")
+        py = fig2.NPROCS // 4
+        for k in (py, 2 * py, 3 * py):
+            assert k in offsets
+
+    def test_2d_vertical_volume_smaller(self, result):
+        """Vertical communications 'are of a considerably lesser volume'."""
+        m = result.volume_2d
+        py = fig2.NPROCS // 4
+        halo = np.mean([m[i, i + 1] for i in range(py - 1)])
+        vert = np.mean([m[i, i + py] for i in range(py)])
+        assert vert < halo
+
+    def test_2d_total_volume_reduced(self, result):
+        """'total volume of communication in the 2D decomposition is
+        significantly reduced compared with the 1D approach'."""
+        assert result.reduction > 1.0
+
+    def test_2d_more_partners(self, result):
+        """The 2D pattern is 'decidedly nonlocal' — more communicating
+        pairs than 1D."""
+        assert result.nonzero_pairs("2d") > result.nonzero_pairs("1d")
+
+    def test_matrices_are_symmetric_in_support(self, result):
+        for m in (result.volume_1d, result.volume_2d):
+            src, dst = np.nonzero(m)
+            for s, d in zip(src, dst):
+                assert m[d, s] > 0.0

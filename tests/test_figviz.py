@@ -1,0 +1,51 @@
+"""Tests for the illustrative-figure generators (Figures 1, 5, 6, 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import figviz
+
+
+class TestAsciiField:
+    def test_shape_and_ramp(self):
+        field = np.linspace(0, 1, 64).reshape(8, 8)
+        art = figviz.ascii_field(field, width=8)
+        lines = art.splitlines()
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert figviz.RAMP[0] in art and figviz.RAMP[-1] in art
+
+    def test_constant_field_safe(self):
+        art = figviz.ascii_field(np.ones((4, 4)))
+        assert set("".join(art.splitlines())) <= set(figviz.RAMP)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            figviz.ascii_field(np.zeros((2, 2, 2)))
+
+
+class TestFigureGenerators:
+    def test_fig1_storm_evolves(self):
+        before, after = figviz.fig1_run(steps=10)
+        assert before.shape == after.shape
+        assert not np.allclose(before, after)
+        # anomalies stay zonally de-meaned
+        np.testing.assert_allclose(after.mean(axis=1), 0.0, atol=1e-8)
+
+    def test_fig5_potential_structured(self):
+        phi = figviz.fig5_run(steps=2)
+        assert phi.shape == (24, 48)
+        assert np.isfinite(phi).all()
+        assert phi.std() > 0  # turbulent-ish, not flat
+
+    def test_fig6_vorticity_distorts(self):
+        before, after = figviz.fig6_run(steps=30)
+        assert np.isfinite(after).all()
+        assert not np.allclose(before, after)
+
+    def test_fig7_density_localized(self):
+        rho = figviz.fig7_run()
+        assert (rho >= -1e-12).all()
+        # localized: the peak well above the mean
+        assert rho.max() > 3.0 * rho.mean()

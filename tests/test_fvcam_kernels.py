@@ -1,0 +1,170 @@
+"""Tests for FVCAM's transport operators, polar filter, and remap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.apps.fvcam import (
+    LatLonGrid,
+    advect,
+    advect_vanleer,
+    apply_polar_filter,
+    damping_coefficients,
+    geopotential,
+    remap_column,
+    upwind_flux,
+    vanleer_flux,
+)
+
+GRID = LatLonGrid(im=24, jm=19, km=4)
+
+
+class TestTransportOperators:
+    def test_constant_preserved_periodic(self):
+        q = np.full(16, 3.5)
+        c = np.full(16, 0.4)
+        out = advect_vanleer(q, c, periodic=True)
+        np.testing.assert_allclose(out, 3.5, atol=1e-14)
+
+    def test_mass_conserved_periodic(self, rng):
+        q = rng.random(32)
+        c = 0.8 * (rng.random(32) - 0.5)
+        out = advect_vanleer(q, c, periodic=True)
+        assert out.sum() == pytest.approx(q.sum(), rel=1e-13)
+
+    def test_mass_conserved_walls(self, rng):
+        q = rng.random(32)
+        c = 0.8 * (rng.random(32) - 0.5)
+        out = advect_vanleer(q, c, periodic=False)
+        assert out.sum() == pytest.approx(q.sum(), rel=1e-13)
+
+    def test_upwind_translation(self):
+        # courant = 1 exactly translates the field by one cell
+        q = np.zeros(16)
+        q[5] = 1.0
+        out = advect(q, upwind_flux(q, np.ones(16)), periodic=True)
+        assert out[6] == pytest.approx(1.0)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_vanleer_monotone(self, rng):
+        # monotone data stays monotone (limiter property) for c >= 0
+        q = np.sort(rng.random(32))
+        c = np.full(32, 0.4)
+        out = advect_vanleer(q, c, periodic=False)
+        interior = out[2:-2]
+        assert (np.diff(interior) > -1e-12).all()
+
+    def test_vanleer_reduces_to_upwind_at_extrema(self):
+        q = np.zeros(16)
+        q[8] = 1.0  # isolated extremum: slope limited to zero
+        c = np.full(16, 0.3)
+        vl = vanleer_flux(q, c, periodic=True)
+        uw = upwind_flux(q, c, periodic=True)
+        np.testing.assert_allclose(vl, uw, atol=1e-14)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        q=arrays(np.float64, 24, elements=st.floats(0.1, 10.0)),
+        c0=st.floats(-0.9, 0.9),
+    )
+    def test_conservation_property(self, q, c0):
+        c = np.full(24, c0)
+        out = advect_vanleer(q, c, periodic=True)
+        assert out.sum() == pytest.approx(q.sum(), rel=1e-10)
+
+    def test_negative_courant_upwind_direction(self):
+        q = np.zeros(16)
+        q[5] = 1.0
+        out = advect(q, upwind_flux(q, -np.ones(16)), periodic=True)
+        assert out[4] == pytest.approx(1.0)
+
+
+class TestPolarFilter:
+    def test_zonal_mean_preserved(self, rng):
+        field = rng.random((GRID.km, GRID.jm, GRID.im))
+        out = apply_polar_filter(GRID, field)
+        np.testing.assert_allclose(
+            out.mean(axis=-1), field.mean(axis=-1), atol=1e-13
+        )
+
+    def test_equatorial_rows_untouched(self, rng):
+        field = rng.random((GRID.km, GRID.jm, GRID.im))
+        out = apply_polar_filter(GRID, field)
+        untouched = np.setdiff1d(np.arange(GRID.jm), GRID.filtered_rows)
+        np.testing.assert_array_equal(
+            out[:, untouched, :], field[:, untouched, :]
+        )
+
+    def test_damps_high_wavenumbers_at_pole_rows(self):
+        field = np.zeros((1, GRID.jm, GRID.im))
+        m = GRID.im // 2 - 1
+        field[0, :, :] = np.cos(m * GRID.longitudes)[None, :]
+        out = apply_polar_filter(GRID, field)
+        polar = GRID.filtered_rows[0]
+        assert np.abs(out[0, polar]).max() < np.abs(field[0, polar]).max()
+
+    def test_coefficients_bounded(self):
+        coefs = damping_coefficients(GRID)
+        assert (coefs >= 0).all() and (coefs <= 1).all()
+        np.testing.assert_allclose(coefs[:, 0], 1.0)
+
+    def test_idempotent_on_fully_damped_modes(self, rng):
+        field = rng.random((1, GRID.jm, GRID.im))
+        once = apply_polar_filter(GRID, field)
+        twice = apply_polar_filter(GRID, once)
+        # applying twice damps at most as much again (no amplification)
+        assert np.abs(twice).max() <= np.abs(once).max() + 1e-12
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            apply_polar_filter(GRID, np.zeros((4, 4)))
+
+
+class TestGeopotential:
+    def test_suffix_sum(self):
+        h = np.ones((3, 2, 2))
+        phi = geopotential(h, gravity=10.0)
+        np.testing.assert_allclose(phi[0], 30.0)
+        np.testing.assert_allclose(phi[2], 10.0)
+
+
+class TestRemap:
+    def test_column_mass_conserved(self, rng):
+        h = 1.0 + rng.random((4, 5, 6))
+        u = rng.standard_normal((4, 5, 6))
+        h2, (u2,) = remap_column(h, [u])
+        np.testing.assert_allclose(
+            h2.sum(axis=0), h.sum(axis=0), rtol=1e-13
+        )
+
+    def test_mass_weighted_field_conserved(self, rng):
+        h = 1.0 + rng.random((4, 5, 6))
+        u = rng.standard_normal((4, 5, 6))
+        h2, (u2,) = remap_column(h, [u])
+        np.testing.assert_allclose(
+            (h2 * u2).sum(axis=0), (h * u).sum(axis=0), rtol=1e-12
+        )
+
+    def test_target_layers_uniform(self, rng):
+        h = 1.0 + rng.random((4, 3, 3))
+        h2, _ = remap_column(h, [])
+        np.testing.assert_allclose(
+            h2, np.broadcast_to(h2[0:1], h2.shape), rtol=1e-13
+        )
+
+    def test_uniform_column_is_fixed_point(self):
+        h = np.full((4, 2, 2), 2.0)
+        u = np.arange(16.0).reshape(4, 2, 2)
+        h2, (u2,) = remap_column(h, [u])
+        np.testing.assert_allclose(h2, h, rtol=1e-14)
+        np.testing.assert_allclose(u2, u, rtol=1e-13)
+
+    def test_rejects_nonpositive_thickness(self):
+        h = np.ones((3, 2, 2))
+        h[1, 0, 0] = 0.0
+        with pytest.raises(ValueError):
+            remap_column(h, [])

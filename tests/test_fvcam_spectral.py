@@ -1,0 +1,211 @@
+"""Tests for the Eulerian spectral-transform dynamical core option."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.fvcam.eulerian import (
+    EulerianCore,
+    eulerian_step_work,
+    rossby_haurwitz_rate,
+)
+from repro.apps.fvcam.spectral import (
+    SpharmTransform,
+    gauss_latitudes,
+    legendre_functions,
+)
+
+LMAX = 10
+
+
+@pytest.fixture(scope="module")
+def transform() -> SpharmTransform:
+    return SpharmTransform(lmax=LMAX, nlat=16)
+
+
+def random_bandlimited(t: SpharmTransform, seed=0, lcap=None) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    c = np.zeros(t.spectral_shape(), dtype=complex)
+    lcap = lcap or t.lmax
+    for m in range(lcap + 1):
+        for l in range(m, lcap + 1):
+            c[l, m] = rng.standard_normal() + 1j * rng.standard_normal() * (
+                m > 0
+            )
+    return c
+
+
+class TestQuadratureAndLegendre:
+    def test_gauss_weights_integrate_polynomials(self):
+        mu, w = gauss_latitudes(8)
+        # exact for degree <= 15
+        for k in (0, 2, 6, 14):
+            assert (w * mu**k).sum() == pytest.approx(2.0 / (k + 1))
+        assert (w * mu**3).sum() == pytest.approx(0.0, abs=1e-14)
+
+    def test_legendre_orthonormal(self):
+        mu, w = gauss_latitudes(20)
+        p = legendre_functions(8, mu)
+        for m in range(5):
+            for l1 in range(m, 9):
+                for l2 in range(m, 9):
+                    val = (w * p[l1, m] * p[l2, m]).sum()
+                    want = 1.0 if l1 == l2 else 0.0
+                    assert val == pytest.approx(want, abs=1e-12)
+
+    def test_high_m_zero_below_diagonal(self):
+        mu, _ = gauss_latitudes(8)
+        p = legendre_functions(4, mu)
+        assert np.all(p[1, 3] == 0.0)
+
+
+class TestTransform:
+    def test_roundtrip_exact_for_bandlimited(self, transform):
+        c = random_bandlimited(transform, seed=1)
+        c2 = transform.analysis(transform.synthesis(c))
+        np.testing.assert_allclose(c2, c, atol=1e-12)
+
+    def test_constant_field(self, transform):
+        grid = np.full(transform.grid_shape, 3.0)
+        c = transform.analysis(grid)
+        # all in the l=0, m=0 mode
+        total = np.abs(c).sum()
+        assert abs(c[0, 0]) == pytest.approx(total, rel=1e-12)
+        np.testing.assert_allclose(transform.synthesis(c), 3.0, atol=1e-12)
+
+    def test_laplacian_eigenfunction(self, transform):
+        c = np.zeros(transform.spectral_shape(), dtype=complex)
+        c[5, 3] = 1.0
+        g = transform.synthesis(c)
+        lap = transform.synthesis(transform.laplacian(transform.analysis(g)))
+        np.testing.assert_allclose(lap, -30.0 * g, atol=1e-10)
+
+    def test_inverse_laplacian_inverts(self, transform):
+        c = random_bandlimited(transform, seed=2)
+        c[0, 0] = 0.0
+        back = transform.laplacian(transform.inverse_laplacian(c))
+        np.testing.assert_allclose(back, c, atol=1e-12)
+
+    def test_mu_derivative_of_y10(self, transform):
+        c = np.zeros(transform.spectral_shape(), dtype=complex)
+        c[1, 0] = 1.0
+        g = transform.synthesis_mu_derivative(c)
+        want = np.sqrt(1.5) * (1.0 - transform.mu**2)
+        np.testing.assert_allclose(
+            g, np.broadcast_to(want[:, None], g.shape), atol=1e-12
+        )
+
+    def test_dlambda_of_zonal_field_vanishes(self, transform):
+        c = np.zeros(transform.spectral_shape(), dtype=complex)
+        c[3, 0] = 2.0
+        np.testing.assert_allclose(
+            transform.synthesis_dlambda(c), 0.0, atol=1e-13
+        )
+
+    def test_grid_validation(self, transform):
+        with pytest.raises(ValueError):
+            transform.analysis(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            SpharmTransform(lmax=10, nlat=5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(l=st.integers(min_value=1, max_value=LMAX))
+    def test_parseval_per_mode(self, transform, l):
+        c = np.zeros(transform.spectral_shape(), dtype=complex)
+        c[l, 0] = 1.0
+        grid = transform.synthesis(c)
+        # quadrature of the squared field over the sphere (per 2pi):
+        quad = (transform.weights @ (grid**2)) / transform.nlon
+        assert quad.sum() == pytest.approx(1.0, rel=1e-10)
+
+
+class TestEulerianDynamics:
+    def make_core(self, **kw) -> EulerianCore:
+        t = SpharmTransform(lmax=12, nlat=20, radius=6.371e6)
+        return EulerianCore(transform=t, **kw)
+
+    def test_solid_body_rotation_is_steady(self):
+        core = self.make_core()
+        core.zeta[1, 0] = 1e-5
+        np.testing.assert_allclose(
+            core.tendency(core.zeta), 0.0, atol=1e-20
+        )
+
+    def test_rest_state_stays_at_rest(self):
+        core = self.make_core()
+        core.run(5, 600.0)
+        assert np.abs(core.zeta).max() == 0.0
+
+    def test_rossby_haurwitz_dispersion(self):
+        core = self.make_core()
+        l, m = 4, 2
+        core.zeta[l, m] = 1e-5
+        dt, steps = 900.0, 48
+        phase0 = np.angle(core.zeta[l, m])
+        core.run(steps, dt)
+        dphase = np.angle(core.zeta[l, m]) - phase0
+        measured_rate = -dphase / (m * steps * dt)
+        expected = rossby_haurwitz_rate(l, m, core.omega)
+        assert measured_rate == pytest.approx(expected, rel=1e-3)
+
+    def test_mode_amplitude_preserved_by_beta_rotation(self):
+        core = self.make_core()
+        core.zeta[4, 2] = 1e-5
+        core.run(24, 900.0)
+        assert abs(core.zeta[4, 2]) == pytest.approx(1e-5, rel=1e-6)
+
+    def test_energy_and_enstrophy_nearly_conserved(self):
+        core = self.make_core()
+        rng = np.random.default_rng(3)
+        for m in range(5):
+            for l in range(max(m, 1), 7):
+                core.zeta[l, m] = 1e-5 * (
+                    rng.standard_normal()
+                    + 1j * rng.standard_normal() * (m > 0)
+                )
+        e0, s0 = core.energy(), core.enstrophy()
+        core.run(24, 600.0)
+        assert core.energy() == pytest.approx(e0, rel=1e-3)
+        assert core.enstrophy() == pytest.approx(s0, rel=1e-3)
+
+    def test_hyperdiffusion_damps_small_scales_most(self):
+        core = self.make_core(hyperdiffusion=1e20)
+        core.zeta[2, 1] = 1e-5
+        core.zeta[10, 1] = 1e-5
+        core.run(10, 600.0)
+        large = abs(core.zeta[2, 1]) / 1e-5
+        small = abs(core.zeta[10, 1]) / 1e-5
+        assert small < large
+
+    def test_no_net_vorticity_ever(self):
+        core = self.make_core()
+        core.set_vorticity_grid(
+            1e-5
+            * np.cos(core.transform.latitudes)[:, None]
+            * np.ones(core.transform.grid_shape)
+        )
+        core.run(5, 600.0)
+        assert core.zeta[0, 0] == 0.0
+
+    def test_winds_of_superrotation(self):
+        # zeta ~ Y_1^0 gives solid-body u ~ cos(lat), v = 0
+        core = self.make_core()
+        core.zeta[1, 0] = 1e-5
+        u, v = core.winds()
+        np.testing.assert_allclose(v, 0.0, atol=1e-12)
+        coslat = np.cos(core.transform.latitudes)
+        ratio = u[:, 0] / coslat
+        np.testing.assert_allclose(ratio, ratio[0], rtol=1e-8)
+
+    def test_dt_validation(self):
+        with pytest.raises(ValueError):
+            self.make_core().step(0.0)
+
+    def test_step_work_descriptor(self):
+        t = SpharmTransform(lmax=12, nlat=20)
+        w = eulerian_step_work(t)
+        assert w.flops > 0
+        assert w.vector_fraction > 0.95  # the vector-friendly core

@@ -1,0 +1,149 @@
+"""Tests for GTC's grid, particle container, and loading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.gtc import (
+    ParticleArray,
+    PoloidalGrid,
+    TorusGrid,
+    load_particles,
+    split_particles,
+)
+
+
+class TestPoloidalGrid:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoloidalGrid(mpsi=2, mtheta=32)
+        with pytest.raises(ValueError):
+            PoloidalGrid(r0=1.0, r1=0.5)
+
+    def test_spacing(self):
+        g = PoloidalGrid(mpsi=11, mtheta=10, r0=0.0 + 0.1, r1=1.1)
+        assert g.dr == pytest.approx(0.1)
+        assert g.dtheta == pytest.approx(2 * np.pi / 10)
+
+    def test_locate_interior(self):
+        g = PoloidalGrid(mpsi=11, mtheta=8, r0=0.1, r1=1.1)
+        i, j, fi, fj = g.locate(np.array([0.25]), np.array([0.0]))
+        assert i[0] == 1
+        assert fi[0] == pytest.approx(0.5)
+        assert j[0] == 0 and fj[0] == 0.0
+
+    def test_locate_theta_wraps(self):
+        g = PoloidalGrid(mpsi=8, mtheta=8)
+        _, j, _, fj = g.locate(np.array([0.5]), np.array([2 * np.pi + 0.1]))
+        _, j2, _, fj2 = g.locate(np.array([0.5]), np.array([0.1]))
+        assert j[0] == j2[0]
+        assert fj[0] == pytest.approx(fj2[0])
+
+    def test_locate_clamps_radius(self):
+        g = PoloidalGrid(mpsi=8, mtheta=8, r0=0.1, r1=1.0)
+        i, _, fi, _ = g.locate(np.array([5.0]), np.array([0.0]))
+        assert i[0] <= g.mpsi - 1
+        assert 0.0 <= fi[0] < 1.0
+
+
+class TestTorusGrid:
+    def torus(self) -> TorusGrid:
+        return TorusGrid(plane=PoloidalGrid(), ntoroidal=8)
+
+    def test_domain_of(self):
+        t = self.torus()
+        dz = t.dzeta
+        assert t.domain_of(np.array([0.5 * dz]))[0] == 0
+        assert t.domain_of(np.array([1.5 * dz]))[0] == 1
+        # wrapping
+        assert t.domain_of(np.array([2 * np.pi + 0.5 * dz]))[0] == 0
+
+    def test_domain_bounds(self):
+        t = self.torus()
+        lo, hi = t.domain_bounds(3)
+        assert hi - lo == pytest.approx(t.dzeta)
+        with pytest.raises(IndexError):
+            t.domain_bounds(8)
+
+    def test_major_radius_validation(self):
+        with pytest.raises(ValueError):
+            TorusGrid(plane=PoloidalGrid(), major_radius=0.5)
+
+
+class TestParticleArray:
+    def make(self, n=10) -> ParticleArray:
+        rng = np.random.default_rng(0)
+        t = TorusGrid(plane=PoloidalGrid(), ntoroidal=4)
+        return load_particles(t, n, 0, rng)
+
+    def test_length_consistency(self):
+        with pytest.raises(ValueError):
+            ParticleArray(r=np.zeros(3), theta=np.zeros(2), zeta=np.zeros(3),
+                          vpar=np.zeros(3), weight=np.zeros(3))
+
+    def test_pack_unpack_roundtrip(self):
+        p = self.make(20)
+        buf = p.pack(np.ones(20, dtype=bool))
+        q = ParticleArray.unpack(buf)
+        np.testing.assert_array_equal(q.r, p.r)
+        np.testing.assert_array_equal(q.vpar, p.vpar)
+
+    def test_keep_and_extend(self):
+        p = self.make(10)
+        mask = p.r > np.median(p.r)
+        kept = p.keep(mask)
+        rest = p.keep(~mask)
+        merged = kept.extend(rest)
+        assert len(merged) == 10
+        assert merged.total_charge == pytest.approx(p.total_charge)
+
+    def test_unpack_bad_shape(self):
+        with pytest.raises(ValueError):
+            ParticleArray.unpack(np.zeros((4, 3)))
+
+
+class TestLoading:
+    def test_particles_inside_domain(self):
+        rng = np.random.default_rng(1)
+        t = TorusGrid(plane=PoloidalGrid(), ntoroidal=4)
+        p = load_particles(t, 1000, 2, rng)
+        assert (t.domain_of(p.zeta) == 2).all()
+        assert (p.r > t.plane.r0).all() and (p.r < t.plane.r1).all()
+
+    def test_area_uniform_radial_distribution(self):
+        rng = np.random.default_rng(2)
+        t = TorusGrid(plane=PoloidalGrid(), ntoroidal=1)
+        p = load_particles(t, 50_000, 0, rng)
+        # uniform in r^2 between the squared bounds
+        u = (p.r**2 - t.plane.r0**2) / (t.plane.r1**2 - t.plane.r0**2)
+        hist, _ = np.histogram(u, bins=10, range=(0, 1))
+        assert hist.std() / hist.mean() < 0.05
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=100),
+        splits=st.integers(min_value=1, max_value=7),
+    )
+    def test_split_partition_property(self, n, splits):
+        rng = np.random.default_rng(3)
+        t = TorusGrid(plane=PoloidalGrid(), ntoroidal=2)
+        p = load_particles(t, n, 0, rng)
+        parts = split_particles(p, splits)
+        assert len(parts) == splits
+        assert sum(len(q) for q in parts) == n
+        total = sum(q.total_charge for q in parts)
+        assert total == pytest.approx(p.total_charge)
+
+    def test_split_balanced(self):
+        p = self.make_particles(100)
+        parts = split_particles(p, 3)
+        sizes = [len(q) for q in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def make_particles(self, n):
+        rng = np.random.default_rng(4)
+        t = TorusGrid(plane=PoloidalGrid(), ntoroidal=2)
+        return load_particles(t, n, 0, rng)

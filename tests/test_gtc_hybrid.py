@@ -1,0 +1,75 @@
+"""Tests for the GTC hybrid-mode (MPI/OpenMP) feasibility analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.gtc import (
+    PoloidalGrid,
+    analyze_hybrid,
+    hybrid_rate_factor,
+    max_plane_points,
+    memory_footprint_ratio,
+)
+from repro.apps.gtc.hybrid import grid_copies_per_cpu, supports_plane
+from repro.machines import get_machine
+
+
+class TestMemoryArgument:
+    def test_vector_machines_need_256_copies(self):
+        for m in ("X1", "ES", "SX-8"):
+            assert grid_copies_per_cpu(get_machine(m)) == 256
+
+    def test_superscalar_one_copy(self):
+        for m in ("Power3", "Itanium2", "Opteron"):
+            assert grid_copies_per_cpu(get_machine(m)) == 1
+
+    def test_footprint_ratio_is_the_papers_256x(self):
+        ratio = memory_footprint_ratio(
+            get_machine("ES"), get_machine("Opteron")
+        )
+        assert ratio == 256.0
+
+    def test_vector_plane_limit_orders_of_magnitude_smaller(self):
+        es_limit = max_plane_points(get_machine("ES"))
+        p3_limit = max_plane_points(get_machine("Power3"))
+        assert p3_limit > 50 * es_limit
+
+    def test_paper_grid_fits_everywhere(self):
+        # the Table 4 benchmark plane (~32K points) fits on every machine
+        from repro.apps.gtc.workload import PAPER_PLANE
+
+        for m in ("Power3", "Itanium2", "Opteron", "X1", "ES", "SX-8"):
+            assert supports_plane(get_machine(m), PAPER_PLANE)
+
+    def test_high_resolution_plane_excluded_on_es(self):
+        # a 1M-point plane: fine for cache machines, over the ES budget
+        big = PoloidalGrid(mpsi=1024, mtheta=1024)
+        assert not supports_plane(get_machine("ES"), big)
+        assert supports_plane(get_machine("Opteron"), big)
+
+
+class TestVectorLengthCompetition:
+    def test_superscalar_unaffected(self):
+        assert hybrid_rate_factor(get_machine("Opteron"), 8) == 1.0
+
+    def test_vector_rate_degrades_with_threads(self):
+        es = get_machine("ES")
+        factors = [hybrid_rate_factor(es, t) for t in (1, 2, 4, 8)]
+        assert factors[0] == 1.0
+        assert factors == sorted(factors, reverse=True)
+        assert factors[-1] < 0.75
+
+    def test_threads_validation(self):
+        with pytest.raises(ValueError):
+            hybrid_rate_factor(get_machine("ES"), 0)
+
+
+class TestVerdict:
+    def test_matches_paper_empirics(self):
+        # hybrid attractive exactly on the machines where the paper's
+        # previous study actually used it
+        for m in ("Power3", "Itanium2", "Opteron"):
+            assert analyze_hybrid(get_machine(m)).hybrid_attractive
+        for m in ("X1", "ES", "SX-8"):
+            assert not analyze_hybrid(get_machine(m)).hybrid_attractive

@@ -1,0 +1,126 @@
+"""Tests for GTC's multi-species support.
+
+"Simulations with multiple species are essential to study the transport
+of the different products created by the fusion reaction in burning
+plasma experiments" — the paper's motivation for the particle
+decomposition's appetite for particles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.gtc import (
+    GTC,
+    GTCParams,
+    PoloidalGrid,
+    Species,
+    TorusGrid,
+    load_multispecies,
+)
+from repro.simmpi import Communicator
+
+TORUS = TorusGrid(plane=PoloidalGrid(mpsi=12, mtheta=16), ntoroidal=4)
+
+DT_PLASMA = (
+    Species(name="deuterium", charge=1.0, mass=2.0, fraction=0.45),
+    Species(name="tritium", charge=1.0, mass=3.0, fraction=0.45),
+    Species(name="alpha", charge=2.0, mass=4.0, temperature=50.0, fraction=0.10),
+)
+
+
+class TestSpecies:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Species(name="bad", mass=0.0)
+        with pytest.raises(ValueError):
+            Species(name="bad", fraction=0.0)
+
+    def test_thermal_velocity_scaling(self):
+        light = Species(name="l", mass=1.0, temperature=1.0)
+        heavy = Species(name="h", mass=4.0, temperature=1.0)
+        assert light.thermal_velocity == pytest.approx(
+            2 * heavy.thermal_velocity
+        )
+
+
+class TestMultispeciesLoading:
+    def load(self, n=3000):
+        return load_multispecies(
+            TORUS, n, 0, np.random.default_rng(0), DT_PLASMA
+        )
+
+    def test_total_count(self):
+        assert len(self.load(3000)) == 3000
+
+    def test_fractions_respected(self):
+        p = self.load(10_000)
+        counts = [p.species_count(i) for i in range(3)]
+        assert counts[0] == pytest.approx(4500, abs=2)
+        assert counts[2] == pytest.approx(1000, abs=2)
+
+    def test_charges_carried_in_weight(self):
+        p = self.load(1000)
+        # alphas carry charge 2
+        assert p.species_charge(2) == pytest.approx(2.0 * p.species_count(2))
+
+    def test_hot_alphas_faster(self):
+        p = self.load(20_000)
+        alpha_mask = p.species.astype(int) == 2
+        v_alpha = np.abs(p.vpar[alpha_mask]).mean()
+        v_fuel = np.abs(p.vpar[~alpha_mask]).mean()
+        # T=50, m=4 -> vth ~ 3.5x the fuel ions'
+        assert v_alpha > 2.0 * v_fuel
+
+    def test_empty_species_rejected(self):
+        with pytest.raises(ValueError):
+            load_multispecies(TORUS, 10, 0, np.random.default_rng(0), ())
+
+
+class TestMultispeciesRun:
+    def make(self, nprocs=4):
+        params = GTCParams(
+            mpsi=12,
+            mtheta=16,
+            ntoroidal=4,
+            particles_per_cell=6,
+            dt=0.005,
+            species=DT_PLASMA,
+        )
+        return GTC(params, Communicator(nprocs))
+
+    def test_census_structure(self):
+        sim = self.make()
+        census = sim.species_census()
+        assert set(census) == {"deuterium", "tritium", "alpha"}
+        assert census["alpha"]["charge"] == pytest.approx(
+            2.0 * census["alpha"]["count"]
+        )
+
+    def test_per_species_count_conserved_through_shift(self):
+        sim = self.make(8)
+        before = sim.species_census()
+        sim.run(4)
+        after = sim.species_census()
+        for name in before:
+            assert after[name]["count"] == before[name]["count"]
+            assert after[name]["charge"] == pytest.approx(
+                before[name]["charge"]
+            )
+
+    def test_total_charge_includes_all_species(self):
+        sim = self.make()
+        census = sim.species_census()
+        assert sim.total_charge() == pytest.approx(
+            sum(v["charge"] for v in census.values())
+        )
+
+    def test_single_species_default_unchanged(self):
+        sim = GTC(
+            GTCParams(mpsi=12, mtheta=16, ntoroidal=4, particles_per_cell=5),
+            Communicator(4),
+        )
+        census = sim.species_census()
+        assert list(census) == ["ion"]
+        assert census["ion"]["count"] == sim.total_particles()

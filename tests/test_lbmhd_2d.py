@@ -1,0 +1,135 @@
+"""Tests for LBMHD2D, the paper's 2-D predecessor code."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.lbmhd.two_d import (
+    CS2,
+    LBMHD2D,
+    LBMHD2DParams,
+    Q5_VELOCITIES,
+    Q5_WEIGHTS,
+    Q9_VELOCITIES,
+    Q9_WEIGHTS,
+    f_equilibrium_2d,
+    g_equilibrium_2d,
+    step_work_2d,
+)
+
+
+class TestLattices2D:
+    def test_weights_normalize(self):
+        assert Q9_WEIGHTS.sum() == pytest.approx(1.0)
+        assert Q5_WEIGHTS.sum() == pytest.approx(1.0)
+
+    def test_second_moments(self):
+        for vels, w in ((Q9_VELOCITIES, Q9_WEIGHTS), (Q5_VELOCITIES, Q5_WEIGHTS)):
+            m2 = np.einsum("i,ia,ib->ab", w, vels.astype(float), vels.astype(float))
+            np.testing.assert_allclose(m2, CS2 * np.eye(2), atol=1e-14)
+
+    def test_q9_fourth_moment_isotropic(self):
+        xi = Q9_VELOCITIES.astype(float)
+        m4 = np.einsum("i,ia,ib,ic,id->abcd", Q9_WEIGHTS, xi, xi, xi, xi)
+        eye = np.eye(2)
+        target = CS2**2 * (
+            np.einsum("ab,cd->abcd", eye, eye)
+            + np.einsum("ac,bd->abcd", eye, eye)
+            + np.einsum("ad,bc->abcd", eye, eye)
+        )
+        np.testing.assert_allclose(m4, target, atol=1e-14)
+
+    def test_inversion_symmetry(self):
+        vels = {tuple(v) for v in Q9_VELOCITIES}
+        assert all((-a, -b) in vels for a, b in vels)
+
+
+class TestEquilibria2D:
+    def fields(self, seed=0):
+        rng = np.random.default_rng(seed)
+        rho = 1.0 + 0.02 * rng.standard_normal((4, 4))
+        u = 0.03 * rng.standard_normal((2, 4, 4))
+        B = 0.03 * rng.standard_normal((2, 4, 4))
+        return rho, u, B
+
+    def test_f_moments(self):
+        rho, u, B = self.fields()
+        feq = f_equilibrium_2d(rho, u, B)
+        np.testing.assert_allclose(feq.sum(axis=0), rho, atol=1e-13)
+        mom = np.einsum("i...,ia->a...", feq, Q9_VELOCITIES.astype(float))
+        np.testing.assert_allclose(mom, rho * u, atol=1e-13)
+
+    def test_f_stress_includes_2d_maxwell(self):
+        rho, u, B = self.fields(1)
+        feq = f_equilibrium_2d(rho, u, B)
+        xi = Q9_VELOCITIES.astype(float)
+        Pi = np.einsum("i...,ia,ib->ab...", feq, xi, xi)
+        eye = np.eye(2)[:, :, None, None]
+        B2 = (B**2).sum(axis=0)
+        target = (
+            (rho / 3.0) * eye
+            + rho * np.einsum("a...,b...->ab...", u, u)
+            + 0.5 * B2 * eye
+            - np.einsum("a...,b...->ab...", B, B)
+        )
+        np.testing.assert_allclose(Pi, target, atol=1e-13)
+
+    def test_g_moments(self):
+        _, u, B = self.fields(2)
+        geq = g_equilibrium_2d(u, B)
+        np.testing.assert_allclose(geq.sum(axis=0), B, atol=1e-13)
+        ind = np.einsum("aj,ak...->jk...", Q5_VELOCITIES.astype(float), geq)
+        lam = np.einsum("j...,k...->jk...", u, B) - np.einsum(
+            "j...,k...->jk...", B, u
+        )
+        np.testing.assert_allclose(ind, lam, atol=1e-13)
+
+
+class TestSolver2D:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LBMHD2DParams(shape=(2, 16))
+        with pytest.raises(ValueError):
+            LBMHD2DParams(tau=0.4)
+
+    def test_conservation(self):
+        sim = LBMHD2D(LBMHD2DParams(shape=(16, 16)))
+        m0 = sim.total_mass()
+        p0 = sim.total_momentum().copy()
+        b0 = sim.total_B().copy()
+        sim.run(20)
+        assert sim.total_mass() == pytest.approx(m0, rel=1e-12)
+        np.testing.assert_allclose(sim.total_momentum(), p0, atol=1e-10)
+        np.testing.assert_allclose(sim.total_B(), b0, atol=1e-12)
+
+    def test_energy_decays(self):
+        sim = LBMHD2D(LBMHD2DParams(shape=(16, 16)))
+        ke0, me0 = sim.energies()
+        sim.run(20)
+        ke1, me1 = sim.energies()
+        assert ke1 + me1 <= ke0 + me0
+
+    def test_rest_state_is_steady(self):
+        sim = LBMHD2D(LBMHD2DParams(shape=(8, 8), u0=0.0, b0=0.0))
+        f0 = sim.f.copy()
+        sim.run(3)
+        np.testing.assert_allclose(sim.f, f0, atol=1e-14)
+
+    def test_orszag_tang_develops_vorticity_structure(self):
+        sim = LBMHD2D(LBMHD2DParams(shape=(32, 32), tau=0.6, tau_m=0.6, u0=0.08, b0=0.08))
+        w0 = np.abs(sim.vorticity()).max()
+        sim.run(60)
+        assert np.isfinite(sim.vorticity()).all()
+        assert np.abs(sim.vorticity()).max() > 0.1 * w0  # still alive
+
+    def test_step_work_scales(self):
+        assert step_work_2d(200).flops == pytest.approx(
+            2 * step_work_2d(100).flops
+        )
+
+    def test_2d_state_smaller_than_3d(self):
+        # 9 + 10 slots vs the 3-D code's 72 — the "further development"
+        from repro.apps.lbmhd.lattice import NSLOTS
+
+        assert 9 + 5 * 2 < NSLOTS / 2

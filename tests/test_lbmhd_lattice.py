@@ -1,0 +1,86 @@
+"""Tests for the D3Q27/D3Q15 lattices and their moment identities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.lbmhd.lattice import (
+    CS2,
+    NQ_F,
+    NQ_G,
+    NSLOTS,
+    Q15_VELOCITIES,
+    Q15_WEIGHTS,
+    Q27_VELOCITIES,
+    Q27_WEIGHTS,
+    moment0,
+    moment2,
+    moment4,
+    opposite_index,
+    slot_shifts,
+)
+
+
+@pytest.mark.parametrize(
+    "vels,weights,n",
+    [(Q27_VELOCITIES, Q27_WEIGHTS, 27), (Q15_VELOCITIES, Q15_WEIGHTS, 15)],
+    ids=["D3Q27", "D3Q15"],
+)
+class TestLatticeIdentities:
+    def test_counts(self, vels, weights, n):
+        assert len(vels) == len(weights) == n
+
+    def test_rest_vector_first(self, vels, weights, n):
+        assert tuple(vels[0]) == (0, 0, 0)
+
+    def test_weights_normalize(self, vels, weights, n):
+        assert moment0(weights) == pytest.approx(1.0)
+
+    def test_weights_positive(self, vels, weights, n):
+        assert (weights > 0).all()
+
+    def test_first_moment_vanishes(self, vels, weights, n):
+        m1 = np.einsum("i,ia->a", weights, vels.astype(float))
+        np.testing.assert_allclose(m1, 0.0, atol=1e-15)
+
+    def test_second_moment_isotropic(self, vels, weights, n):
+        np.testing.assert_allclose(
+            moment2(vels, weights), CS2 * np.eye(3), atol=1e-14
+        )
+
+    def test_fourth_moment_isotropic(self, vels, weights, n):
+        m4 = moment4(vels, weights)
+        eye = np.eye(3)
+        target = CS2**2 * (
+            np.einsum("ab,cd->abcd", eye, eye)
+            + np.einsum("ac,bd->abcd", eye, eye)
+            + np.einsum("ad,bc->abcd", eye, eye)
+        )
+        np.testing.assert_allclose(m4, target, atol=1e-14)
+
+    def test_inversion_symmetric(self, vels, weights, n):
+        opp = opposite_index(vels)
+        np.testing.assert_array_equal(vels[opp], -vels)
+        np.testing.assert_allclose(weights[opp], weights)
+
+    def test_velocities_unique(self, vels, weights, n):
+        assert len({tuple(v) for v in vels}) == n
+
+
+class TestSlotLayout:
+    def test_slot_count(self):
+        assert NSLOTS == NQ_F + 3 * NQ_G == 72
+
+    def test_shift_table(self):
+        shifts = slot_shifts()
+        assert shifts.shape == (NSLOTS, 3)
+        np.testing.assert_array_equal(shifts[:NQ_F], Q27_VELOCITIES)
+        # all three components of a magnetic direction shift together
+        for a in range(NQ_G):
+            block = shifts[NQ_F + 3 * a : NQ_F + 3 * a + 3]
+            assert (block == Q15_VELOCITIES[a]).all()
+
+    def test_q15_subset_of_q27(self):
+        q27 = {tuple(v) for v in Q27_VELOCITIES}
+        assert all(tuple(v) in q27 for v in Q15_VELOCITIES)

@@ -1,0 +1,214 @@
+"""Physics tests for the LBMHD equilibria, collision, and streaming."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.apps.lbmhd import (
+    CollisionParams,
+    collide,
+    collision_work,
+    equilibrium_state,
+    f_equilibrium,
+    g_equilibrium,
+    split_state,
+    stream_periodic,
+)
+from repro.apps.lbmhd.fields import (
+    density,
+    divergence,
+    magnetic_field,
+    momentum,
+)
+from repro.apps.lbmhd.lattice import NSLOTS, Q15_VELOCITIES, Q27_VELOCITIES
+
+SHAPE = (4, 4, 4)
+
+
+def small_fields(seed=0, amp=0.03):
+    rng = np.random.default_rng(seed)
+    rho = 1.0 + 0.02 * rng.standard_normal(SHAPE)
+    u = amp * rng.standard_normal((3, *SHAPE))
+    B = amp * rng.standard_normal((3, *SHAPE))
+    return rho, u, B
+
+
+small_floats = st.floats(min_value=-0.05, max_value=0.05, allow_nan=False)
+
+
+class TestEquilibriumMoments:
+    def test_f_density(self):
+        rho, u, B = small_fields()
+        feq = f_equilibrium(rho, u, B)
+        np.testing.assert_allclose(feq.sum(axis=0), rho, atol=1e-13)
+
+    def test_f_momentum(self):
+        rho, u, B = small_fields()
+        feq = f_equilibrium(rho, u, B)
+        mom = np.einsum("i...,ia->a...", feq, Q27_VELOCITIES.astype(float))
+        np.testing.assert_allclose(mom, rho * u, atol=1e-13)
+
+    def test_f_stress_includes_maxwell(self):
+        rho, u, B = small_fields()
+        feq = f_equilibrium(rho, u, B)
+        xi = Q27_VELOCITIES.astype(float)
+        Pi = np.einsum("i...,ia,ib->ab...", feq, xi, xi)
+        eye = np.eye(3)[:, :, None, None, None]
+        B2 = (B**2).sum(axis=0)
+        target = (
+            (rho / 3.0) * eye
+            + rho * np.einsum("a...,b...->ab...", u, u)
+            + 0.5 * B2 * eye
+            - np.einsum("a...,b...->ab...", B, B)
+        )
+        np.testing.assert_allclose(Pi, target, atol=1e-13)
+
+    def test_g_zeroth_moment_is_B(self):
+        _, u, B = small_fields()
+        geq = g_equilibrium(u, B)
+        np.testing.assert_allclose(geq.sum(axis=0), B, atol=1e-13)
+
+    def test_g_first_moment_is_induction_tensor(self):
+        _, u, B = small_fields()
+        geq = g_equilibrium(u, B)
+        eta = Q15_VELOCITIES.astype(float)
+        m1 = np.einsum("aj,ak...->jk...", eta, geq)
+        lam = np.einsum("j...,k...->jk...", u, B) - np.einsum(
+            "j...,k...->jk...", B, u
+        )
+        np.testing.assert_allclose(m1, lam, atol=1e-13)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        u=arrays(np.float64, (3,), elements=small_floats),
+        B=arrays(np.float64, (3,), elements=small_floats),
+    )
+    def test_uniform_equilibrium_moments_property(self, u, B):
+        rho = np.array(1.0)
+        feq = f_equilibrium(rho, u, B)
+        assert feq.sum() == pytest.approx(1.0, abs=1e-12)
+        mom = feq @ Q27_VELOCITIES.astype(float)
+        np.testing.assert_allclose(mom, u, atol=1e-12)
+        geq = g_equilibrium(u, B)
+        np.testing.assert_allclose(geq.sum(axis=0), B, atol=1e-12)
+
+
+class TestCollision:
+    def params(self) -> CollisionParams:
+        return CollisionParams(tau=0.8, tau_m=0.9)
+
+    def state(self):
+        rho, u, B = small_fields(seed=3)
+        return equilibrium_state(rho, u, B)
+
+    def test_unstable_tau_rejected(self):
+        with pytest.raises(ValueError):
+            CollisionParams(tau=0.5)
+
+    def test_transport_coefficients(self):
+        p = CollisionParams(tau=0.8, tau_m=1.1)
+        assert p.viscosity == pytest.approx(0.1)
+        assert p.resistivity == pytest.approx(0.2)
+
+    def test_equilibrium_is_fixed_point(self):
+        state = self.state()
+        out = collide(state, self.params())
+        np.testing.assert_allclose(out, state, atol=1e-12)
+
+    def test_input_not_modified(self):
+        state = self.state()
+        before = state.copy()
+        collide(state, self.params())
+        np.testing.assert_array_equal(state, before)
+
+    def test_conserves_moments_pointwise(self):
+        # Start *away* from equilibrium: relax f towards a shifted state.
+        rng = np.random.default_rng(7)
+        state = self.state()
+        state += 0.001 * rng.standard_normal(state.shape)
+        out = collide(state, self.params())
+        f0, g0 = split_state(state)
+        f1, g1 = split_state(out)
+        np.testing.assert_allclose(density(f1), density(f0), atol=1e-13)
+        np.testing.assert_allclose(momentum(f1), momentum(f0), atol=1e-13)
+        np.testing.assert_allclose(
+            magnetic_field(g1), magnetic_field(g0), atol=1e-13
+        )
+
+    def test_relaxation_reduces_distance_to_equilibrium(self):
+        rng = np.random.default_rng(11)
+        state = self.state() + 0.001 * rng.standard_normal((NSLOTS, *SHAPE))
+        p = self.params()
+        out = collide(state, p)
+        f0, _ = split_state(state)
+        f1, _ = split_state(out)
+        rho, u, B = small_fields(seed=3)
+        # distance to the *post-collision* equilibrium must not grow
+        feq_new = f_equilibrium(density(f1), momentum(f1) / density(f1),
+                                magnetic_field(split_state(out)[1]))
+        feq_old = f_equilibrium(density(f0), momentum(f0) / density(f0),
+                                magnetic_field(split_state(state)[1]))
+        assert np.abs(f1 - feq_new).sum() < np.abs(f0 - feq_old).sum()
+
+
+class TestStreaming:
+    def test_conserves_every_slot_total(self):
+        rng = np.random.default_rng(5)
+        state = rng.random((NSLOTS, *SHAPE))
+        out = stream_periodic(state)
+        np.testing.assert_allclose(
+            out.sum(axis=(1, 2, 3)), state.sum(axis=(1, 2, 3)), atol=1e-12
+        )
+
+    def test_pure_translation(self):
+        # A delta at the origin moves by exactly the slot's velocity.
+        state = np.zeros((NSLOTS, *SHAPE))
+        state[:, 0, 0, 0] = 1.0
+        out = stream_periodic(state)
+        from repro.apps.lbmhd.lattice import slot_shifts
+
+        for s, (cx, cy, cz) in enumerate(slot_shifts()):
+            assert out[s, cx % 4, cy % 4, cz % 4] == 1.0
+            assert out[s].sum() == 1.0
+
+    def test_roundtrip_under_opposite_shifts(self):
+        rng = np.random.default_rng(6)
+        state = rng.random((NSLOTS, *SHAPE))
+        # streaming 4 times on a 4-cell lattice returns to start for
+        # |c| = 1 slots and for c = 0; diagonal slots too (period 4).
+        out = state
+        for _ in range(4):
+            out = stream_periodic(out)
+        np.testing.assert_allclose(out, state, atol=1e-14)
+
+    def test_rejects_bad_slot_count(self):
+        with pytest.raises(ValueError):
+            stream_periodic(np.zeros((10, 4, 4, 4)))
+
+
+class TestCollisionWork:
+    def test_scales_with_points(self):
+        w1 = collision_work(100)
+        w2 = collision_work(200)
+        assert w2.flops == pytest.approx(2 * w1.flops)
+        assert w2.bytes_unit == pytest.approx(2 * w1.bytes_unit)
+
+    def test_has_scalar_traffic_override(self):
+        w = collision_work(10)
+        assert w.scalar_bytes_unit is not None
+        assert w.scalar_bytes_unit > w.bytes_unit
+
+    def test_highly_vectorizable(self):
+        assert collision_work(10).vector_fraction > 0.99
+
+
+class TestDivergenceFree:
+    def test_initial_orszag_tang_divergence_free(self):
+        from repro.apps.lbmhd import orszag_tang_fields
+
+        _, u, B = orszag_tang_fields((16, 16, 16), 0.05, 0.05)
+        assert np.abs(divergence(B)).max() < 1e-2  # discrete curl fields

@@ -1,0 +1,112 @@
+"""Coverage for smaller public APIs not exercised elsewhere."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines import MemoryModel, get_machine
+from repro.perfmodel import ResultTable
+from repro.perfmodel.report import PerfResult
+from repro.simmpi import CommTrace, Communicator
+from repro.workload import Work, combine
+
+
+class TestMemoryModelExtras:
+    def test_effective_bandwidth_between_gather_and_stream(self):
+        mm = MemoryModel(get_machine("ES"))
+        w = Work(name="mix", flops=0.0, bytes_unit=5e8, bytes_gather=5e8)
+        eff = mm.effective_bandwidth(w)
+        assert mm.gather_bw < eff < mm.stream_bw
+
+    def test_effective_bandwidth_no_traffic(self):
+        mm = MemoryModel(get_machine("ES"))
+        assert mm.effective_bandwidth(Work(name="p", flops=1.0)) == float(
+            "inf"
+        )
+
+    def test_cacheless_vector_machines(self):
+        assert not MemoryModel(get_machine("ES")).has_cache()
+        assert MemoryModel(get_machine("Power3")).has_cache()
+        assert MemoryModel(get_machine("X1")).has_cache()  # Ecache
+
+
+class TestTraceExtras:
+    def test_max_pair_and_nonzero(self):
+        t = CommTrace(4)
+        t.record(0, 1, 10.0)
+        t.record(0, 1, 5.0)
+        t.record(2, 3, 7.0)
+        assert t.max_pair_volume() == 15.0
+        assert t.nonzero_pairs() == 2
+
+    def test_render_downsamples_large_p(self):
+        t = CommTrace(64)
+        for i in range(64):
+            t.record(i, (i + 1) % 64, 100.0)
+        art = t.render(width=16)
+        assert len(art.splitlines()) == 16
+
+
+class TestResultTableExtras:
+    def test_row_keys_ordered_and_unique(self):
+        table = ResultTable(title="t", machines=["ES"])
+        for cfg, p in (("a", 1), ("a", 1), ("b", 2)):
+            table.add(
+                PerfResult(
+                    app="x", machine="ES", nprocs=p,
+                    gflops_per_proc=1.0, config=cfg,
+                )
+            )
+        assert table.row_keys() == [("a", 1), ("b", 2)]
+
+    def test_missing_cell_renders_dash(self):
+        table = ResultTable(title="t", machines=["ES", "SX-8"])
+        table.add(
+            PerfResult(
+                app="x", machine="ES", nprocs=1,
+                gflops_per_proc=1.0, config="c",
+            )
+        )
+        assert "--" in table.render()
+
+    def test_best_machine_none_when_empty(self):
+        table = ResultTable(title="t", machines=["ES"])
+        assert table.best_machine("c", 1) is None
+
+
+class TestWorkCombineExtras:
+    def test_combine_custom_name(self):
+        w = combine(
+            [Work(name="a", flops=1.0), Work(name="b", flops=1.0)],
+            name="fused",
+        )
+        assert w.name == "fused"
+
+    def test_combined_zero_flops(self):
+        a = Work(name="a", flops=0.0)
+        b = Work(name="b", flops=0.0)
+        assert a.combined(b).flops == 0.0
+
+
+class TestCommunicatorRepr:
+    def test_times_vector(self):
+        comm = Communicator(3, machine=get_machine("ES"))
+        comm.compute(1, Work(name="k", flops=1e9))
+        times = comm.times
+        assert times.shape == (3,)
+        assert times[1] > times[0] == times[2] == 0.0
+
+    def test_reset_clock(self):
+        comm = Communicator(2, machine=get_machine("ES"))
+        comm.compute(0, Work(name="k", flops=1e9))
+        comm.reset_clock()
+        assert comm.elapsed == 0.0
+
+    def test_compute_all(self):
+        comm = Communicator(2, machine=get_machine("ES"))
+        dt = comm.compute_all(
+            [Work(name="k", flops=1e9), Work(name="k", flops=2e9)]
+        )
+        assert dt > 0
+        assert comm.time(1) > comm.time(0)

@@ -1,0 +1,185 @@
+"""Tests for the memory, vector-pipeline, and processor timing models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines import (
+    MemoryModel,
+    SuperscalarModel,
+    VectorModel,
+    VectorPipelineModel,
+    get_machine,
+    make_model,
+    vector_efficiency,
+)
+from repro.machines.vector import spill_traffic_multiplier
+from repro.workload import Work
+
+
+def kernel(**kw) -> Work:
+    base = dict(
+        name="k",
+        flops=1e9,
+        bytes_unit=1e9,
+        vector_fraction=0.99,
+        avg_vector_length=256.0,
+    )
+    base.update(kw)
+    return Work(**base)
+
+
+class TestMemoryModel:
+    def test_stream_time_matches_table1(self):
+        mm = MemoryModel(get_machine("ES"))
+        w = Work(name="triad", flops=0.0, bytes_unit=26.3e9)
+        assert mm.traffic_time(w) == pytest.approx(1.0)
+
+    def test_gather_slower_than_stream(self, machine_name):
+        mm = MemoryModel(get_machine(machine_name))
+        streamed = Work(name="s", flops=0.0, bytes_unit=1e9)
+        gathered = Work(name="g", flops=0.0, bytes_gather=1e9)
+        assert mm.traffic_time(gathered) > mm.traffic_time(streamed)
+
+    def test_cache_fraction_speeds_up_cached_machines(self):
+        mm = MemoryModel(get_machine("Opteron"))
+        cold = Work(name="c", flops=0.0, bytes_unit=1e9, cache_fraction=0.0)
+        warm = Work(name="w", flops=0.0, bytes_unit=1e9, cache_fraction=0.8)
+        assert mm.traffic_time(warm) < mm.traffic_time(cold)
+
+    def test_cache_fraction_noop_on_cacheless_vector(self):
+        mm = MemoryModel(get_machine("ES"))
+        cold = Work(name="c", flops=0.0, bytes_unit=1e9, cache_fraction=0.0)
+        warm = Work(name="w", flops=0.0, bytes_unit=1e9, cache_fraction=0.8)
+        assert mm.traffic_time(warm) == pytest.approx(mm.traffic_time(cold))
+
+    def test_x1_ecache_helps(self):
+        mm = MemoryModel(get_machine("X1"))
+        cold = Work(name="c", flops=0.0, bytes_unit=1e9, cache_fraction=0.0)
+        warm = Work(name="w", flops=0.0, bytes_unit=1e9, cache_fraction=0.8)
+        assert mm.traffic_time(warm) < mm.traffic_time(cold)
+
+    def test_scalar_traffic_override_only_on_superscalar(self):
+        w = Work(name="k", flops=0.0, bytes_unit=1e9, scalar_bytes_unit=4e9)
+        t_opteron = MemoryModel(get_machine("Opteron")).traffic_time(w)
+        t_opteron_base = MemoryModel(get_machine("Opteron")).traffic_time(
+            Work(name="k", flops=0.0, bytes_unit=1e9)
+        )
+        assert t_opteron == pytest.approx(4.0 * t_opteron_base)
+        t_es = MemoryModel(get_machine("ES")).traffic_time(w)
+        t_es_base = MemoryModel(get_machine("ES")).traffic_time(
+            Work(name="k", flops=0.0, bytes_unit=1e9)
+        )
+        assert t_es == pytest.approx(t_es_base)
+
+
+class TestVectorPipeline:
+    def test_efficiency_increases_with_length(self):
+        es = get_machine("ES")
+        effs = [vector_efficiency(es.vector, vl) for vl in (8, 32, 128, 256)]
+        assert effs == sorted(effs)
+        assert effs[-1] > 0.8
+
+    def test_efficiency_bounds(self):
+        es = get_machine("ES")
+        assert 0.0 < vector_efficiency(es.vector, 1) < 1.0
+        assert vector_efficiency(es.vector, 0) == 0.0
+
+    @given(st.floats(min_value=1.0, max_value=1e4))
+    def test_efficiency_in_unit_interval(self, vl):
+        es = get_machine("ES")
+        assert 0.0 < vector_efficiency(es.vector, vl) < 1.0
+
+    def test_spill_none_with_enough_registers(self):
+        es = get_machine("ES")
+        assert spill_traffic_multiplier(es.vector, 48.0) == 1.0
+
+    def test_spill_on_x1_for_complex_loops(self):
+        # 48 live temporaries vs 32 registers: the LBMHD collision case.
+        x1 = get_machine("X1")
+        mult = spill_traffic_multiplier(x1.vector, 48.0)
+        assert mult > 1.0
+
+    def test_scalar_gflops(self):
+        es = get_machine("ES")
+        assert VectorPipelineModel(es).scalar_gflops() == pytest.approx(1.0)
+
+
+class TestProcessorModels:
+    def test_factory_dispatch(self):
+        assert isinstance(make_model(get_machine("Opteron")), SuperscalarModel)
+        assert isinstance(make_model(get_machine("ES")), VectorModel)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SuperscalarModel(get_machine("ES"))
+        with pytest.raises(ValueError):
+            VectorModel(get_machine("Power3"))
+
+    def test_rate_never_exceeds_peak(self, machine_name):
+        spec = get_machine(machine_name)
+        model = make_model(spec)
+        for intensity_scale in (0.1, 1.0, 10.0, 100.0):
+            w = kernel(bytes_unit=1e9 / intensity_scale)
+            assert model.sustained_gflops(w) <= spec.peak_gflops * 1.0001
+
+    def test_time_positive(self, machine_name):
+        model = make_model(get_machine(machine_name))
+        assert model.time(kernel()) > 0.0
+
+    def test_blas3_runs_near_peak(self, machine_name):
+        spec = get_machine(machine_name)
+        model = make_model(spec)
+        w = kernel(blas3_fraction=1.0, bytes_unit=0.0)
+        rate = model.sustained_gflops(w)
+        assert rate == pytest.approx(
+            spec.peak_gflops * spec.blas3_efficiency, rel=1e-6
+        )
+
+    def test_unvectorized_code_crawls_on_vector_machines(self):
+        es = make_model(get_machine("ES"))
+        vec = kernel(vector_fraction=1.0, bytes_unit=0.0)
+        scal = kernel(vector_fraction=0.0, bytes_unit=0.0)
+        # Scalar unit at 1/8 of peak: at least ~7x slower.
+        assert es.time(scal) > 6.0 * es.time(vec)
+
+    def test_amdahl_monotone_in_vector_fraction(self):
+        es = make_model(get_machine("ES"))
+        times = [
+            es.time(kernel(vector_fraction=f, bytes_unit=0.0))
+            for f in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_memory_bound_kernel_rate_tracks_stream(self):
+        # A very low intensity kernel: Opteron/Itanium2 rate ratio should
+        # roughly follow their STREAM ratio (the paper's LBMHD argument).
+        w = kernel(flops=1e8, bytes_unit=1e9)  # 0.1 flops/byte
+        r_opt = make_model(get_machine("Opteron")).sustained_gflops(w)
+        r_ita = make_model(get_machine("Itanium2")).sustained_gflops(w)
+        stream_ratio = 2.3 / 1.1
+        assert r_opt / r_ita == pytest.approx(stream_ratio, rel=0.15)
+
+    def test_fma_penalty_on_opteron(self):
+        opt = make_model(get_machine("Opteron"))
+        p3 = make_model(get_machine("Power3"))
+        w_fma = kernel(fma_fraction=1.0, bytes_unit=0.0)
+        # Power3 reaches a higher fraction of peak on FMA-rich compute.
+        assert p3.pct_peak(w_fma) > opt.pct_peak(w_fma)
+
+    def test_short_vectors_hurt_vector_machines_only(self):
+        w_long = kernel(avg_vector_length=256.0, bytes_unit=0.0)
+        w_short = kernel(avg_vector_length=8.0, bytes_unit=0.0)
+        es = make_model(get_machine("ES"))
+        assert es.time(w_short) > 2.0 * es.time(w_long)
+        opt = make_model(get_machine("Opteron"))
+        assert opt.time(w_short) == pytest.approx(opt.time(w_long))
+
+    @given(st.floats(min_value=1e6, max_value=1e12))
+    def test_time_linear_in_flops(self, flops):
+        model = make_model(get_machine("ES"))
+        w1 = kernel(flops=flops, bytes_unit=flops)
+        w2 = kernel(flops=2 * flops, bytes_unit=2 * flops)
+        assert model.time(w2) == pytest.approx(2 * model.time(w1), rel=1e-9)

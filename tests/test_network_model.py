@@ -1,0 +1,115 @@
+"""Tests for the message cost and collective models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines import get_machine
+from repro.network import CollectiveModel, NetworkModel
+
+
+def net(machine: str = "ES", nprocs: int = 64) -> NetworkModel:
+    return NetworkModel(get_machine(machine), nprocs)
+
+
+class TestNetworkModel:
+    def test_zero_for_self_message(self):
+        assert net().ptp_time(1024, 3, 3) == 0.0
+
+    def test_latency_floor(self):
+        n = net("Power3", 64)
+        # A 0-byte inter-node message costs at least the MPI latency.
+        assert n.ptp_time(0, 0, 32) >= 16.3e-6
+
+    def test_bandwidth_term(self):
+        n = net("ES", 64)
+        t_small = n.ptp_time(1_000, 0, 16)
+        t_big = n.ptp_time(100_000_000, 0, 16)
+        expected = 1e8 / 1.5e9
+        assert t_big - t_small == pytest.approx(expected, rel=0.01)
+
+    def test_intra_node_cheaper(self):
+        n = net("ES", 64)  # 8 cpus/node
+        assert n.ptp_time(1_000_000, 0, 1) < n.ptp_time(1_000_000, 0, 32)
+
+    def test_x1e_port_sharing_halves_bandwidth(self):
+        x1 = NetworkModel(get_machine("X1"), 64)
+        x1e = NetworkModel(get_machine("X1E"), 64)
+        assert x1e.bandwidth_Bps == pytest.approx(2.9e9 / 2)
+        assert x1.bandwidth_Bps == pytest.approx(6.3e9)
+
+    def test_node_mapping(self):
+        n = net("ES", 64)
+        assert n.node_of(0) == 0
+        assert n.node_of(7) == 0
+        assert n.node_of(8) == 1
+        with pytest.raises(IndexError):
+            n.node_of(64)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            net().ptp_time(-1, 0, 9)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_monotone_in_size(self, nbytes):
+        n = net("Opteron", 16)
+        assert n.ptp_time(nbytes, 0, 8) <= n.ptp_time(nbytes + 1024, 0, 8)
+
+
+class TestCollectives:
+    def coll(self, machine="ES", nprocs=64) -> CollectiveModel:
+        return CollectiveModel(net(machine, nprocs))
+
+    def test_single_rank_free(self):
+        c = self.coll(nprocs=1)
+        assert c.allreduce(1024, 1) == 0.0
+        assert c.alltoall(1024, 1) == 0.0
+        assert c.barrier(1) == 0.0
+
+    def test_allreduce_log_scaling(self):
+        c = self.coll(nprocs=1024)
+        t8 = c.allreduce(8.0, 8)
+        t1024 = c.allreduce(8.0, 1024)
+        # latency-dominated: ~ log2(P) growth, not linear.
+        assert t1024 / t8 == pytest.approx(10 / 3, rel=0.2)
+
+    def test_alltoall_linear_in_group(self):
+        c = self.coll(nprocs=512)
+        t64 = c.alltoall(1000.0, 64)
+        t128 = c.alltoall(1000.0, 128)
+        assert t128 > 1.8 * t64
+
+    def test_halo_exchange_independent_of_nprocs(self):
+        t_small = self.coll(nprocs=16).halo_exchange(8192, 6)
+        t_large = self.coll(nprocs=1024).halo_exchange(8192, 6)
+        assert t_small == pytest.approx(t_large)
+
+    def test_crossbar_alltoall_beats_torus_shape(self):
+        # Same per-pair size and group: the ES crossbar suffers no
+        # bisection contention; a torus would.
+        from repro.network import Torus2D
+
+        es = self.coll("ES", 256)
+        t_es = es.alltoall(10_000.0, 256)
+        assert es.net.contention_factor(1.0) == pytest.approx(1.0)
+        assert Torus2D(64).bisection_contention() > 1.0
+        assert t_es > 0
+
+    def test_transpose_reduces_to_alltoall(self):
+        c = self.coll(nprocs=64)
+        per_rank = 64_000.0
+        assert c.transpose(per_rank, 64) == pytest.approx(
+            c.alltoall(per_rank / 64, 64)
+        )
+
+    def test_broadcast_log_latency(self):
+        c = self.coll(nprocs=256)
+        assert c.broadcast(8.0, 256) > 0
+
+    @given(st.floats(min_value=1.0, max_value=1e9))
+    def test_costs_monotone_in_bytes(self, nbytes):
+        c = self.coll(nprocs=64)
+        assert c.allreduce(nbytes, 64) <= c.allreduce(nbytes * 2, 64)
+        assert c.alltoall(nbytes, 64) <= c.alltoall(nbytes * 2, 64)

@@ -1,0 +1,139 @@
+"""Tests for the interconnect topology models."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines.spec import NetworkTopology
+from repro.network import (
+    FatTree,
+    FullCrossbar,
+    Hypercube4D,
+    Torus2D,
+    make_topology,
+)
+
+ALL_CLASSES = [
+    lambda n: FullCrossbar(n),
+    lambda n: FatTree(n),
+    lambda n: Hypercube4D(n),
+    lambda n: Torus2D(n),
+]
+
+
+@pytest.mark.parametrize("make", ALL_CLASSES)
+class TestTopologyInvariants:
+    def test_self_hops_zero(self, make):
+        topo = make(16)
+        for n in range(16):
+            assert topo.hops(n, n) == 0
+
+    def test_symmetry(self, make):
+        topo = make(16)
+        for a in range(16):
+            for b in range(16):
+                assert topo.hops(a, b) == topo.hops(b, a)
+
+    def test_positive_between_distinct(self, make):
+        topo = make(16)
+        assert all(topo.hops(0, b) >= 1 for b in range(1, 16))
+
+    def test_out_of_range_rejected(self, make):
+        topo = make(8)
+        with pytest.raises(IndexError):
+            topo.hops(0, 8)
+
+    def test_bisection_positive(self, make):
+        assert make(16).bisection_links() > 0
+
+    def test_graph_connected(self, make):
+        g = make(16).build_graph()
+        assert nx.is_connected(g)
+
+
+class TestCrossbar:
+    def test_single_hop_everywhere(self):
+        topo = FullCrossbar(64)
+        assert all(topo.hops(0, b) == 1 for b in range(1, 64))
+
+    def test_no_contention(self):
+        assert FullCrossbar(64).bisection_contention() == pytest.approx(1.0)
+
+
+class TestFatTree:
+    def test_same_switch_two_hops(self):
+        topo = FatTree(64, arity=16)
+        assert topo.hops(0, 15) == 2
+
+    def test_cross_switch_more_hops(self):
+        topo = FatTree(64, arity=16)
+        assert topo.hops(0, 16) == 4
+
+    def test_diameter_grows_logarithmically(self):
+        small = FatTree(16, arity=4).diameter()
+        large = FatTree(256, arity=4).diameter()
+        assert large > small
+        assert large <= 2 * 5  # 2 * ceil(log4(256)) + slack
+
+    def test_bad_arity(self):
+        with pytest.raises(ValueError):
+            FatTree(16, arity=1)
+
+
+class TestHypercube:
+    def test_intra_subset_one_hop(self):
+        topo = Hypercube4D(64, subset_size=8)
+        assert topo.hops(0, 7) == 1
+
+    def test_inter_subset_hamming(self):
+        topo = Hypercube4D(64, subset_size=8)
+        # subset 0 -> subset 1: hamming 1, plus 2 local hops.
+        assert topo.hops(0, 8) == 3
+        # subset 0 -> subset 3: hamming 2.
+        assert topo.hops(0, 24) == 4
+
+    def test_graph_matches_hops_scaling(self):
+        topo = Hypercube4D(32, subset_size=8)
+        g = topo.build_graph()
+        assert nx.is_connected(g)
+
+
+class TestTorus:
+    def test_wraparound(self):
+        topo = Torus2D(16)  # 4 x 4
+        assert topo.hops(0, 3) == 1  # wrap in x
+        assert topo.hops(0, 12) == 1  # wrap in y
+
+    def test_manhattan_distance(self):
+        topo = Torus2D(16)
+        assert topo.hops(0, 5) == 2  # (1, 1)
+
+    def test_bisection_scales_with_side(self):
+        assert Torus2D(64).bisection_links() > Torus2D(16).bisection_links()
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            (NetworkTopology.FAT_TREE, FatTree),
+            (NetworkTopology.OMEGA, FatTree),
+            (NetworkTopology.CROSSBAR, FullCrossbar),
+            (NetworkTopology.HYPERCUBE_4D, Hypercube4D),
+            (NetworkTopology.TORUS_2D, Torus2D),
+        ],
+    )
+    def test_make_topology(self, kind, cls):
+        assert isinstance(make_topology(kind, 16), cls)
+
+
+@given(st.integers(min_value=2, max_value=128), st.data())
+def test_triangle_inequality_crossbar_and_torus(n, data):
+    for topo in (FullCrossbar(n), Torus2D(n)):
+        a = data.draw(st.integers(min_value=0, max_value=n - 1))
+        b = data.draw(st.integers(min_value=0, max_value=n - 1))
+        c = data.draw(st.integers(min_value=0, max_value=n - 1))
+        assert topo.hops(a, c) <= topo.hops(a, b) + topo.hops(b, c)

@@ -1,0 +1,100 @@
+"""Tests for PARATEC's Hellmann–Feynman forces and atom relaxation."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.apps.paratec import (
+    Atom,
+    external_energy,
+    hellmann_feynman_forces,
+    relax_atoms,
+)
+
+SHAPE = (12, 12, 12)
+
+
+@pytest.fixture
+def density(rng) -> np.ndarray:
+    return np.abs(rng.standard_normal(SHAPE))
+
+
+class TestForces:
+    def test_matches_finite_differences(self, density):
+        atoms = [Atom(position=(0.3, 0.45, 0.6), amplitude=5.0, sigma=0.4)]
+        analytic = hellmann_feynman_forces(density, atoms)
+        eps = 1e-5
+        for alpha in range(3):
+            pos_p = list(atoms[0].position)
+            pos_p[alpha] += eps
+            pos_m = list(atoms[0].position)
+            pos_m[alpha] -= eps
+            e_p = external_energy(density, [replace(atoms[0], position=tuple(pos_p))])
+            e_m = external_energy(density, [replace(atoms[0], position=tuple(pos_m))])
+            fd = -(e_p - e_m) / (2 * eps)
+            assert analytic[0, alpha] == pytest.approx(fd, rel=1e-6)
+
+    def test_uniform_density_exerts_no_force(self):
+        rho = np.ones(SHAPE)
+        atoms = [Atom(position=(0.37, 0.21, 0.83))]
+        forces = hellmann_feynman_forces(rho, atoms)
+        np.testing.assert_allclose(forces, 0.0, atol=1e-10)
+
+    def test_attracted_toward_density_peak(self):
+        # density concentrated at the cell center pulls an off-center
+        # (attractive) atom toward it.  sigma is in reciprocal units, so
+        # sigma=1.2 gives a real-space basin ~0.2 of the cell wide; the
+        # atom sits inside it.
+        rho = np.zeros(SHAPE)
+        rho[6, 6, 6] = 1.0
+        atom = Atom(position=(0.42, 0.5, 0.5), amplitude=5.0, sigma=1.2)
+        forces = hellmann_feynman_forces(rho, [atom])
+        assert forces[0, 0] > 0  # toward x = 0.5
+        # y/z symmetric up to the (single-sided) Nyquist contribution
+        assert abs(forces[0, 1]) < 1e-2 * abs(forces[0, 0])
+
+    def test_newton_third_law_in_symmetric_dimer(self, density):
+        rho = np.ones(SHAPE)  # symmetric environment
+        a = Atom(position=(0.4, 0.5, 0.5))
+        b = Atom(position=(0.6, 0.5, 0.5))
+        f = hellmann_feynman_forces(rho, [a, b])
+        np.testing.assert_allclose(f, 0.0, atol=1e-10)
+
+    def test_force_shape(self, density):
+        atoms = [Atom(position=(0.1, 0.2, 0.3)), Atom(position=(0.7, 0.8, 0.9))]
+        assert hellmann_feynman_forces(density, atoms).shape == (2, 3)
+
+
+class TestRelaxation:
+    def test_energy_decreases(self):
+        rho = np.zeros(SHAPE)
+        rho[6, 6, 6] = 2.0
+        atoms = [Atom(position=(0.42, 0.5, 0.5), amplitude=4.0, sigma=1.2)]
+        _, _, energies = relax_atoms(rho, atoms, step=0.02, iterations=15)
+        assert energies[-1] < energies[0]
+        assert all(b <= a + 1e-12 for a, b in zip(energies, energies[1:]))
+
+    def test_converges_to_density_peak(self):
+        rho = np.zeros(SHAPE)
+        rho[6, 6, 6] = 2.0
+        atoms = [Atom(position=(0.42, 0.5, 0.5), amplitude=4.0, sigma=1.2)]
+        relaxed, forces, _ = relax_atoms(
+            rho, atoms, step=0.05, iterations=120, force_tolerance=1e-6
+        )
+        assert relaxed[0].position[0] == pytest.approx(0.5, abs=0.02)
+        assert np.abs(forces).max() < 1e-2
+
+    def test_early_stop_at_tolerance(self):
+        rho = np.ones(SHAPE)  # zero forces everywhere
+        atoms = [Atom(position=(0.3, 0.3, 0.3))]
+        relaxed, forces, energies = relax_atoms(rho, atoms, iterations=10)
+        assert len(energies) == 1  # stopped immediately
+        assert relaxed[0].position == atoms[0].position
+
+    def test_validation(self):
+        rho = np.ones(SHAPE)
+        with pytest.raises(ValueError):
+            relax_atoms(rho, [Atom(position=(0, 0, 0))], step=0.0)

@@ -1,0 +1,232 @@
+"""Tests for PARATEC's Hamiltonian, CG eigensolver, SCF, and Table 6."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.paratec import (
+    Atom,
+    GSphere,
+    Hamiltonian,
+    ParallelFFT3D,
+    Paratec,
+    ParatecParams,
+    SphereDistribution,
+    TABLE6_ROWS,
+    build_local_potential,
+    cg_band,
+    dot,
+    hartree_potential,
+    exchange_potential,
+    initial_bands,
+    mix_potentials,
+    predict,
+    subspace_rotation,
+)
+from repro.apps.paratec.cg import CGOptions
+from repro.apps.paratec.scf import SCFDriver
+from repro.apps.paratec.workload import ParatecScenario
+from repro.simmpi import Communicator
+
+SPHERE = GSphere(ecut=4.0, grid_shape=(10, 10, 10))
+
+
+def setup(nranks=2, atoms=None):
+    dist = SphereDistribution(SPHERE, nranks)
+    comm = Communicator(nranks)
+    fft = ParallelFFT3D(dist, comm)
+    if atoms is None:
+        ham = Hamiltonian(fft=fft)  # free electrons
+    else:
+        ham = Hamiltonian.from_atoms(fft, atoms)
+    return comm, fft, ham
+
+
+class TestPotentials:
+    def test_local_potential_is_real_and_attractive(self):
+        v = build_local_potential((10, 10, 10), [Atom(position=(0.5, 0.5, 0.5))])
+        assert v.min() < 0
+        assert np.isrealobj(v)
+
+    def test_potential_peaks_at_atom(self):
+        v = build_local_potential((10, 10, 10), [Atom(position=(0.5, 0.5, 0.5))])
+        assert np.unravel_index(np.argmin(v), v.shape) == (5, 5, 5)
+
+    def test_hartree_solves_poisson(self, rng):
+        rho = rng.standard_normal((8, 8, 8))
+        rho -= rho.mean()
+        v = hartree_potential(rho)
+        # check nabla^2 v = -4 pi rho spectrally
+        v_g = np.fft.fftn(v)
+        freqs = np.fft.fftfreq(8, d=1 / 8)
+        gx, gy, gz = np.meshgrid(freqs, freqs, freqs, indexing="ij")
+        g2 = (2 * np.pi) ** 2 * (gx**2 + gy**2 + gz**2)
+        lap_v = np.fft.ifftn(-g2 * v_g).real
+        np.testing.assert_allclose(lap_v, -4 * np.pi * rho, atol=1e-10)
+
+    def test_exchange_negative_and_monotone(self):
+        rho = np.array([0.0, 1.0, 8.0])
+        vx = exchange_potential(rho)
+        assert vx[0] == 0.0
+        assert vx[2] < vx[1] < 0.0
+
+    def test_mixing_validation(self):
+        with pytest.raises(ValueError):
+            mix_potentials(np.zeros(2), np.ones(2), alpha=0.0)
+
+
+class TestHamiltonian:
+    def test_free_electron_apply_is_kinetic(self, rng):
+        comm, fft, ham = setup(2)
+        dist = fft.dist
+        psi = rng.standard_normal(SPHERE.num_g) + 0j
+        out = dist.gather(ham.apply(dist.scatter(psi)))
+        np.testing.assert_allclose(out, SPHERE.kinetic * psi, atol=1e-12)
+
+    def test_hermitian(self, rng):
+        comm, fft, ham = setup(2, atoms=[Atom(position=(0.3, 0.4, 0.5))])
+        dist = fft.dist
+        a = rng.standard_normal(SPHERE.num_g) + 1j * rng.standard_normal(SPHERE.num_g)
+        b = rng.standard_normal(SPHERE.num_g) + 1j * rng.standard_normal(SPHERE.num_g)
+        ha = dist.gather(ham.apply(dist.scatter(a)))
+        hb = dist.gather(ham.apply(dist.scatter(b)))
+        assert np.vdot(a, hb) == pytest.approx(np.vdot(ha, b), rel=1e-10)
+
+    def test_potential_slab_shape_validated(self):
+        comm, fft, ham = setup(2)
+        with pytest.raises(ValueError):
+            ham.set_potential([np.zeros((3, 3, 3)), np.zeros((3, 3, 3))])
+
+
+class TestCG:
+    def test_free_electron_ground_state(self):
+        comm, fft, ham = setup(2)
+        bands = initial_bands(fft, 1, seed=3)
+        opts = CGOptions(iterations=30)
+        for _ in range(6):
+            eps = cg_band(comm, ham, bands[0], [], opts)
+        assert eps == pytest.approx(0.0, abs=1e-3)
+
+    def test_orthogonality_maintained(self):
+        comm, fft, ham = setup(2, atoms=[Atom(position=(0.5, 0.5, 0.5))])
+        bands = initial_bands(fft, 3, seed=4)
+        driver = SCFDriver(
+            comm=comm, ham=ham, occupations=np.array([2.0, 2.0, 2.0])
+        )
+        driver.solve_bands(bands)
+        for i in range(3):
+            for j in range(3):
+                overlap = dot(comm, bands[i], bands[j])
+                expected = 1.0 if i == j else 0.0
+                assert abs(overlap - expected) < 1e-8
+
+    def test_subspace_rotation_sorts_eigenvalues(self):
+        comm, fft, ham = setup(2, atoms=[Atom(position=(0.5, 0.5, 0.5))])
+        bands = initial_bands(fft, 3, seed=5)
+        driver = SCFDriver(
+            comm=comm, ham=ham, occupations=np.array([2.0, 2.0, 2.0])
+        )
+        vals = driver.solve_bands(bands)
+        assert (np.diff(vals) >= -1e-10).all()
+
+    def test_cg_monotone_energy(self):
+        comm, fft, ham = setup(1, atoms=[Atom(position=(0.5, 0.5, 0.5))])
+        bands = initial_bands(fft, 1, seed=6)
+        energies = []
+        for _ in range(5):
+            energies.append(
+                cg_band(comm, ham, bands[0], [], CGOptions(iterations=2))
+            )
+        assert all(b <= a + 1e-9 for a, b in zip(energies, energies[1:]))
+
+
+class TestParatecSolver:
+    def test_decomposition_independence(self):
+        r1 = Paratec(ParatecParams(), Communicator(1)).run()
+        r4 = Paratec(ParatecParams(), Communicator(4)).run()
+        np.testing.assert_allclose(
+            r1.eigenvalues, r4.eigenvalues, atol=1e-10
+        )
+
+    def test_bound_states_below_free(self):
+        p = Paratec(ParatecParams(scf_iterations=1), Communicator(2))
+        res = p.run(update_density=False)
+        assert res.eigenvalues[0] < 0.0  # bound in the Gaussian wells
+
+    def test_density_positive_and_normalized(self):
+        p = Paratec(ParatecParams(), Communicator(2))
+        p.run()
+        rho = p.density()
+        assert (rho >= -1e-12).all()
+        # sum over grid of |psi|^2 * occ: occupations x norm / N factor
+        occ_total = p.driver.occupations.sum()
+        n = np.prod(p.params.grid_shape)
+        assert rho.sum() * n == pytest.approx(occ_total, rel=1e-6)
+
+    def test_scf_converges_potential(self):
+        p = Paratec(
+            ParatecParams(scf_iterations=6, mixing=0.3), Communicator(2)
+        )
+        res = p.run()
+        assert res.potential_change < 0.5
+
+    def test_meter_records_work(self):
+        comm = Communicator(2)
+        p = Paratec(ParatecParams(scf_iterations=1), comm)
+        p.run(update_density=False)
+        assert comm.meter.total_flops() > 0
+
+
+class TestTable6Shape:
+    """Qualitative claims of the paper's Table 6."""
+
+    def test_power3_runs_over_half_peak(self):
+        # "achieving over 60% of peak on the Power3 using 128 processors"
+        r = predict("Power3", ParatecScenario(128))
+        assert r.pct_peak > 50.0
+
+    def test_highest_pct_of_all_apps_on_scalar(self):
+        # PARATEC %peak on Power3 far exceeds its GTC/LBMHD showings.
+        from repro.apps.gtc import GTCScenario
+        from repro.apps.gtc import predict as gtc_predict
+
+        paratec_pct = predict("Power3", ParatecScenario(256)).pct_peak
+        gtc_pct = gtc_predict("Power3", GTCScenario(256, 400)).pct_peak
+        assert paratec_pct > 3 * gtc_pct
+
+    def test_ssp_mode_beats_msp_for_paratec(self):
+        # "using the 128 MSP in SSP mode ... resulted in a performance
+        # increase of 16%"
+        msp = predict("X1", ParatecScenario(128)).gflops_per_proc
+        ssp4 = 4 * predict("X1-SSP", ParatecScenario(128)).gflops_per_proc
+        assert 1.0 < ssp4 / msp < 1.35
+
+    def test_itanium2_beats_opteron(self):
+        # "the situation reversed for PARATEC" (vs GTC/LBMHD)
+        r_ita = predict("Itanium2", ParatecScenario(256)).gflops_per_proc
+        r_opt = predict("Opteron", ParatecScenario(256)).gflops_per_proc
+        assert r_ita > r_opt
+
+    def test_es_declines_at_scale(self):
+        # "declining performance at higher concurrencies is caused by
+        # the increased communication overhead of the 3D FFTs"
+        rates = [
+            predict("ES", ParatecScenario(p)).gflops_per_proc
+            for p in (128, 512, 2048)
+        ]
+        assert rates == sorted(rates, reverse=True)
+        assert rates[0] / rates[-1] > 1.5
+
+    def test_es_2048_headline(self):
+        # "sustaining 5.5 Tflop/s for 2048 processors"
+        r = predict("ES", ParatecScenario(2048))
+        assert r.aggregate_tflops == pytest.approx(5.5, rel=0.2)
+
+    def test_x1_below_es_absolute(self):
+        # "absolute X1 performance is lower than the ES, even though it
+        # has a higher peak speed"
+        assert (
+            predict("X1", ParatecScenario(256)).gflops_per_proc
+            < predict("ES", ParatecScenario(256)).gflops_per_proc
+        )

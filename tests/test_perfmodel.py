@@ -1,0 +1,159 @@
+"""Tests for the roofline, Amdahl, calibration, and reporting layers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines import get_machine
+from repro.perfmodel import (
+    Bound,
+    PerfResult,
+    RESIDUAL_BAND,
+    ResultTable,
+    Roofline,
+    all_calibrations,
+    effective_rate,
+    get_calibration,
+    relative_to,
+    required_vector_fraction,
+    set_calibration,
+    speedup_limit,
+    vector_length_roof,
+)
+from repro.workload import Work
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        r = Roofline(get_machine("ES"))
+        assert r.ridge_intensity == pytest.approx(8.0 / 26.3)
+
+    def test_attainable_clamped_at_peak(self):
+        r = Roofline(get_machine("ES"))
+        assert r.attainable(100.0) == 8.0
+        assert r.attainable(0.1) == pytest.approx(2.63)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            Roofline(get_machine("ES")).attainable(-1.0)
+
+    def test_classification_memory_bound(self):
+        r = Roofline(get_machine("Itanium2"))
+        w = Work(name="k", flops=1e8, bytes_unit=1e10)
+        assert r.classify(w) is Bound.MEMORY
+
+    def test_classification_compute_bound(self):
+        r = Roofline(get_machine("ES"))
+        w = Work(name="k", flops=1e12, bytes_unit=1e6)
+        assert r.classify(w) is Bound.COMPUTE
+
+    def test_classification_scalar_bound(self):
+        r = Roofline(get_machine("ES"))
+        w = Work(name="k", flops=1e12, bytes_unit=1e6, vector_fraction=0.1)
+        assert r.classify(w) is Bound.SCALAR
+
+    def test_vector_length_roof(self):
+        es = get_machine("ES")
+        assert vector_length_roof(es, 256) > vector_length_roof(es, 8)
+        # superscalar machines have no VL dependence
+        p3 = get_machine("Power3")
+        assert vector_length_roof(p3, 8) == p3.peak_gflops
+
+    def test_es_has_best_balance(self):
+        # Table 1: ES bytes/flop = 3.29, highest in the study -> its
+        # ridge sits at the lowest intensity.
+        ridges = {
+            m: Roofline(get_machine(m)).ridge_intensity
+            for m in ("Power3", "Itanium2", "Opteron", "X1", "ES", "SX-8")
+        }
+        assert min(ridges, key=ridges.get) == "ES"
+
+
+class TestAmdahl:
+    def test_effective_rate_limits(self):
+        assert effective_rate(8.0, 1.0, 0.125) == pytest.approx(8.0)
+        assert effective_rate(8.0, 0.0, 0.125) == pytest.approx(1.0)
+
+    def test_half_vectorized_on_es(self):
+        # 50% vectorized at 1/8 scalar speed: rate = 1/(0.5/8 + 0.5/1)
+        assert effective_rate(8.0, 0.5, 0.125) == pytest.approx(1.0 / 0.5625)
+
+    def test_speedup_limit(self):
+        assert speedup_limit(0.9) == pytest.approx(10.0)
+        assert math.isinf(speedup_limit(1.0))
+
+    def test_required_vector_fraction_inverts(self):
+        f = required_vector_fraction(0.6, 0.125)
+        rate = effective_rate(1.0, f, 0.125)
+        assert rate == pytest.approx(0.6, rel=1e-9)
+
+    def test_required_fraction_is_severe(self):
+        # sustaining 60% of peak with a 1/8 scalar unit needs >90%
+        assert required_vector_fraction(0.6, 0.125) > 0.9
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    def test_effective_rate_bounded(self, f):
+        r = effective_rate(8.0, f, 0.125)
+        assert 1.0 - 1e-12 <= r <= 8.0 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_rate(8.0, 1.5, 0.125)
+        with pytest.raises(ValueError):
+            required_vector_fraction(0.0, 0.125)
+
+
+class TestCalibration:
+    def test_default_is_unity(self):
+        assert get_calibration("nonexistent-app", "ES") == 1.0
+
+    def test_all_residuals_within_band(self):
+        lo, hi = RESIDUAL_BAND
+        for (app, machine), value in all_calibrations().items():
+            assert lo <= value <= hi, (app, machine, value)
+
+    def test_out_of_band_rejected(self):
+        with pytest.raises(ValueError):
+            set_calibration("test-app", "ES", 10.0)
+
+    def test_every_app_has_some_calibration(self):
+        apps = {app for app, _ in all_calibrations()}
+        assert {"fvcam", "gtc", "lbmhd", "paratec"} <= apps
+
+
+class TestReporting:
+    def result(self, machine="ES", gflops=4.0, config="c", nprocs=256):
+        return PerfResult(
+            app="lbmhd",
+            machine=machine,
+            nprocs=nprocs,
+            gflops_per_proc=gflops,
+            config=config,
+        )
+
+    def test_pct_peak(self):
+        assert self.result(gflops=4.0).pct_peak == pytest.approx(50.0)
+
+    def test_aggregate(self):
+        r = self.result(gflops=5.0, nprocs=1000)
+        assert r.aggregate_tflops == pytest.approx(5.0)
+
+    def test_table_lookup_and_render(self):
+        t = ResultTable(title="t", machines=["ES", "SX-8"])
+        t.add(self.result("ES", 4.0))
+        t.add(self.result("SX-8", 8.0))
+        assert t.lookup("c", 256, "ES").gflops_per_proc == 4.0
+        assert t.best_machine("c", 256) == "SX-8"
+        rendered = t.render()
+        assert "ES" in rendered and "SX-8" in rendered
+
+    def test_relative_to(self):
+        rows = [self.result("ES", 4.0), self.result("SX-8", 8.0)]
+        rel = relative_to(rows, "ES")
+        assert rel["SX-8"] == pytest.approx(2.0)
+        with pytest.raises(KeyError):
+            relative_to(rows, "X1")

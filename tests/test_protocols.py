@@ -1,0 +1,80 @@
+"""Tests for the communication-protocol tuning options."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines import get_machine
+from repro.network import (
+    CommProtocol,
+    NetworkModel,
+    best_protocol,
+    latency_factor,
+    supported_protocols,
+)
+
+
+class TestAvailability:
+    def test_mpi_everywhere(self):
+        for m in ("Power3", "Itanium2", "Opteron", "X1", "X1E", "ES", "SX-8"):
+            protos = supported_protocols(get_machine(m))
+            assert CommProtocol.MPI_TWO_SIDED in protos
+            assert CommProtocol.MPI_ONE_SIDED in protos
+
+    def test_caf_is_cray_only(self):
+        for m in ("X1", "X1E", "X1-SSP"):
+            assert CommProtocol.CO_ARRAY_FORTRAN in supported_protocols(
+                get_machine(m)
+            )
+        for m in ("Power3", "Itanium2", "Opteron", "ES", "SX-8"):
+            assert CommProtocol.CO_ARRAY_FORTRAN not in supported_protocols(
+                get_machine(m)
+            )
+
+    def test_shmem_needs_custom_network(self):
+        assert CommProtocol.SHMEM in supported_protocols(get_machine("ES"))
+        assert CommProtocol.SHMEM not in supported_protocols(
+            get_machine("Opteron")
+        )
+
+    def test_unsupported_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            latency_factor(get_machine("Opteron"), CommProtocol.SHMEM)
+
+
+class TestLatencyEffects:
+    def test_one_sided_cheaper(self):
+        x1 = get_machine("X1")
+        assert latency_factor(x1, CommProtocol.CO_ARRAY_FORTRAN) < latency_factor(
+            x1, CommProtocol.SHMEM
+        ) < latency_factor(x1, CommProtocol.MPI_TWO_SIDED)
+
+    def test_network_model_applies_factor(self):
+        mpi = NetworkModel(get_machine("X1"), 64)
+        caf = NetworkModel(
+            get_machine("X1"), 64, protocol=CommProtocol.CO_ARRAY_FORTRAN
+        )
+        assert caf.latency_s == pytest.approx(0.35 * mpi.latency_s)
+        # bandwidth untouched
+        assert caf.bandwidth_Bps == mpi.bandwidth_Bps
+
+    def test_latency_bound_message_speeds_up(self):
+        mpi = NetworkModel(get_machine("X1"), 64)
+        caf = NetworkModel(
+            get_machine("X1"), 64, protocol=CommProtocol.CO_ARRAY_FORTRAN
+        )
+        small = 64  # latency bound
+        assert caf.ptp_time(small, 0, 32) < 0.5 * mpi.ptp_time(small, 0, 32)
+        big = 10_000_000  # bandwidth bound: protocols converge
+        ratio = caf.ptp_time(big, 0, 32) / mpi.ptp_time(big, 0, 32)
+        assert 0.95 < ratio <= 1.0
+
+
+class TestBestProtocol:
+    def test_matches_paper_empirics(self):
+        assert best_protocol(get_machine("X1")) is CommProtocol.CO_ARRAY_FORTRAN
+        assert best_protocol(get_machine("ES")) is CommProtocol.SHMEM
+        assert (
+            best_protocol(get_machine("Opteron"))
+            is CommProtocol.MPI_ONE_SIDED
+        )

@@ -1,0 +1,48 @@
+"""Tests for the roofline-view experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import roofline_view
+from repro.machines import get_machine
+
+
+class TestAppPoints:
+    def test_all_apps_present(self):
+        points = roofline_view.app_points("ES")
+        assert set(points) == {"lbmhd", "gtc", "paratec", "fvcam"}
+
+    def test_rates_below_peak(self):
+        for machine in roofline_view.MACHINES:
+            peak = get_machine(machine).peak_gflops
+            for app, (intensity, rate) in roofline_view.app_points(
+                machine
+            ).items():
+                assert 0 < rate <= peak * 1.001, (machine, app)
+                assert intensity > 0
+
+    def test_gtc_lowest_rate_on_sx8(self):
+        # gathers drop GTC deepest below the roof on the DDR2 machine
+        points = roofline_view.app_points("SX-8")
+        assert points["gtc"][1] == min(p[1] for p in points.values())
+
+    def test_lbmhd_intensity_below_paratec(self):
+        points = roofline_view.app_points("ES")
+        assert points["lbmhd"][0] < points["paratec"][0]
+
+
+class TestRendering:
+    def test_ascii_contains_all_markers(self):
+        art = roofline_view.ascii_roofline("ES")
+        for mark in roofline_view.MARKS.values():
+            assert mark in art
+
+    def test_render_covers_machines(self):
+        text = roofline_view.render()
+        for m in roofline_view.MACHINES:
+            assert m in text
+
+    def test_run_structure(self):
+        data = roofline_view.run()
+        assert set(data) == set(roofline_view.MACHINES)

@@ -1,0 +1,137 @@
+"""Tests for the sensitivity/what-if layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.gtc import GTCScenario
+from repro.apps.lbmhd import LBMHDScenario
+from repro.apps.paratec import ParatecScenario
+from repro.machines import get_machine
+from repro.perfmodel import (
+    app_rate_function,
+    elasticity,
+    perturb,
+    sensitivity_profile,
+)
+
+
+class TestPerturb:
+    def test_top_level_field(self):
+        es = get_machine("ES")
+        up = perturb(es, "stream_bw_gbs", 1.5)
+        assert up.stream_bw_gbs == pytest.approx(26.3 * 1.5)
+        assert es.stream_bw_gbs == 26.3  # original untouched
+
+    def test_nested_field(self):
+        es = get_machine("ES")
+        up = perturb(es, "vector.scalar_ratio", 2.0)
+        assert up.vector.scalar_ratio == pytest.approx(0.25)
+
+    def test_integer_fields_stay_integer(self):
+        x1 = get_machine("X1")
+        up = perturb(x1, "vector.register_length", 0.25)
+        assert up.vector.register_length == 64
+        assert isinstance(up.vector.register_length, int)
+
+    def test_missing_group_rejected(self):
+        with pytest.raises(ValueError):
+            perturb(get_machine("Power3"), "vector.scalar_ratio", 2.0)
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ValueError):
+            perturb(get_machine("ES"), "peak_gflops", 0.0)
+
+
+class TestElasticity:
+    def test_linear_function_has_unit_elasticity(self):
+        es = get_machine("ES")
+        assert elasticity(
+            lambda s: s.peak_gflops, es, "peak_gflops"
+        ) == pytest.approx(1.0, abs=1e-9)
+
+    def test_constant_function_has_zero(self):
+        es = get_machine("ES")
+        assert elasticity(lambda s: 42.0, es, "stream_bw_gbs") == 0.0
+
+    def test_delta_validation(self):
+        es = get_machine("ES")
+        with pytest.raises(ValueError):
+            elasticity(lambda s: 1.0, es, "peak_gflops", delta=0.9)
+
+
+class TestAppProfiles:
+    def test_gtc_bound_by_gather(self):
+        # the paper: GTC's gather/scatter is "quite sensitive" to memory
+        prof = sensitivity_profile(
+            "gtc",
+            GTCScenario(256, 400),
+            get_machine("ES"),
+            ("peak_gflops", "vector.gather_bw_fraction"),
+        )
+        assert prof["vector.gather_bw_fraction"] > 0.5
+        assert prof["vector.gather_bw_fraction"] > prof["peak_gflops"]
+
+    def test_lbmhd_bound_by_peak_on_es(self):
+        prof = sensitivity_profile(
+            "lbmhd",
+            LBMHDScenario(512, 256),
+            get_machine("ES"),
+            ("peak_gflops", "vector.gather_bw_fraction"),
+        )
+        assert prof["peak_gflops"] > 0.5
+        assert prof["vector.gather_bw_fraction"] == pytest.approx(0.0, abs=0.05)
+
+    def test_lbmhd_bound_by_stream_on_opteron(self):
+        # superscalar LBMHD is a memory-bandwidth story in the paper
+        prof = sensitivity_profile(
+            "lbmhd",
+            LBMHDScenario(512, 256),
+            get_machine("Opteron"),
+            ("peak_gflops", "stream_bw_gbs"),
+        )
+        assert prof["stream_bw_gbs"] > prof["peak_gflops"]
+
+    def test_paratec_responds_to_blas3(self):
+        prof = sensitivity_profile(
+            "paratec",
+            ParatecScenario(256),
+            get_machine("ES"),
+            ("blas3_efficiency",),
+        )
+        assert prof["blas3_efficiency"] > 0.3
+
+    def test_inapplicable_params_skipped(self):
+        prof = sensitivity_profile(
+            "lbmhd",
+            LBMHDScenario(512, 256),
+            get_machine("Power3"),
+            ("vector.gather_bw_fraction", "stream_bw_gbs"),
+        )
+        assert "vector.gather_bw_fraction" not in prof
+        assert "stream_bw_gbs" in prof
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            app_rate_function("cactus", None)
+
+
+class TestWhatIf:
+    def test_sx8_fplram_helps_gtc(self):
+        from repro.experiments.whatif import sx8_with_fplram
+
+        result = sx8_with_fplram()
+        assert result["speedup"] > 1.1
+
+    def test_x1_registers_marginal(self):
+        # matches the paper: "we see no performance penalty" from spills
+        from repro.experiments.whatif import x1_with_es_registers
+
+        result = x1_with_es_registers()
+        assert 1.0 <= result["speedup"] < 1.15
+
+    def test_render(self):
+        from repro.experiments import whatif
+
+        text = whatif.render()
+        assert "FPLRAM" in text and "Elasticity" in text

@@ -1,0 +1,116 @@
+"""Tests for the extended collectives (allgather, reduce_scatter, scan)
+and the X1 torus switchover."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines import get_machine
+from repro.network import NetworkModel, Torus2D, Hypercube4D
+from repro.simmpi import Communicator
+
+
+class TestAllgather:
+    def test_everyone_gets_everything(self):
+        comm = Communicator(3)
+        out = comm.allgather([np.array([float(i)]) for i in range(3)])
+        for rank in range(3):
+            assert [a[0] for a in out[rank]] == [0.0, 1.0, 2.0]
+
+    def test_results_are_copies(self):
+        comm = Communicator(2)
+        src = [np.ones(2), np.ones(2)]
+        out = comm.allgather(src)
+        out[0][0][:] = 9.0
+        assert src[0][0] == 1.0
+        assert out[1][0][0] == 1.0
+
+    def test_charges_time_on_machine(self):
+        comm = Communicator(16, machine=get_machine("Power3"))
+        comm.allgather([np.ones(100) for _ in range(16)])
+        assert comm.elapsed > 0.0
+
+    def test_wrong_count(self):
+        with pytest.raises(ValueError):
+            Communicator(3).allgather([np.ones(1)])
+
+
+class TestReduceScatter:
+    def test_sum_and_split(self):
+        comm = Communicator(2)
+        contrib = [np.arange(4.0), np.arange(4.0)]
+        out = comm.reduce_scatter(contrib)
+        np.testing.assert_array_equal(out[0], [0.0, 2.0])
+        np.testing.assert_array_equal(out[1], [4.0, 6.0])
+
+    def test_blocks_cover_everything(self):
+        comm = Communicator(3)
+        contrib = [np.ones(7) for _ in range(3)]
+        out = comm.reduce_scatter(contrib)
+        assert sum(len(b) for b in out) == 7
+        assert all((b == 3.0).all() for b in out)
+
+    def test_max_reduction(self):
+        comm = Communicator(2)
+        out = comm.reduce_scatter(
+            [np.array([1.0, 9.0]), np.array([5.0, 2.0])], op="max"
+        )
+        assert out[0][0] == 5.0 and out[1][0] == 9.0
+
+    def test_bad_op(self):
+        with pytest.raises(KeyError):
+            Communicator(2).reduce_scatter([np.ones(2)] * 2, op="avg")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Communicator(2).reduce_scatter([np.ones(2), np.ones(3)])
+
+
+class TestScan:
+    def test_inclusive_prefix(self):
+        comm = Communicator(4)
+        out = comm.scan([np.array([1.0]) for _ in range(4)])
+        assert [o[0] for o in out] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_prod_scan(self):
+        comm = Communicator(3)
+        out = comm.scan(
+            [np.array([2.0]), np.array([3.0]), np.array([4.0])], op="prod"
+        )
+        assert [o[0] for o in out] == [2.0, 6.0, 24.0]
+
+    def test_results_independent(self):
+        comm = Communicator(2)
+        out = comm.scan([np.ones(2), np.ones(2)])
+        out[1][:] = 0.0
+        assert out[0][0] == 1.0
+
+    def test_traced(self):
+        comm = Communicator(3, trace=True)
+        comm.scan([np.ones(4) for _ in range(3)])
+        assert comm.trace.bytes_by_kind["scan"] > 0
+
+
+class TestX1TorusSwitchover:
+    def test_hypercube_below_threshold(self):
+        net = NetworkModel(get_machine("X1"), 512)
+        assert isinstance(net.topology, Hypercube4D)
+
+    def test_torus_above_threshold(self):
+        # "For more than 512 MSPs, the interconnect is a 2D torus."
+        net = NetworkModel(get_machine("X1"), 1024)
+        assert isinstance(net.topology, Torus2D)
+
+    def test_crossbar_machines_unaffected(self):
+        from repro.network import FullCrossbar
+
+        net = NetworkModel(get_machine("ES"), 4096)
+        assert isinstance(net.topology, FullCrossbar)
+
+    def test_torus_contention_higher(self):
+        small = NetworkModel(get_machine("X1"), 512)
+        large = NetworkModel(get_machine("X1"), 2048)
+        assert (
+            large.contention_factor(1.0) > small.contention_factor(1.0)
+        )

@@ -1,0 +1,63 @@
+"""Tests for the nonblocking isend/waitall request API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines import get_machine
+from repro.simmpi import Communicator
+
+
+class TestRequests:
+    def test_post_then_waitall(self):
+        comm = Communicator(3)
+        r1 = comm.isend(0, 2, np.arange(3.0))
+        r2 = comm.isend(1, 2, np.arange(4.0))
+        assert comm.pending_requests == 2
+        assert not r1.test() and not r2.test()
+        out = comm.waitall()
+        assert comm.pending_requests == 0
+        assert r1.test() and r2.test()
+        np.testing.assert_array_equal(out[2][0], [0.0, 1.0, 2.0])
+        np.testing.assert_array_equal(out[2][1], [0.0, 1.0, 2.0, 3.0])
+
+    def test_payload_captured_at_post_time(self):
+        comm = Communicator(2)
+        buf = np.ones(4)
+        req = comm.isend(0, 1, buf)
+        buf[:] = 99.0  # sender reuses the buffer immediately
+        out = comm.waitall()
+        np.testing.assert_array_equal(out[1][0], 1.0)
+        np.testing.assert_array_equal(req.data, 1.0)
+
+    def test_waitall_empty_is_noop(self):
+        comm = Communicator(2)
+        assert comm.waitall() == {}
+
+    def test_waitall_charges_time(self):
+        comm = Communicator(32, machine=get_machine("Power3"))
+        comm.isend(0, 31, np.ones(10_000))
+        comm.waitall()
+        assert comm.elapsed >= 16.3e-6
+
+    def test_requests_drain_once(self):
+        comm = Communicator(2)
+        comm.isend(0, 1, np.ones(2))
+        first = comm.waitall()
+        second = comm.waitall()
+        assert len(first[1]) == 1
+        assert second == {}
+
+    def test_multiple_rounds(self):
+        comm = Communicator(2)
+        for k in range(3):
+            comm.isend(0, 1, np.full(2, float(k)))
+            out = comm.waitall()
+            assert out[1][0][0] == float(k)
+
+    def test_traced(self):
+        comm = Communicator(2, trace=True)
+        comm.isend(0, 1, np.ones(10))
+        comm.waitall()
+        assert comm.trace.matrix()[0, 1] == 80.0

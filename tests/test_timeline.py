@@ -1,0 +1,123 @@
+"""Tests for the per-rank timeline profiler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines import get_machine
+from repro.simmpi import Communicator, Event, Message, Timeline
+from repro.workload import Work
+
+
+class TestEvent:
+    def test_duration(self):
+        e = Event(rank=0, start=1.0, end=3.0, label="x", kind="compute")
+        assert e.duration == 2.0
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            Event(rank=0, start=3.0, end=1.0, label="x", kind="compute")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Event(rank=0, start=0.0, end=1.0, label="x", kind="nap")
+
+
+class TestTimeline:
+    def test_record_and_query(self):
+        tl = Timeline(2)
+        tl.record(0, 0.0, 1.0, "k", "compute")
+        tl.record(1, 0.5, 2.0, "s", "comm")
+        assert len(tl.events_for(0)) == 1
+        assert tl.total("comm") == 1.5
+        assert tl.span == 2.0
+
+    def test_zero_length_events_dropped(self):
+        tl = Timeline(1)
+        tl.record(0, 1.0, 1.0, "noop", "compute")
+        assert tl.events == []
+
+    def test_rank_bounds(self):
+        tl = Timeline(2)
+        with pytest.raises(IndexError):
+            tl.record(5, 0.0, 1.0, "k", "compute")
+
+    def test_busy_fraction(self):
+        tl = Timeline(1)
+        tl.record(0, 0.0, 3.0, "k", "compute")
+        tl.record(0, 3.0, 4.0, "w", "wait")
+        assert tl.busy_fraction(0) == pytest.approx(0.75)
+
+    def test_kind_shares_normalized(self):
+        tl = Timeline(1)
+        tl.record(0, 0.0, 1.0, "k", "compute")
+        tl.record(0, 1.0, 2.0, "c", "comm")
+        shares = tl.kind_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_render_empty(self):
+        assert Timeline(2).render_gantt() == "(no events)"
+
+    def test_render_rows(self):
+        tl = Timeline(3)
+        tl.record(1, 0.0, 1.0, "k", "compute")
+        art = tl.render_gantt(width=20)
+        assert art.count("rank") == 3
+        assert "#" in art
+
+
+class TestCommunicatorIntegration:
+    def test_disabled_by_default(self):
+        assert Communicator(2).timeline is None
+
+    def test_compute_recorded(self):
+        comm = Communicator(2, machine=get_machine("ES"), timeline=True)
+        comm.compute(0, Work(name="kern", flops=1e9))
+        events = comm.timeline.events_for(0, "compute")
+        assert len(events) == 1
+        assert events[0].label == "kern"
+
+    def test_wait_recorded_for_lagging_receiver(self):
+        comm = Communicator(32, machine=get_machine("ES"), timeline=True)
+        comm.compute(0, Work(name="kern", flops=1e9))
+        comm.exchange([Message(0, 16, np.ones(1000))])
+        assert comm.timeline.total("wait", rank=16) > 0.0
+
+    def test_collective_wait_and_comm(self):
+        comm = Communicator(4, machine=get_machine("ES"), timeline=True)
+        comm.compute(0, Work(name="kern", flops=1e9))  # rank 0 ahead
+        comm.allreduce([np.ones(100) for _ in range(4)])
+        tl = comm.timeline
+        # lagging ranks waited for rank 0
+        assert tl.total("wait", rank=1) > 0.0
+        # everyone paid the collective
+        for r in range(4):
+            assert tl.total("comm", rank=r) > 0.0
+
+    def test_subgroup_shares_timeline(self):
+        comm = Communicator(4, machine=get_machine("ES"), timeline=True)
+        subs = comm.split([0, 0, 1, 1])
+        subs[1].compute(0, Work(name="kern", flops=1e9))  # global rank 2
+        assert comm.timeline.total("compute", rank=2) > 0.0
+
+    def test_ideal_comm_records_nothing(self):
+        comm = Communicator(2, timeline=True)
+        comm.compute(0, Work(name="kern", flops=1e9))
+        comm.allreduce([np.ones(4), np.ones(4)])
+        assert comm.timeline.events == []
+
+    def test_gtc_timeline_end_to_end(self):
+        from repro.apps.gtc import GTC, GTCParams
+
+        comm = Communicator(
+            4, machine=get_machine("Power3"), timeline=True
+        )
+        sim = GTC(
+            GTCParams(mpsi=12, mtheta=16, ntoroidal=4, particles_per_cell=5),
+            comm,
+        )
+        sim.run(1)
+        shares = comm.timeline.kind_shares()
+        assert shares["compute"] > 0.5
+        assert comm.timeline.span <= comm.elapsed + 1e-12

@@ -1,0 +1,144 @@
+"""Unit and property tests for the Work descriptor algebra."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workload import Work, WorkloadMeter, combine
+
+
+def make_work(**kw) -> Work:
+    base = dict(name="k", flops=100.0, bytes_unit=50.0, bytes_gather=10.0)
+    base.update(kw)
+    return Work(**base)
+
+
+class TestWorkValidation:
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            make_work(flops=-1.0)
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            make_work(bytes_unit=-1.0)
+        with pytest.raises(ValueError):
+            make_work(bytes_gather=-1.0)
+        with pytest.raises(ValueError):
+            make_work(scalar_bytes_unit=-1.0)
+
+    @pytest.mark.parametrize(
+        "field", ["vector_fraction", "blas3_fraction", "fma_fraction", "cache_fraction"]
+    )
+    def test_fraction_bounds(self, field):
+        with pytest.raises(ValueError):
+            make_work(**{field: 1.5})
+        with pytest.raises(ValueError):
+            make_work(**{field: -0.1})
+
+    def test_vector_length_minimum(self):
+        with pytest.raises(ValueError):
+            make_work(avg_vector_length=0.5)
+
+
+class TestWorkProperties:
+    def test_intensity(self):
+        w = make_work(flops=120.0, bytes_unit=30.0, bytes_gather=10.0)
+        assert w.intensity == pytest.approx(3.0)
+
+    def test_intensity_infinite_without_traffic(self):
+        w = Work(name="pure", flops=10.0)
+        assert math.isinf(w.intensity)
+
+    def test_unit_bytes_on_families(self):
+        w = make_work(bytes_unit=100.0, scalar_bytes_unit=400.0)
+        assert w.unit_bytes_on(superscalar=False) == 100.0
+        assert w.unit_bytes_on(superscalar=True) == 400.0
+
+    def test_unit_bytes_defaults_to_vector_traffic(self):
+        w = make_work(scalar_bytes_unit=None)
+        assert w.unit_bytes_on(superscalar=True) == w.bytes_unit
+
+
+class TestScaling:
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    def test_scaled_extensive_quantities(self, factor):
+        w = make_work(scalar_bytes_unit=200.0)
+        s = w.scaled(factor)
+        assert s.flops == pytest.approx(w.flops * factor)
+        assert s.bytes_unit == pytest.approx(w.bytes_unit * factor)
+        assert s.scalar_bytes_unit == pytest.approx(200.0 * factor)
+
+    def test_scaled_preserves_intensive(self):
+        w = make_work(vector_fraction=0.7, avg_vector_length=40.0)
+        s = w.scaled(3.0)
+        assert s.vector_fraction == w.vector_fraction
+        assert s.avg_vector_length == w.avg_vector_length
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            make_work().scaled(-1.0)
+
+
+class TestCombining:
+    def test_flops_add(self):
+        a, b = make_work(flops=10.0), make_work(flops=30.0)
+        assert a.combined(b).flops == 40.0
+
+    def test_fraction_is_flop_weighted(self):
+        a = make_work(flops=10.0, vector_fraction=1.0)
+        b = make_work(flops=30.0, vector_fraction=0.0)
+        assert a.combined(b).vector_fraction == pytest.approx(0.25)
+
+    def test_vector_length_harmonic_mean(self):
+        a = make_work(flops=10.0, avg_vector_length=10.0)
+        b = make_work(flops=10.0, avg_vector_length=30.0)
+        # harmonic: 1 / (0.5/10 + 0.5/30) = 15
+        assert a.combined(b).avg_vector_length == pytest.approx(15.0)
+
+    def test_combine_empty_list(self):
+        w = combine([], name="empty")
+        assert w.flops == 0.0 and w.name == "empty"
+
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=8
+        )
+    )
+    def test_combine_preserves_total_flops(self, flops_list):
+        works = [make_work(flops=f) for f in flops_list]
+        assert combine(works).flops == pytest.approx(sum(flops_list))
+
+    def test_scalar_bytes_mixed_none(self):
+        a = make_work(bytes_unit=100.0, scalar_bytes_unit=300.0)
+        b = make_work(bytes_unit=50.0, scalar_bytes_unit=None)
+        c = a.combined(b)
+        # b falls back to its bytes_unit on scalar machines.
+        assert c.scalar_bytes_unit == pytest.approx(350.0)
+
+
+class TestWorkloadMeter:
+    def test_record_and_total(self):
+        meter = WorkloadMeter()
+        meter.record(make_work(flops=5.0))
+        meter.record(make_work(flops=7.0))
+        assert meter.total_flops() == pytest.approx(12.0)
+        assert meter.total().flops == pytest.approx(12.0)
+
+    def test_by_kernel_grouping(self):
+        meter = WorkloadMeter()
+        meter.record(make_work(name="a", flops=1.0))
+        meter.record(make_work(name="b", flops=2.0))
+        meter.record(make_work(name="a", flops=3.0))
+        groups = meter.by_kernel()
+        assert groups["a"].flops == pytest.approx(4.0)
+        assert groups["b"].flops == pytest.approx(2.0)
+
+    def test_reset(self):
+        meter = WorkloadMeter()
+        meter.record(make_work())
+        meter.reset()
+        assert meter.total_flops() == 0.0

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...runtime.arena import Arena
 from ...workload import Work
 from .grid import PoloidalGrid
 from .particles import PARTICLE_WORDS, ParticleArray
@@ -126,10 +127,26 @@ def deposit_scalar(
     grid: PoloidalGrid,
     particles: ParticleArray,
     gyro_radius: float = 0.0,
+    out: np.ndarray | None = None,
+    arena: Arena | None = None,
 ) -> np.ndarray:
-    """Histogram-style deposition (the cache-machine code path)."""
+    """Histogram-style deposition (the cache-machine code path).
+
+    ``out`` (optional, shape ``grid.shape``) receives the density and
+    is fully overwritten; with an ``arena`` the accumulation buffer is
+    reused across calls instead of freshly allocated.  The scatter-add
+    order is unchanged either way, so results are bitwise-identical.
+    """
     idx, wts = _ring_stencils(grid, particles, gyro_radius)
-    rho = np.zeros(grid.num_points)
+    if out is not None:
+        rho = out.view()
+        rho.shape = (grid.num_points,)  # raises if out is not viewable flat
+        rho.fill(0.0)
+    elif arena is not None:
+        rho = arena.scratch("gtc.deposit.rho", (grid.num_points,))
+        rho.fill(0.0)
+    else:
+        rho = np.zeros(grid.num_points)
     np.add.at(rho, idx.ravel(), wts.ravel())
     return rho.reshape(grid.shape)
 
@@ -139,18 +156,30 @@ def deposit_work_vector(
     particles: ParticleArray,
     num_copies: int = DEFAULT_WORK_VECTOR_COPIES,
     gyro_radius: float = 0.0,
+    out: np.ndarray | None = None,
+    arena: Arena | None = None,
 ) -> np.ndarray:
     """Work-vector deposition (the vector-machine code path).
 
     Particle ``p`` writes to private copy ``p % num_copies``; the copies
     are reduced at the end.  Bincount per stripe keeps each private
     accumulation conflict-free, mirroring the vector-register semantics.
+    With an ``arena`` the reduction buffer is reused across calls
+    (bitwise-identical accumulation either way).
     """
     if num_copies < 1:
         raise ValueError("num_copies must be >= 1")
     idx, wts = _ring_stencils(grid, particles, gyro_radius)
     n = len(particles)
-    total = np.zeros(grid.num_points)
+    if out is not None:
+        total = out.view()
+        total.shape = (grid.num_points,)  # raises if out not viewable flat
+        total.fill(0.0)
+    elif arena is not None:
+        total = arena.scratch("gtc.deposit.wv_total", (grid.num_points,))
+        total.fill(0.0)
+    else:
+        total = np.zeros(grid.num_points)
     stripe = np.arange(n) % num_copies
     for c in range(num_copies):
         sel = stripe == c

@@ -82,12 +82,19 @@ def push_particles(
     e_r_at_p: np.ndarray,
     e_theta_at_p: np.ndarray,
     params: PushParams,
+    out: ParticleArray | None = None,
 ) -> ParticleArray:
     """Advance one time step; returns a new :class:`ParticleArray`.
 
     Radial excursions reflect off the annulus boundaries (particles
     never leave the device); zeta advances freely and is wrapped by the
     toroidal shift stage.
+
+    ``out`` (optional) is a same-length :class:`ParticleArray` whose
+    component arrays are overwritten in place — the allocation-free
+    ping-pong path.  It must not share storage with ``particles``.
+    The arithmetic is identical either way, so the two modes produce
+    bitwise-identical particles.
     """
     plane = torus.plane
     dt = params.dt
@@ -102,16 +109,25 @@ def push_particles(
     lo, hi = plane.r0 + 1e-6, plane.r1 - 1e-6
     new_r = np.where(new_r < lo, 2 * lo - new_r, new_r)
     new_r = np.where(new_r > hi, 2 * hi - new_r, new_r)
-    new_r = np.clip(new_r, lo, hi)
 
-    return ParticleArray(
-        r=new_r,
-        theta=np.mod(particles.theta + dt * vtheta, 2.0 * np.pi),
-        zeta=particles.zeta + dt * particles.vpar / torus.major_radius,
-        vpar=particles.vpar.copy(),
-        weight=particles.weight.copy(),
-        species=particles.species.copy(),
+    if out is None:
+        return ParticleArray(
+            r=np.clip(new_r, lo, hi),
+            theta=np.mod(particles.theta + dt * vtheta, 2.0 * np.pi),
+            zeta=particles.zeta + dt * particles.vpar / torus.major_radius,
+            vpar=particles.vpar.copy(),
+            weight=particles.weight.copy(),
+            species=particles.species.copy(),
+        )
+    np.clip(new_r, lo, hi, out=out.r)
+    np.mod(particles.theta + dt * vtheta, 2.0 * np.pi, out=out.theta)
+    np.add(
+        particles.zeta, dt * particles.vpar / torus.major_radius, out=out.zeta
     )
+    out.vpar[...] = particles.vpar
+    out.weight[...] = particles.weight
+    out.species[...] = particles.species
+    return out
 
 
 def push_work(

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...runtime.arena import Arena
 from ...simmpi.comm import Communicator
 from .decomp import GTCDecomposition, choose_decomposition
 from .deposit import (
@@ -74,9 +75,15 @@ class GTC:
 
     app_key = "gtc"
 
-    def __init__(self, params: GTCParams, comm: Communicator) -> None:
+    def __init__(
+        self,
+        params: GTCParams,
+        comm: Communicator,
+        arena: Arena | None = None,
+    ) -> None:
         self.params = params
         self.comm = comm
+        self.arena = arena
         if comm.nprocs % params.ntoroidal != 0:
             raise ValueError(
                 f"nprocs ({comm.nprocs}) must be a multiple of "
@@ -119,12 +126,19 @@ class GTC:
         vectorized = self.params.use_work_vector
         partial: list[np.ndarray] = []
         for rank, p in enumerate(self.particles):
+            # Per-rank persistent accumulation buffers: the partials
+            # must all survive until the subgroup Allreduce below.
+            dest = (
+                self.arena.scratch(f"gtc.charge.partial.{rank}", grid.shape)
+                if self.arena is not None
+                else None
+            )
             if vectorized:
                 rho = deposit_work_vector(
-                    grid, p, self.params.work_vector_copies
+                    grid, p, self.params.work_vector_copies, out=dest
                 )
             else:
-                rho = deposit_scalar(grid, p)
+                rho = deposit_scalar(grid, p, out=dest)
             self.comm.compute(rank, deposit_work(len(p), vectorized))
             partial.append(rho)
 
@@ -136,14 +150,30 @@ class GTC:
                 self.charge[rank] = reduced[k]
 
     def field_phase(self) -> None:
-        """Poisson solve and E-field, replicated per rank (phase 3)."""
+        """Poisson solve and E-field, replicated per rank (phase 3).
+
+        With an arena the replicated solve is computed once per
+        toroidal domain: after the subgroup Allreduce every rank of a
+        domain holds the same charge bitwise, so the per-rank solves
+        are identical by construction and the fast path shares the
+        (read-only) results.  Virtual time is still charged per rank —
+        each simulated processor does the work.
+        """
         grid = self.torus.plane
         self.e_fields = []
+        domain_fields: dict[int, tuple[np.ndarray, tuple]] = {}
         for rank in range(self.comm.nprocs):
-            rho = self.charge[rank]
-            phi = solve_poisson(grid, rho - rho.mean())
-            self.phi[rank] = phi
-            self.e_fields.append(electric_field(grid, phi))
+            domain = self.decomp.domain_of(rank)
+            if self.arena is None or domain not in domain_fields:
+                rho = self.charge[rank]
+                phi = solve_poisson(grid, rho - rho.mean())
+                fields = (phi, electric_field(grid, phi))
+                if self.arena is not None:
+                    domain_fields[domain] = fields
+            else:
+                fields = domain_fields[domain]
+            self.phi[rank] = fields[0]
+            self.e_fields.append(fields[1])
             self.comm.compute(rank, poisson_work(grid))
 
     def push_phase(self) -> None:
@@ -155,10 +185,36 @@ class GTC:
             e_r, e_theta = self.e_fields[rank]
             er_p, et_p = gather_field(grid, e_r, e_theta, p)
             new_particles.append(
-                push_particles(self.torus, p, er_p, et_p, self.push_params)
+                push_particles(
+                    self.torus,
+                    p,
+                    er_p,
+                    et_p,
+                    self.push_params,
+                    out=self._push_buffers(rank, len(p)),
+                )
             )
             self.comm.compute(rank, push_work(len(p), vectorized))
         self.particles = new_particles
+
+    def _push_buffers(self, rank: int, n: int) -> ParticleArray | None:
+        """Arena-backed destination particles for the push ping-pong.
+
+        Keys alternate on step parity so the buffers being written
+        never alias the (previous step's) particles being read.
+        """
+        if self.arena is None:
+            return None
+        tag = f"gtc.push.{rank}.{self.step_count % 2}"
+        sc = self.arena.scratch
+        return ParticleArray(
+            r=sc(tag + ".r", (n,)),
+            theta=sc(tag + ".theta", (n,)),
+            zeta=sc(tag + ".zeta", (n,)),
+            vpar=sc(tag + ".vpar", (n,)),
+            weight=sc(tag + ".weight", (n,)),
+            species=sc(tag + ".species", (n,)),
+        )
 
     def shift_phase(self) -> None:
         """Toroidal particle exchange (phase 5)."""

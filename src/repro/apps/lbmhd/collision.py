@@ -16,10 +16,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...runtime.arena import Arena, scratch_or_empty
 from ...workload import Work
-from .equilibrium import FLOPS_PER_POINT, f_equilibrium, g_equilibrium
-from .fields import magnetic_field, momentum, split_state
-from .lattice import NSLOTS
+from .equilibrium import (
+    _XI27,
+    FEQ_MOMENT_MATRIX,
+    FLOPS_PER_POINT,
+    GEQ_MOMENT_MATRIX,
+    dot_moments,
+)
+from .fields import split_state
+from .lattice import NQ_F, NQ_G, NSLOTS
 
 #: Vector-register demand of the fused collision loop body (live
 #: temporaries across the 27+45-component update); exceeds the X1's 32.
@@ -63,24 +70,103 @@ class CollisionParams:
         return (self.tau_m - 0.5) / 3.0
 
 
-def collide(state: np.ndarray, params: CollisionParams) -> np.ndarray:
+def collide(
+    state: np.ndarray,
+    params: CollisionParams,
+    out: np.ndarray | None = None,
+    arena: Arena | None = None,
+) -> np.ndarray:
     """One BGK collision over the whole (local) grid; returns new state.
 
-    The input is not modified.  Density, momentum, and total magnetic
-    field are conserved point-wise to round-off (tests enforce this).
+    The input is not modified (unless ``out is state``, which is
+    supported: every read of a cell completes before its write).
+    Density, momentum, and total magnetic field are conserved
+    point-wise to round-off (tests enforce this).
+
+    Parameters
+    ----------
+    out:
+        Optional destination array, shape/dtype of ``state`` (e.g. the
+        core view of a ghost-padded buffer); fully overwritten.
+    arena:
+        Optional :class:`~repro.runtime.arena.Arena` the kernel draws
+        its moment/equilibrium workspaces from instead of allocating.
+        The arithmetic is identical with or without an arena, so the
+        two modes produce bitwise-identical states.
+
+    The grid may carry extra leading batch axes — a stacked
+    ``(NSLOTS, nranks, nx, ny, nz)`` multi-rank block collides exactly
+    as ``nranks`` separate calls would, since every operation is
+    point-local.
     """
     f, g = split_state(state)
-    rho = f.sum(axis=0)
-    u = momentum(f) / rho
-    B = magnetic_field(g)
+    n = state.shape[1:]
+    npts = int(np.prod(n))
 
-    feq = f_equilibrium(rho, u, B)
-    geq = g_equilibrium(u, B)
+    def sc(key: str, shape: tuple[int, ...]) -> np.ndarray:
+        return scratch_or_empty(arena, "lbmhd.collide." + key, shape)
 
-    out = np.empty_like(state)
+    rho = np.add.reduce(f, axis=0, out=sc("rho", n))
+    # NOTE: this 27-term contraction stays einsum — BLAS matmul picks
+    # size-dependent kernels at K=27, which would break bitwise
+    # decomposition-independence (dot_moments pins the tile width for
+    # exactly this reason, but a 27-deep contraction is unstable even
+    # then at small widths, so the momentum stays on einsum).
+    m = np.einsum("i...,ia->a...", f, _XI27, out=sc("m", (3, *n)))
+    u = np.divide(m, rho, out=sc("u", (3, *n)))
+    B = np.add.reduce(g, axis=0, out=sc("B", (3, *n)))
+
+    # Quadratic moment fields; both equilibria are constant linear maps
+    # of these (FEQ_MOMENT_MATRIX / GEQ_MOMENT_MATRIX), so the (27, ...)
+    # and (45, ...) expression trees collapse into two tiled matmuls
+    # over small (11, ...) / (6, ...) field stacks.
+    V = sc("V", (11, *n))
+    t = sc("t", n)
+    V[0] = rho
+    V[1:4] = m
+    for idx, (a, b) in enumerate(
+        ((0, 0), (1, 1), (2, 2), (0, 1), (0, 2), (1, 2))
+    ):
+        np.multiply(B[a], B[b], out=t)
+        np.multiply(m[a], u[b], out=V[4 + idx])
+        np.subtract(V[4 + idx], t, out=V[4 + idx])
+    np.multiply(B[0], B[0], out=V[10])
+    np.multiply(B[1], B[1], out=t)
+    np.add(V[10], t, out=V[10])
+    np.multiply(B[2], B[2], out=t)
+    np.add(V[10], t, out=V[10])
+
+    VG = sc("VG", (6, *n))
+    VG[0:3] = B
+    for idx, (a, b) in enumerate(((0, 1), (0, 2), (1, 2))):
+        np.multiply(u[a], B[b], out=VG[3 + idx])
+        np.multiply(B[a], u[b], out=t)
+        np.subtract(VG[3 + idx], t, out=VG[3 + idx])
+
+    # BGK relaxation folded into the moment maps:
+    #   f' = (1 - 1/tau) f + (C/tau) V
+    feq_t = sc("feq_t", (NQ_F, *n))
+    dot_moments(
+        FEQ_MOMENT_MATRIX / params.tau,
+        V.reshape(11, npts),
+        feq_t.reshape(NQ_F, npts),
+        arena=arena,
+    )
+    geq_t = sc("geq_t", (NQ_G, 3, *n))
+    dot_moments(
+        GEQ_MOMENT_MATRIX / params.tau_m,
+        VG.reshape(6, npts),
+        geq_t.reshape(NQ_G * 3, npts),
+        arena=arena,
+    )
+
+    if out is None:
+        out = np.empty_like(state)
     f_out, g_out = split_state(out)
-    f_out[:] = f + (feq - f) / params.tau
-    g_out[:] = g + (geq - g) / params.tau_m
+    np.multiply(f, 1.0 - 1.0 / params.tau, out=f_out)
+    np.add(f_out, feq_t, out=f_out)
+    np.multiply(g, 1.0 - 1.0 / params.tau_m, out=g_out)
+    np.add(g_out, geq_t, out=g_out)
     return out
 
 

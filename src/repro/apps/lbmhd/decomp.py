@@ -12,6 +12,7 @@ received in the previous ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -125,6 +126,7 @@ def exchange_halos(
     comm: Communicator,
     decomp: CartesianDecomposition3D,
     padded: list[np.ndarray],
+    zero_copy: bool = False,
 ) -> None:
     """Fill the one-cell ghost layers of every rank's padded state.
 
@@ -134,6 +136,14 @@ def exchange_halos(
     edge/corner ghosts needed by diagonal streaming.  Self-neighboring
     axes (a single rank along that axis) wrap locally at zero cost,
     matching the physical periodic boundary.
+
+    ``zero_copy=True`` posts boundary-plane *views* and delivers them
+    uncopied (``exchange(..., copy=False)``): each halo plane then
+    moves with a single strided copy — the ghost-layer write — instead
+    of three (plane extraction, runtime delivery, ghost write).  This
+    is safe here because sends read core planes while receives write
+    only ghost planes, which never overlap; the filled ghosts are
+    bitwise-identical either way.
     """
     if len(padded) != decomp.nprocs:
         raise ValueError("need one padded block per rank")
@@ -142,6 +152,9 @@ def exchange_halos(
     for axis in range(3):
         ax = axis + 1  # slot axis is 0
         n = core_hi[axis]
+        lo_idx = [slice(None)] * 4
+        hi_idx = [slice(None)] * 4
+        lo_idx[ax], hi_idx[ax] = 1, n
         messages: list[Message] = []
         local_wrap: list[int] = []
         for rank in range(decomp.nprocs):
@@ -150,11 +163,15 @@ def exchange_halos(
             if lo_nbr == rank and hi_nbr == rank:
                 local_wrap.append(rank)
                 continue
-            lo_plane = np.take(padded[rank], 1, axis=ax)
-            hi_plane = np.take(padded[rank], n, axis=ax)
+            if zero_copy:
+                lo_plane = padded[rank][tuple(lo_idx)]
+                hi_plane = padded[rank][tuple(hi_idx)]
+            else:
+                lo_plane = np.take(padded[rank], 1, axis=ax)
+                hi_plane = np.take(padded[rank], n, axis=ax)
             messages.append(Message(src=rank, dst=lo_nbr, payload=lo_plane, tag=axis))
             messages.append(Message(src=rank, dst=hi_nbr, payload=hi_plane, tag=axis + 8))
-        received = comm.exchange(messages)
+        received = comm.exchange(messages, copy=not zero_copy)
 
         # Single rank along this axis: wrap the planes locally.
         for rank in local_wrap:
@@ -179,3 +196,111 @@ def exchange_halos(
             ghost = [slice(None)] * 4
             ghost[ax] = n + 1 if m.tag == axis else 0
             padded[m.dst][tuple(ghost)] = payload
+
+
+@lru_cache(maxsize=None)
+def _halo_plan(
+    decomp: CartesianDecomposition3D,
+) -> tuple[
+    tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None, ...
+]:
+    """Per-axis neighbor topology of the halo exchange, computed once.
+
+    For each axis: ``None`` when the processor grid is flat along it
+    (every rank wraps locally), else ``(lo, hi, srcs, dsts)`` where
+    ``lo[r]``/``hi[r]`` are rank ``r``'s periodic neighbors and
+    ``srcs``/``dsts`` spell out the legacy per-rank message order
+    (rank 0's low send, rank 0's high send, rank 1's low send, ...) for
+    clock/trace accounting.
+    """
+    axes = []
+    ranks = np.arange(decomp.nprocs, dtype=np.intp)
+    for axis in range(3):
+        if decomp.proc_grid[axis] == 1:
+            axes.append(None)
+            continue
+        lo = np.array(
+            [decomp.neighbor(r, axis, -1) for r in ranks], dtype=np.intp
+        )
+        hi = np.array(
+            [decomp.neighbor(r, axis, +1) for r in ranks], dtype=np.intp
+        )
+        srcs = np.repeat(ranks, 2)
+        dsts = np.empty(2 * decomp.nprocs, dtype=np.intp)
+        dsts[0::2] = lo
+        dsts[1::2] = hi
+        axes.append((lo, hi, srcs, dsts))
+    return tuple(axes)
+
+
+def exchange_halos_block(
+    comm: Communicator,
+    decomp: CartesianDecomposition3D,
+    padded_block: np.ndarray,
+) -> None:
+    """Batched :func:`exchange_halos` over a stacked multi-rank block.
+
+    ``padded_block`` has shape ``(slots, nranks, lx+2, ly+2, lz+2)``
+    with every core already written.  Each axis phase moves all ranks'
+    boundary planes in two strided gather-copies (instead of two Python
+    messages per rank) and charges the communicator through
+    :meth:`~repro.simmpi.comm.Communicator.exchange_phase` with the
+    legacy message ordering, so clocks, traces, and the filled ghosts
+    are all identical to the per-rank path bitwise.
+    """
+    if padded_block.ndim != 5 or padded_block.shape[1] != decomp.nprocs:
+        raise ValueError("padded_block must be (slots, nranks, x, y, z)")
+    if not padded_block.flags.c_contiguous:
+        # The slice algebra below needs the rank axis reshaped in place;
+        # a strided block takes the (equivalent) per-rank path instead.
+        exchange_halos(
+            comm,
+            decomp,
+            [padded_block[:, r] for r in range(decomp.nprocs)],
+            zero_copy=True,
+        )
+        return
+    plan = _halo_plan(decomp)
+    itemsize = padded_block.itemsize
+    # Ranks are laid out C-order over the processor grid
+    # (``rank = (cx*py + cy)*pz + cz``), so splitting the rank axis into
+    # (px, py, pz) turns each neighbor shift into plain slice algebra.
+    slots = padded_block.shape[0]
+    grid = decomp.proc_grid
+    block7 = padded_block.reshape(slots, *grid, *padded_block.shape[2:])
+    for axis in range(3):
+        n = decomp.local_shape[axis]
+        ga = axis + 1  # processor-grid axis in the 7-d frame
+        sp = axis + 4  # spatial axis in the 7-d frame
+        p_ax = grid[axis]
+
+        def idx(grid_sel: slice | int, plane: int) -> tuple:
+            ix: list = [slice(None)] * 7
+            ix[ga] = grid_sel
+            ix[sp] = plane
+            return tuple(ix)
+
+        # Hi ghost <- hi neighbor's low core plane; lo ghost <- lo
+        # neighbor's high core plane.  Each direction is a bulk
+        # coordinate shift plus the periodic wrap column — all basic
+        # (view) slices, no gather temporaries.  With a flat grid along
+        # this axis only the wrap assignments run: the local periodic
+        # wrap, charged nothing, exactly like the per-rank path.
+        if p_ax > 1:
+            block7[idx(slice(0, p_ax - 1), n + 1)] = block7[
+                idx(slice(1, p_ax), 1)
+            ]
+            block7[idx(slice(1, p_ax), 0)] = block7[
+                idx(slice(0, p_ax - 1), n)
+            ]
+        block7[idx(p_ax - 1, n + 1)] = block7[idx(0, 1)]
+        block7[idx(0, 0)] = block7[idx(p_ax - 1, n)]
+
+        if plan[axis] is not None:
+            _, _, srcs, dsts = plan[axis]
+            plane_bytes = itemsize * int(
+                np.prod(
+                    [padded_block.shape[i] for i in (0, 2, 3, 4) if i != axis + 2]
+                )
+            )
+            comm.exchange_phase(srcs, dsts, plane_bytes)

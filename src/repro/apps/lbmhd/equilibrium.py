@@ -23,10 +23,157 @@ from __future__ import annotations
 
 import numpy as np
 
-from .lattice import CS2, Q15_VELOCITIES, Q15_WEIGHTS, Q27_VELOCITIES, Q27_WEIGHTS
+from ...runtime.arena import Arena, scratch_or_empty
+from .lattice import (
+    CS2,
+    NQ_F,
+    NQ_G,
+    Q15_VELOCITIES,
+    Q15_WEIGHTS,
+    Q27_VELOCITIES,
+    Q27_WEIGHTS,
+)
+
+#: Lattice constants hoisted out of the per-step kernels (the seed
+#: re-derived them via ``astype``/``sum`` on every call).
+_XI27 = Q27_VELOCITIES.astype(np.float64)
+_XI27_SQ = (_XI27**2).sum(axis=1)  # |xi_i|^2, shape (27,)
+#: 0.5 |xi_i|^2 — |xi|^2 is a small integer, so the halving is exact and
+#: ``(0.5 xi2) * B2`` is bitwise ``(xi2 * B2) * 0.5`` in one fewer pass.
+_XI27_SQ_HALF = 0.5 * _XI27_SQ
+_XI27_T = np.ascontiguousarray(_XI27.T)
+_ETA15 = Q15_VELOCITIES.astype(np.float64)
 
 
-def f_equilibrium(rho: np.ndarray, u: np.ndarray, B: np.ndarray) -> np.ndarray:
+def _dot_lattice(mat: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``mat @ x`` over the leading axis, written into ``out``.
+
+    Contracts a small ``(q, 3)`` lattice matrix against ``x`` of shape
+    ``(3, ...)`` into ``out`` of shape ``(q, ...)`` via a flattened BLAS
+    ``matmul``.  At this contraction depth (K=3) the per-element result
+    is measured invariant to how the trailing points are sliced or
+    batched on every width from 1 upward, so decomposition-independence
+    is preserved bitwise; deeper contractions (e.g. the 27-term momentum
+    sum) hit size-dependent BLAS kernels and must stay on einsum.
+    Non-viewable operands are staged through contiguous copies so the
+    arithmetic is the same matmul on every input layout.
+    """
+    if mat.shape[1] != 3:
+        raise ValueError("_dot_lattice is validated for K=3 contractions only")
+    try:
+        xv = x.view()
+        xv.shape = (3, -1)
+    except AttributeError:
+        xv = np.ascontiguousarray(x).reshape(3, -1)
+    try:
+        ov = out.view()
+        ov.shape = (mat.shape[0], -1)
+    except AttributeError:
+        out[...] = np.matmul(mat, xv).reshape(out.shape)
+        return out
+    np.matmul(mat, xv, out=ov)
+    return out
+
+
+#: Fixed contraction tile width for :func:`dot_moments`.  The width (not
+#: the data) selects the BLAS kernel, so pinning it makes every call use
+#: the same kernel; at these contraction depths the per-column result is
+#: then measured independent of the column's offset within the tile, of
+#: the other columns' values (zero padding), and of the operands' leading
+#: strides — which is exactly what bitwise decomposition-independence
+#: needs, since different rank layouts place the same lattice point at
+#: different positions.
+_TILE = 512
+
+
+def _build_feq_matrix() -> np.ndarray:
+    """(27, 11) map from quadratic moment fields to f-equilibrium.
+
+    Field order: [rho, m_x, m_y, m_z, P_xx, P_yy, P_zz, P_xy, P_xz,
+    P_yz, |B|^2] with ``m = rho u`` and ``P_ab = rho u_a u_b - B_a B_b``
+    (the traceless part of the Maxwell-stress-augmented momentum flux).
+    Row i collects the coefficients of
+    ``w_i [rho + xi.m/cs^2 + (A:xixi - cs^2 trA)/(2 cs^4)]`` with
+    ``A:xixi = xi_a xi_b P_ab + |xi|^2 |B|^2 / 2`` and
+    ``trA = P_aa + 3|B|^2/2``.
+    """
+    w = Q27_WEIGHTS
+    C = np.empty((w.size, 11))
+    C[:, 0] = w
+    C[:, 1:4] = w[:, None] * _XI27 / CS2
+    c2 = w / (2.0 * CS2 * CS2)
+    for d, a in enumerate(range(3)):
+        C[:, 4 + d] = c2 * (_XI27[:, a] ** 2 - CS2)
+    C[:, 7] = c2 * 2.0 * _XI27[:, 0] * _XI27[:, 1]
+    C[:, 8] = c2 * 2.0 * _XI27[:, 0] * _XI27[:, 2]
+    C[:, 9] = c2 * 2.0 * _XI27[:, 1] * _XI27[:, 2]
+    C[:, 10] = c2 * (0.5 * _XI27_SQ - 1.5 * CS2)
+    return C
+
+
+def _build_geq_matrix() -> np.ndarray:
+    """(45, 6) map from [B_x, B_y, B_z, l_xy, l_xz, l_yz] to g-equilibrium.
+
+    ``l_ab = u_a B_b - B_a u_b`` are the independent components of the
+    antisymmetric induction tensor; row ``3a + k`` is
+    ``W_a [B_k + (eta_a . Lambda)_k / cs^2]`` expanded over them.
+    """
+    W = Q15_WEIGHTS
+    G = np.zeros((W.size * 3, 6))
+    for a in range(W.size):
+        e0, e1, e2 = _ETA15[a] / CS2
+        for k in range(3):
+            G[3 * a + k, k] = W[a]
+        G[3 * a + 0, 3] = -W[a] * e1
+        G[3 * a + 0, 4] = -W[a] * e2
+        G[3 * a + 1, 3] = W[a] * e0
+        G[3 * a + 1, 5] = -W[a] * e2
+        G[3 * a + 2, 4] = W[a] * e0
+        G[3 * a + 2, 5] = W[a] * e1
+    return G
+
+
+FEQ_MOMENT_MATRIX = _build_feq_matrix()
+GEQ_MOMENT_MATRIX = _build_geq_matrix()
+
+
+def dot_moments(
+    mat: np.ndarray,
+    fields: np.ndarray,
+    out: np.ndarray,
+    arena: Arena | None = None,
+) -> np.ndarray:
+    """``mat @ fields`` in fixed-width tiles: fast and decomposition-safe.
+
+    ``fields`` is ``(K, N)``, ``out`` ``(M, N)``; both may be views with
+    arbitrary leading stride.  Full tiles contract via BLAS ``matmul``
+    at the pinned width ``_TILE`` (see the note there); the tail is
+    staged through a zero-padded contiguous tile, which is measured
+    bitwise-equal to the full-width kernel column-for-column.
+    """
+    ntotal = fields.shape[1]
+    nfull = (ntotal // _TILE) * _TILE
+    for s in range(0, nfull, _TILE):
+        np.matmul(mat, fields[:, s : s + _TILE], out=out[:, s : s + _TILE])
+    if nfull < ntotal:
+        w = ntotal - nfull
+        key = f"lbmhd.dot.tile.{mat.shape[0]}x{mat.shape[1]}"
+        tile = scratch_or_empty(arena, key, (mat.shape[1], _TILE))
+        tile[:, :w] = fields[:, nfull:]
+        tile[:, w:] = 0.0
+        res = scratch_or_empty(arena, key + ".out", (mat.shape[0], _TILE))
+        np.matmul(mat, tile, out=res)
+        out[:, nfull:] = res[:, :w]
+    return out
+
+
+def f_equilibrium(
+    rho: np.ndarray,
+    u: np.ndarray,
+    B: np.ndarray,
+    out: np.ndarray | None = None,
+    arena: Arena | None = None,
+) -> np.ndarray:
     """Hydrodynamic equilibrium, shape (27, ...).
 
     Parameters
@@ -35,47 +182,82 @@ def f_equilibrium(rho: np.ndarray, u: np.ndarray, B: np.ndarray) -> np.ndarray:
         Density, shape ``(...)``.
     u, B:
         Velocity and magnetic field, shape ``(3, ...)``.
+    out:
+        Optional destination for the result (fully overwritten).
+    arena:
+        Optional scratch arena; every temporary of the kernel is drawn
+        from it instead of freshly allocated.  The arithmetic (and its
+        evaluation order) is identical either way, so the two modes are
+        bitwise-interchangeable.
     """
-    xi = Q27_VELOCITIES.astype(np.float64)
-    w = Q27_WEIGHTS
+    n = rho.shape
+    lead = (slice(None),) + (None,) * rho.ndim
 
-    xu = np.einsum("ia,a...->i...", xi, u)  # xi . u, shape (27, ...)
-    xB = np.einsum("ia,a...->i...", xi, B)
-    u2 = (u**2).sum(axis=0)
-    B2 = (B**2).sum(axis=0)
+    def sc(key: str, shape: tuple[int, ...]) -> np.ndarray:
+        return scratch_or_empty(arena, "lbmhd.feq." + key, shape)
+
+    xu = _dot_lattice(_XI27, u, sc("xu", (NQ_F, *n)))
+    xB = _dot_lattice(_XI27, B, sc("xB", (NQ_F, *n)))
+    usq = np.multiply(u, u, out=sc("usq", u.shape))
+    u2 = np.add.reduce(usq, axis=0, out=sc("u2", n))
+    Bsq = np.multiply(B, B, out=sc("Bsq", B.shape))
+    B2 = np.add.reduce(Bsq, axis=0, out=sc("B2", n))
 
     # A : xi xi  =  rho (xi.u)^2 + |B|^2/2 |xi|^2 - (xi.B)^2
-    xi2 = (xi**2).sum(axis=1)  # |xi_i|^2, shape (27,)
-    A_xixi = (
-        rho * xu**2
-        + 0.5 * np.multiply.outer(xi2, B2)
-        - xB**2
-    )
+    A = np.multiply(xu, xu, out=sc("A", (NQ_F, *n)))
+    np.multiply(A, rho, out=A)
+    t = np.multiply(_XI27_SQ_HALF[lead], B2, out=sc("outer", (NQ_F, *n)))
+    np.add(A, t, out=A)
+    np.multiply(xB, xB, out=xB)
+    np.subtract(A, xB, out=A)
+
     # tr(A) = rho |u|^2 + 3 |B|^2/2 - |B|^2 = rho|u|^2 + |B|^2/2
-    trA = rho * u2 + 0.5 * B2
+    trA = np.multiply(rho, u2, out=sc("trA", n))
+    np.multiply(B2, 0.5, out=B2)
+    np.add(trA, B2, out=trA)
 
-    feq = w[(slice(None),) + (None,) * rho.ndim] * (
-        rho + rho * xu / CS2 + (A_xixi - CS2 * trA) / (2.0 * CS2 * CS2)
-    )
-    return feq
+    # feq = w [ rho + rho xi.u / cs^2 + (A:xixi - cs^2 trA) / (2 cs^4) ]
+    if out is None:
+        out = np.empty((NQ_F, *n))
+    np.multiply(rho, xu, out=out)
+    np.divide(out, CS2, out=out)
+    np.add(out, rho, out=out)
+    np.multiply(trA, CS2, out=trA)
+    np.subtract(A, trA, out=A)
+    np.divide(A, 2.0 * CS2 * CS2, out=A)
+    np.add(out, A, out=out)
+    np.multiply(out, Q27_WEIGHTS[lead], out=out)
+    return out
 
 
-def g_equilibrium(u: np.ndarray, B: np.ndarray) -> np.ndarray:
-    """Magnetic equilibrium, shape (15, 3, ...)."""
-    eta = Q15_VELOCITIES.astype(np.float64)
-    W = Q15_WEIGHTS
+def g_equilibrium(
+    u: np.ndarray,
+    B: np.ndarray,
+    out: np.ndarray | None = None,
+    arena: Arena | None = None,
+) -> np.ndarray:
+    """Magnetic equilibrium, shape (15, 3, ...).
+
+    ``out``/``arena`` behave as in :func:`f_equilibrium`.
+    """
+    n = u.shape[1:]
+
+    def sc(key: str, shape: tuple[int, ...]) -> np.ndarray:
+        return scratch_or_empty(arena, "lbmhd.geq." + key, shape)
 
     # Lambda_jk = u_j B_k - B_j u_k  (antisymmetric), shape (3, 3, ...)
-    lam = np.einsum("j...,k...->jk...", u, B) - np.einsum(
-        "j...,k...->jk...", B, u
-    )
-    # eta_a . Lambda -> shape (15, 3(k), ...)
-    eta_lam = np.einsum("aj,jk...->ak...", eta, lam)
+    lam = np.multiply(u[:, None], B[None, :], out=sc("lam", (3, 3, *n)))
+    t = np.multiply(B[:, None], u[None, :], out=sc("lam2", (3, 3, *n)))
+    np.subtract(lam, t, out=lam)
 
-    shape_tail = (None,) * (u.ndim - 1)
-    Wb = W[(slice(None), None) + shape_tail]
-    geq = Wb * (B[None, ...] + eta_lam / CS2)
-    return geq
+    # eta_a . Lambda -> shape (15, 3(k), ...)
+    if out is None:
+        out = np.empty((NQ_G, 3, *n))
+    _dot_lattice(_ETA15, lam, out)
+    np.divide(out, CS2, out=out)
+    np.add(out, B[None, ...], out=out)
+    np.multiply(out, Q15_WEIGHTS[(slice(None), None) + (None,) * (u.ndim - 1)], out=out)
+    return out
 
 
 #: Analytic flop count per lattice point for the collision kernel

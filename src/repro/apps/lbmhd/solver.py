@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...runtime.arena import Arena
 from ...simmpi.comm import Communicator
 from .collision import (
     COLLISION_REGISTER_DEMAND,
@@ -26,7 +27,11 @@ from .collision import (
     collide,
     collision_work,
 )
-from .decomp import CartesianDecomposition3D, exchange_halos
+from .decomp import (
+    CartesianDecomposition3D,
+    exchange_halos,
+    exchange_halos_block,
+)
 from .equilibrium import f_equilibrium, g_equilibrium
 from .fields import (
     kinetic_energy,
@@ -36,7 +41,12 @@ from .fields import (
     split_state,
 )
 from .lattice import NSLOTS
-from .stream import pad_state, stream_from_padded, stream_periodic
+from .stream import (
+    pad_state,
+    stream_from_padded,
+    stream_from_padded_batch,
+    stream_periodic,
+)
 
 
 @dataclass(frozen=True)
@@ -140,23 +150,51 @@ class Diagnostics:
 
 
 class LBMHD3D:
-    """Parallel LBMHD3D simulation over a simulated communicator."""
+    """Parallel LBMHD3D simulation over a simulated communicator.
+
+    Passing an :class:`~repro.runtime.arena.Arena` enables the
+    allocation-free fast path: all rank states live side by side in one
+    ``(NSLOTS, nranks, lx, ly, lz)`` block, collision runs batched over
+    every rank at once into a persistent ghost-padded buffer, the halo
+    exchange moves plane views without intermediate copies, and
+    streaming writes straight back into the state block.  The fast path
+    is bitwise-identical to the allocating path (the regression suite
+    enforces this across decompositions).
+    """
 
     app_key = "lbmhd"
 
-    def __init__(self, params: LBMHDParams, comm: Communicator) -> None:
+    def __init__(
+        self,
+        params: LBMHDParams,
+        comm: Communicator,
+        arena: Arena | None = None,
+    ) -> None:
         self.params = params
         self.comm = comm
+        self.arena = arena
         self.decomp = CartesianDecomposition3D.create(params.shape, comm.nprocs)
         rho, u, B = orszag_tang_fields(params.shape, params.u0, params.b0)
         global_state = equilibrium_state(rho, u, B)
         self.states: list[np.ndarray] = self.decomp.scatter(global_state)
+        self._state_block: np.ndarray | None = None
+        if arena is not None and comm.nprocs > 1 and not params.use_mrt:
+            lx, ly, lz = self.decomp.local_shape
+            block = np.empty((NSLOTS, comm.nprocs, lx, ly, lz))
+            for r, s in enumerate(self.states):
+                block[:, r] = s
+            self._state_block = block
+            self.states = [block[:, r] for r in range(comm.nprocs)]
         self.step_count = 0
 
     # -- time stepping ---------------------------------------------------
 
     def step(self) -> None:
         """One fused collide+stream update across all ranks."""
+        if self._state_block is not None:
+            self._step_fast()
+            self.step_count += 1
+            return
         post = []
         local_points = int(np.prod(self.decomp.local_shape))
         if self.params.use_mrt:
@@ -167,7 +205,7 @@ class LBMHD3D:
             if self.params.use_mrt:
                 new = collide_mrt(state, mrt_params)
             else:
-                new = collide(state, self.params.collision)
+                new = collide(state, self.params.collision, arena=self.arena)
             self.comm.compute(rank, collision_work(local_points))
             post.append(new)
 
@@ -178,6 +216,32 @@ class LBMHD3D:
             exchange_halos(self.comm, self.decomp, padded)
             self.states = [stream_from_padded(p) for p in padded]
         self.step_count += 1
+
+    def _step_fast(self) -> None:
+        """Arena-backed batched step: zero allocations at steady state."""
+        arena = self.arena
+        assert arena is not None and self._state_block is not None
+        nranks = self.comm.nprocs
+        lx, ly, lz = self.decomp.local_shape
+        block = self._state_block
+
+        padded_block = arena.scratch(
+            "lbmhd.padded_block", (NSLOTS, nranks, lx + 2, ly + 2, lz + 2)
+        )
+        # Collide straight into the ghost-padded core: no separate
+        # post-collision buffer, no pack copy.
+        collide(
+            block,
+            self.params.collision,
+            out=padded_block[:, :, 1 : lx + 1, 1 : ly + 1, 1 : lz + 1],
+            arena=arena,
+        )
+        work = collision_work(lx * ly * lz)
+        for rank in range(nranks):
+            self.comm.compute(rank, work)
+
+        exchange_halos_block(self.comm, self.decomp, padded_block)
+        stream_from_padded_batch(padded_block, out=block)
 
     def run(self, steps: int) -> None:
         for _ in range(steps):

@@ -25,44 +25,89 @@ from .lattice import NSLOTS, slot_shifts
 _SHIFTS = slot_shifts()
 
 
-def stream_periodic(state: np.ndarray) -> np.ndarray:
+def stream_periodic(state: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Pull-streaming with global periodic wrap (single-rank reference).
 
     ``new[s, x] = old[s, x - c_s]`` — implemented as a positive roll by
-    ``c_s`` along each axis.
+    ``c_s`` along each axis.  ``out`` must not alias ``state``.
     """
     if state.shape[0] != NSLOTS:
         raise ValueError(f"state must have {NSLOTS} slots")
-    out = np.empty_like(state)
+    if out is None:
+        out = np.empty_like(state)
     for s in range(NSLOTS):
         cx, cy, cz = _SHIFTS[s]
         out[s] = np.roll(state[s], (cx, cy, cz), axis=(0, 1, 2))
     return out
 
 
-def pad_state(state: np.ndarray) -> np.ndarray:
-    """Allocate a one-cell ghost-padded copy of a packed state."""
+def pad_state(state: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """A one-cell ghost-padded copy of a packed state.
+
+    With ``out=None`` a fresh zeroed padded array is allocated (the
+    seed behavior).  Passing a reusable ``out`` buffer only rewrites
+    the core; ghost contents are left as-is, which is safe because the
+    halo exchange fully rewrites every ghost layer before streaming
+    reads it.
+    """
     nx, ny, nz = state.shape[1:]
-    padded = np.zeros((state.shape[0], nx + 2, ny + 2, nz + 2), dtype=state.dtype)
-    padded[:, 1 : nx + 1, 1 : ny + 1, 1 : nz + 1] = state
-    return padded
+    if out is None:
+        out = np.zeros(
+            (state.shape[0], nx + 2, ny + 2, nz + 2), dtype=state.dtype
+        )
+    out[:, 1 : nx + 1, 1 : ny + 1, 1 : nz + 1] = state
+    return out
 
 
-def stream_from_padded(padded: np.ndarray) -> np.ndarray:
+def stream_from_padded(
+    padded: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
     """Pull-streaming out of a ghost-padded array with filled halos.
 
     For interior point ``x`` (1-based in the padded frame) the update is
     ``new[s, x-1] = padded[s, x - c_s]`` — a shifted window over the
     padded array, touching the ghost layer for boundary points.
+    ``out`` (optional, fully overwritten) must not alias ``padded``.
     """
     if padded.shape[0] != NSLOTS:
         raise ValueError(f"state must have {NSLOTS} slots")
     nx, ny, nz = (d - 2 for d in padded.shape[1:])
-    out = np.empty((NSLOTS, nx, ny, nz), dtype=padded.dtype)
+    if out is None:
+        out = np.empty((NSLOTS, nx, ny, nz), dtype=padded.dtype)
     for s in range(NSLOTS):
         cx, cy, cz = _SHIFTS[s]
         out[s] = padded[
             s,
+            1 - cx : 1 - cx + nx,
+            1 - cy : 1 - cy + ny,
+            1 - cz : 1 - cz + nz,
+        ]
+    return out
+
+
+def stream_from_padded_batch(
+    padded: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Batched pull-streaming over a stacked multi-rank padded block.
+
+    ``padded`` has shape ``(NSLOTS, nranks, nx+2, ny+2, nz+2)`` — every
+    rank's ghost-padded post-collision state side by side — and the
+    window slicing of :func:`stream_from_padded` is applied to all
+    ranks in one strided copy per slot (72 array ops per step instead
+    of ``72 * nranks``).  Bitwise-identical to streaming each rank
+    separately.
+    """
+    if padded.shape[0] != NSLOTS:
+        raise ValueError(f"state must have {NSLOTS} slots")
+    nranks = padded.shape[1]
+    nx, ny, nz = (d - 2 for d in padded.shape[2:])
+    if out is None:
+        out = np.empty((NSLOTS, nranks, nx, ny, nz), dtype=padded.dtype)
+    for s in range(NSLOTS):
+        cx, cy, cz = _SHIFTS[s]
+        out[s] = padded[
+            s,
+            :,
             1 - cx : 1 - cx + nx,
             1 - cy : 1 - cy + ny,
             1 - cz : 1 - cz + nz,

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...runtime.arena import Arena
 from ...simmpi.comm import Communicator
 from ...workload import Work
 from .gvectors import GSphere, SphereDistribution, _wrap_index
@@ -33,10 +34,19 @@ from .gvectors import GSphere, SphereDistribution, _wrap_index
 
 @dataclass
 class ParallelFFT3D:
-    """Distributed sphere <-> slab transform engine over a communicator."""
+    """Distributed sphere <-> slab transform engine over a communicator.
+
+    With an :class:`~repro.runtime.arena.Arena` the global transposes
+    run the zero-copy fast path: boundary sub-blocks are posted as
+    views (``alltoallv(copy=False)``), scatter/gather staging buffers
+    are drawn from the arena, and per-pair unpack loops collapse into
+    one stacked placement per rank.  The moved values are identical, so
+    transforms are bitwise-equal to the allocating path.
+    """
 
     dist: SphereDistribution
     comm: Communicator
+    arena: Arena | None = None
 
     def __post_init__(self) -> None:
         if self.comm.nprocs != self.dist.nranks:
@@ -81,6 +91,13 @@ class ParallelFFT3D:
             int
         )
 
+        # Stacked column bookkeeping for the batched transpose: all
+        # ranks' column keys concatenated, plus each rank's offset into
+        # the stack (rank i owns rows off[i]:off[i+1]).
+        self._all_keys = np.concatenate(self._col_keys, axis=0)
+        ncols = np.array([len(k) for k in self._col_keys], dtype=np.int64)
+        self._col_offsets = np.concatenate(([0], np.cumsum(ncols)))
+
     # -- layout helpers -----------------------------------------------------
 
     @property
@@ -115,33 +132,84 @@ class ParallelFFT3D:
         lines: list[np.ndarray] = []
         for rank in range(p):
             ncol = len(self._col_keys[rank])
-            line = np.zeros((ncol, n3), dtype=complex)
+            if self.arena is not None:
+                line = self.arena.scratch(
+                    f"paratec.line.{rank}", (ncol, n3), np.complex128
+                )
+                line.fill(0.0)
+            else:
+                line = np.zeros((ncol, n3), dtype=complex)
             line[self._col_of_point[rank], self._gz_of_point[rank]] = coeffs[
                 rank
             ]
             lines.append(np.fft.ifft(line, axis=1))
 
-        # 2. transpose columns -> slabs.
-        send = [
-            [
-                np.ascontiguousarray(
-                    lines[i][:, self._slab_bounds[j] : self._slab_bounds[j + 1]]
-                )
-                for j in range(p)
-            ]
-            for i in range(p)
-        ]
-        recv = self.comm.alltoallv(send)
+        # 2 + 3. global transpose, then 2-D inverse FFT per plane.
+        slabs = self.transpose_columns_to_slabs(lines)
+        return [np.fft.ifft2(s, axes=(0, 1)) for s in slabs]
 
-        # 3. place columns into each slab; 2-D inverse FFT per plane.
+    def transpose_columns_to_slabs(
+        self, lines: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """The column->slab global transpose (pack, Alltoallv, unpack).
+
+        ``lines[i]`` is rank i's ``(ncol_i, n3)`` z-lines; returns each
+        rank's ``(n1, n2, nz_j)`` slab with the sphere columns placed
+        (zero elsewhere), before any planar FFT.  The allocating path
+        packs every ``(i, j)`` sub-block contiguously and lets the
+        Alltoallv copy; the arena path posts z-window *views*, delivers
+        them uncopied, and stages each destination's rows once for a
+        single stacked scatter per rank.
+        """
+        p = self.comm.nprocs
+        n1, n2, _ = self.grid_shape
+        if self.arena is None:
+            send = [
+                [
+                    np.ascontiguousarray(
+                        lines[i][
+                            :, self._slab_bounds[j] : self._slab_bounds[j + 1]
+                        ]
+                    )
+                    for j in range(p)
+                ]
+                for i in range(p)
+            ]
+            recv = self.comm.alltoallv(send)
+        else:
+            send = [
+                [
+                    lines[i][
+                        :, self._slab_bounds[j] : self._slab_bounds[j + 1]
+                    ]
+                    for j in range(p)
+                ]
+                for i in range(p)
+            ]
+            recv = self.comm.alltoallv(send, copy=False)
+
         slabs = []
+        off = self._col_offsets
+        total = int(off[-1])
         for j in range(p):
             nz = self.slab_shape(j)[2]
-            slab = np.zeros((n1, n2, nz), dtype=complex)
-            for i in range(p):
-                keys = self._col_keys[i]
-                slab[keys[:, 0], keys[:, 1], :] = recv[j][i]
-            slabs.append(np.fft.ifft2(slab, axes=(0, 1)))
+            if self.arena is not None:
+                slab = self.arena.scratch(
+                    f"paratec.slab.{j}", (n1, n2, nz), np.complex128
+                )
+                slab.fill(0.0)
+                rows = self.arena.scratch(
+                    f"paratec.rows.{j}", (total, nz), np.complex128
+                )
+                for i in range(p):
+                    rows[off[i] : off[i + 1]] = recv[j][i]
+                slab[self._all_keys[:, 0], self._all_keys[:, 1], :] = rows
+            else:
+                slab = np.zeros((n1, n2, nz), dtype=complex)
+                for i in range(p):
+                    keys = self._col_keys[i]
+                    slab[keys[:, 0], keys[:, 1], :] = recv[j][i]
+            slabs.append(slab)
         return slabs
 
     def real_to_sphere(self, slabs: list[np.ndarray]) -> list[np.ndarray]:
@@ -150,38 +218,67 @@ class ParallelFFT3D:
         High-frequency grid content outside the sphere is discarded —
         exactly PARATEC's cutoff projection.
         """
-        n1, n2, n3 = self.grid_shape
+        n3 = self.grid_shape[2]
         p = self.comm.nprocs
 
-        # 1. 2-D forward FFT per plane; extract every rank's columns.
-        send: list[list[np.ndarray]] = []
-        for j in range(p):
-            f2 = np.fft.fft2(slabs[j], axes=(0, 1))
-            send.append(
-                [
-                    np.ascontiguousarray(
-                        f2[self._col_keys[i][:, 0], self._col_keys[i][:, 1], :]
-                    )
-                    for i in range(p)
-                ]
-            )
+        # 1. 2-D forward FFT per plane.
+        f2s = [np.fft.fft2(s, axes=(0, 1)) for s in slabs]
 
-        # 2. transpose slabs -> columns: send[j][i] is rank i's columns
-        # restricted to rank j's planes, i.e. rank j sends it to rank i,
-        # so recv[i][j] = send[j][i].
-        recv = self.comm.alltoallv(send)
+        # 2. global transpose slabs -> columns.
+        recv = self.transpose_slabs_to_columns(f2s)
 
         # 3. reassemble full z-lines; forward FFT along z; pull points.
         out = []
         for i in range(p):
             ncol = len(self._col_keys[i])
-            line = np.empty((ncol, n3), dtype=complex)
+            if self.arena is not None:
+                line = self.arena.scratch(
+                    f"paratec.zline.{i}", (ncol, n3), np.complex128
+                )
+            else:
+                line = np.empty((ncol, n3), dtype=complex)
             for j in range(p):
                 lo, hi = self.slab_range(j)
                 line[:, lo:hi] = recv[i][j]
             fz = np.fft.fft(line, axis=1)
             out.append(fz[self._col_of_point[i], self._gz_of_point[i]])
         return out
+
+    def transpose_slabs_to_columns(
+        self, f2s: list[np.ndarray]
+    ) -> list[list[np.ndarray]]:
+        """The slab->column global transpose (pack, Alltoallv, unpack).
+
+        ``f2s[j]`` is rank j's planar-transformed ``(n1, n2, nz_j)``
+        slab; returns ``recv`` with ``recv[i][j]`` = rank i's columns
+        restricted to rank j's planes (rank j sends ``send[j][i]`` to
+        rank i).  The allocating path gathers each ``(j, i)`` block
+        contiguously; the arena path gathers *all* columns of a slab in
+        one stacked fancy-index per rank and posts row-range views,
+        delivered uncopied.
+        """
+        p = self.comm.nprocs
+        if self.arena is None:
+            send = [
+                [
+                    np.ascontiguousarray(
+                        f2s[j][
+                            self._col_keys[i][:, 0], self._col_keys[i][:, 1], :
+                        ]
+                    )
+                    for i in range(p)
+                ]
+                for j in range(p)
+            ]
+            return self.comm.alltoallv(send)
+        off = self._col_offsets
+        send = []
+        for j in range(p):
+            # One gather for every destination at once; the per-rank
+            # blocks are row ranges (views) of the stacked result.
+            allcols = f2s[j][self._all_keys[:, 0], self._all_keys[:, 1], :]
+            send.append([allcols[off[i] : off[i + 1]] for i in range(p)])
+        return self.comm.alltoallv(send, copy=False)
 
     # -- cost accounting --------------------------------------------------
 

@@ -54,6 +54,29 @@ class CollectiveModel:
         alpha, beta = self._alpha_beta()
         return math.ceil(math.log2(p)) * (alpha + nbytes * beta)
 
+    def gather(self, nbytes_total: float, nprocs: int | None = None) -> float:
+        """Binomial-tree gather of ``nbytes_total`` onto one root.
+
+        ``log2 p`` rounds of latency, but — unlike a broadcast — the
+        root's link must absorb the other ranks' ``(p-1)/p`` share of
+        the full payload, which is what serializes the operation.
+        """
+        p = nprocs if nprocs is not None else self.net.nprocs
+        if p <= 1 or nbytes_total <= 0:
+            return 0.0
+        alpha, beta = self._alpha_beta()
+        root_bytes = nbytes_total * (p - 1) / p
+        return math.ceil(math.log2(p)) * alpha + root_bytes * beta
+
+    def allgather(self, nbytes_total: float, nprocs: int | None = None) -> float:
+        """Ring allgather: ``p - 1`` rounds of one ``n/p`` block each."""
+        p = nprocs if nprocs is not None else self.net.nprocs
+        if p <= 1 or nbytes_total <= 0:
+            return 0.0
+        alpha, beta = self._alpha_beta()
+        per_block = nbytes_total / p
+        return (p - 1) * (alpha + per_block * beta)
+
     def alltoall(
         self,
         nbytes_per_pair: float,

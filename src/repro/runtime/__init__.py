@@ -1,0 +1,15 @@
+"""Execution-runtime utilities shared by the hot paths.
+
+* :mod:`repro.runtime.arena` — shape/dtype-keyed scratch-buffer arena
+  that lets hot kernels (LBMHD collide, GTC deposit/push, PARATEC FFT
+  transposes) reuse workspaces across time steps instead of
+  reallocating them;
+* :mod:`repro.runtime.perf` — small wall-clock timing helpers backing
+  ``benchmarks/bench_hotpath.py`` and the ``BENCH_*.json`` perf
+  trajectory.
+"""
+
+from .arena import Arena
+from .perf import Timing, measure, write_results
+
+__all__ = ["Arena", "Timing", "measure", "write_results"]

@@ -1,0 +1,97 @@
+"""Wall-clock measurement helpers for the hot-path benchmarks.
+
+Unlike :mod:`repro.perfmodel`, which models *virtual* time on the
+paper's seven platforms, this module measures the *real* time this
+reproduction takes to run — the quantity ``benchmarks/bench_hotpath.py``
+tracks across PRs in the ``BENCH_*.json`` files.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Wall-clock samples of one benchmarked callable."""
+
+    label: str
+    samples: tuple[float, ...]
+
+    @property
+    def best(self) -> float:
+        """Minimum sample — the least-noisy wall-clock estimate."""
+        return min(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def repeats(self) -> int:
+        return len(self.samples)
+
+    def speedup_over(self, other: "Timing") -> float:
+        """How many times faster this timing is than ``other``."""
+        return other.best / self.best if self.best > 0 else float("inf")
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "best_s": self.best,
+            "mean_s": self.mean,
+            "samples_s": list(self.samples),
+        }
+
+
+def measure(
+    fn: Callable[[], object],
+    label: str = "",
+    repeats: int = 5,
+    warmup: int = 1,
+) -> Timing:
+    """Time ``fn()`` ``repeats`` times after ``warmup`` discarded runs."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return Timing(label=label, samples=tuple(samples))
+
+
+@dataclass
+class StopWatch:
+    """Accumulating named-section timer (for ad-hoc phase breakdowns)."""
+
+    sections: dict[str, float] = field(default_factory=dict)
+    _t0: float | None = None
+    _current: str | None = None
+
+    def start(self, section: str) -> None:
+        if self._current is not None:
+            self.stop()
+        self._current = section
+        self._t0 = time.perf_counter()
+
+    def stop(self) -> None:
+        if self._current is None or self._t0 is None:
+            return
+        dt = time.perf_counter() - self._t0
+        self.sections[self._current] = self.sections.get(self._current, 0.0) + dt
+        self._current = None
+        self._t0 = None
+
+
+def write_results(path: str | Path, results: dict) -> Path:
+    """Write one benchmark campaign to a ``BENCH_*.json`` file."""
+    p = Path(path)
+    p.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return p

@@ -215,7 +215,9 @@ class Communicator:
 
     # -- point-to-point ----------------------------------------------------
 
-    def exchange(self, messages: Sequence[Message]) -> dict[int, list[np.ndarray]]:
+    def exchange(
+        self, messages: Sequence[Message], copy: bool = True
+    ) -> dict[int, list[np.ndarray]]:
         """Execute a phase of point-to-point messages.
 
         All messages are posted "simultaneously" (non-blocking), then
@@ -223,7 +225,12 @@ class Communicator:
         costs; each receiver's clock waits for the latest arrival.
         Returns ``{dst_local_rank: [payload, ...]}`` in posting order.
 
-        Payloads are copied, so senders may reuse their buffers.
+        With ``copy=True`` (the default) payloads are copied, so
+        senders may reuse their buffers.  ``copy=False`` is the
+        zero-copy fast path: the posted payload objects themselves are
+        delivered, which is only safe when the sender does not mutate
+        them before the receiver is done (the halo exchange sends
+        freshly sliced planes, so it qualifies).
         """
         received: dict[int, list[np.ndarray]] = {}
         depart_base = {m.src: self._clock.time(self._g(m.src)) for m in messages}
@@ -235,7 +242,9 @@ class Communicator:
                 raise IndexError(f"message rank out of range: {m.src}->{m.dst}")
             if self._trace is not None:
                 self._trace.record(self._g(m.src), self._g(m.dst), m.nbytes)
-            received.setdefault(m.dst, []).append(np.array(m.payload, copy=True))
+            received.setdefault(m.dst, []).append(
+                np.array(m.payload, copy=True) if copy else m.payload
+            )
             if self._net is None:
                 continue
             cost = self._net.ptp_time(m.nbytes, self._g(m.src), self._g(m.dst))
@@ -261,6 +270,69 @@ class Communicator:
                             g, t0, t0 + wait, "recv", "wait"
                         )
         return received
+
+    def exchange_phase(
+        self,
+        srcs: Sequence[int],
+        dsts: Sequence[int],
+        nbytes: int | Sequence[int],
+    ) -> None:
+        """Accounting-only counterpart of :meth:`exchange`.
+
+        Charges the exact clock/trace bookkeeping that
+        ``exchange([Message(srcs[k], dsts[k], <nbytes[k] payload>), ...])``
+        would, without constructing messages or moving data — the caller
+        has already moved the bytes in bulk (e.g. one strided copy over
+        a whole stacked rank block).  Message order is the sequence
+        order, which fixes the per-sender serialization exactly as the
+        legacy per-message loop did.
+        """
+        srcs_a = np.asarray(srcs, dtype=np.intp)
+        dsts_a = np.asarray(dsts, dtype=np.intp)
+        if srcs_a.shape != dsts_a.shape:
+            raise ValueError("srcs and dsts must have equal length")
+        nbytes_a = np.broadcast_to(
+            np.asarray(nbytes, dtype=np.int64), srcs_a.shape
+        )
+        if srcs_a.size and (
+            min(srcs_a.min(), dsts_a.min()) < 0
+            or max(srcs_a.max(), dsts_a.max()) >= self.nprocs
+        ):
+            raise IndexError("message rank out of range")
+        if self._trace is not None:
+            self._trace.record_pairs(
+                [self._g(int(s)) for s in srcs_a],
+                [self._g(int(d)) for d in dsts_a],
+                nbytes_a,
+            )
+        if self._net is None:
+            return
+        depart_base = {
+            int(s): self._clock.time(self._g(int(s))) for s in srcs_a
+        }
+        send_accum: dict[int, float] = {}
+        arrivals: dict[int, float] = {}
+        for s, d, nb in zip(srcs_a, dsts_a, nbytes_a):
+            s, d = int(s), int(d)
+            cost = self._net.ptp_time(int(nb), self._g(s), self._g(d))
+            send_accum[s] = send_accum.get(s, 0.0) + cost
+            arrivals[d] = max(
+                arrivals.get(d, 0.0), depart_base[s] + send_accum[s]
+            )
+        for src, dt in send_accum.items():
+            g = self._g(src)
+            t0 = self._clock.time(g)
+            self._clock.advance(g, dt)
+            if self._timeline is not None:
+                self._timeline.record(g, t0, t0 + dt, "send", "comm")
+        for dst, t_arr in arrivals.items():
+            g = self._g(dst)
+            wait = t_arr - self._clock.time(g)
+            if wait > 0:
+                t0 = self._clock.time(g)
+                self._clock.advance(g, wait)
+                if self._timeline is not None:
+                    self._timeline.record(g, t0, t0 + wait, "recv", "wait")
 
     def sendrecv(
         self, src: int, dst: int, payload: np.ndarray
@@ -335,7 +407,10 @@ class Communicator:
         for arr in contributions[1:]:
             if arr.shape != result.shape:
                 raise ValueError("allreduce contributions must share a shape")
-            result = reducer(result, arr)
+            if np.can_cast(arr.dtype, result.dtype, casting="same_kind"):
+                reducer(result, arr, out=result)  # accumulate in place
+            else:
+                result = reducer(result, arr)
 
         self._record_butterfly(result.nbytes, kind="allreduce")
         cost = (
@@ -344,30 +419,65 @@ class Communicator:
             else 0.0
         )
         self._timed_collective("allreduce", cost)
-        return [result.copy() for _ in range(self.nprocs)]
+        # One broadcast copy into a stacked block; each rank's private
+        # result is its own row (disjoint, independently mutable).
+        if result.ndim == 0:
+            return [result.copy() for _ in range(self.nprocs)]
+        stacked = np.empty((self.nprocs, *result.shape), dtype=result.dtype)
+        stacked[...] = result
+        return list(stacked)
 
     def alltoallv(
-        self, sendbufs: Sequence[Sequence[np.ndarray]]
+        self, sendbufs: Sequence[Sequence[np.ndarray]], copy: bool = True
     ) -> list[list[np.ndarray]]:
         """Personalized all-to-all: ``sendbufs[i][j]`` goes from i to j.
 
         Returns ``recv[j][i]`` — the PARATEC FFT transpose and the FVCAM
         dynamics-to-remap transpose are both built on this.
+
+        With ``copy=True`` every received block is backed by fresh
+        memory (one contiguous pack per sender rather than ``P x P``
+        individual array copies).  ``copy=False`` is the zero-copy fast
+        path: the send blocks themselves are handed to the receivers,
+        which is safe only when the sender does not reuse them (the FFT
+        transposes build fresh blocks every call, so they qualify).
         """
         p = self.nprocs
         if len(sendbufs) != p or any(len(row) != p for row in sendbufs):
             raise ValueError("sendbufs must be a PxP nested sequence")
-        recv: list[list[np.ndarray]] = [
-            [np.array(sendbufs[i][j], copy=True) for i in range(p)]
-            for j in range(p)
-        ]
-        total = 0.0
-        for i in range(p):
-            for j in range(p):
-                nbytes = sendbufs[i][j].nbytes
-                total += nbytes
-                if self._trace is not None and i != j:
-                    self._trace.record(self._g(i), self._g(j), nbytes, "alltoall")
+        rows = [[np.asarray(b) for b in row] for row in sendbufs]
+        if copy:
+            # Pack each sender's row into one contiguous buffer and hand
+            # out reshaped views: one allocation + one pass per sender.
+            recv_by_sender: list[list[np.ndarray]] = []
+            for row in rows:
+                if len({b.dtype.str for b in row}) != 1:
+                    # mixed dtypes cannot share one packed buffer
+                    recv_by_sender.append([b.copy() for b in row])
+                    continue
+                sizes = [b.size for b in row]
+                flat = (
+                    np.concatenate([b.reshape(-1) for b in row])
+                    if sum(sizes)
+                    else np.empty(0, dtype=row[0].dtype)
+                )
+                offs = np.cumsum([0] + sizes)
+                recv_by_sender.append(
+                    [
+                        flat[offs[j] : offs[j + 1]].reshape(row[j].shape)
+                        for j in range(p)
+                    ]
+                )
+            recv = [[recv_by_sender[i][j] for i in range(p)] for j in range(p)]
+        else:
+            recv = [[rows[i][j] for i in range(p)] for j in range(p)]
+
+        volumes = np.array(
+            [[b.nbytes for b in row] for row in rows], dtype=np.float64
+        )
+        total = float(volumes.sum())
+        if self._trace is not None:
+            self._trace.record_block(self._ranks, volumes, "alltoall")
         cost = 0.0
         if self._coll is not None and p > 1:
             cost = self._coll.alltoall(total / (p * p), p)
@@ -375,9 +485,15 @@ class Communicator:
         return recv
 
     def allgather(
-        self, contributions: Sequence[np.ndarray]
+        self, contributions: Sequence[np.ndarray], copy: bool = True
     ) -> list[list[np.ndarray]]:
-        """Every rank receives every rank's contribution (in rank order)."""
+        """Every rank receives every rank's contribution (in rank order).
+
+        Homogeneous contributions are stacked once and replicated with
+        one block copy per rank instead of ``P x P`` array copies.
+        ``copy=False`` shares a single stacked block between all ranks
+        (read-only fast path: receivers must not mutate the views).
+        """
         if len(contributions) != self.nprocs:
             raise ValueError("need one contribution per rank")
         nbytes = sum(int(c.nbytes) for c in contributions)
@@ -385,11 +501,19 @@ class Communicator:
             self._record_butterfly(nbytes / max(self.nprocs, 1), "allgather")
         cost = 0.0
         if self._coll is not None and self.nprocs > 1:
-            # ring allgather: (p-1) rounds of one block each
-            alpha, beta = self._coll._alpha_beta()
-            per_block = nbytes / self.nprocs
-            cost = (self.nprocs - 1) * (alpha + per_block * beta)
+            cost = self._coll.allgather(nbytes, self.nprocs)
         self._timed_collective("allgather", cost)
+
+        homogeneous = (
+            len({(c.shape, c.dtype.str) for c in contributions}) == 1
+            and contributions[0].ndim > 0
+        )
+        if homogeneous:
+            base = np.stack(contributions)
+            if not copy:
+                shared = list(base)
+                return [shared for _ in range(self.nprocs)]
+            return [list(base.copy()) for _ in range(self.nprocs)]
         return [
             [np.array(c, copy=True) for c in contributions]
             for _ in range(self.nprocs)
@@ -413,7 +537,10 @@ class Communicator:
         for arr in contributions[1:]:
             if arr.shape != total.shape:
                 raise ValueError("contributions must share a shape")
-            total = reducer(total, arr)
+            if np.can_cast(arr.dtype, total.dtype, casting="same_kind"):
+                reducer(total, arr, out=total)
+            else:
+                total = reducer(total, arr)
         blocks = np.array_split(total.ravel(), self.nprocs)
 
         if self._trace is not None:
@@ -437,11 +564,12 @@ class Communicator:
         out: list[np.ndarray] = []
         acc: np.ndarray | None = None
         for arr in contributions:
-            acc = (
-                np.array(arr, copy=True)
-                if acc is None
-                else reducer(acc, arr)
-            )
+            if acc is None:
+                acc = np.array(arr, copy=True)
+            elif np.can_cast(arr.dtype, acc.dtype, casting="same_kind"):
+                reducer(acc, arr, out=acc)
+            else:
+                acc = reducer(acc, arr)
             out.append(acc.copy())
         if self._trace is not None and self.nprocs > 1:
             for r in range(self.nprocs - 1):
@@ -465,7 +593,9 @@ class Communicator:
                     self._trace.record(self._g(i), self._g(root), c.nbytes, "gather")
         cost = 0.0
         if self._coll is not None and self.nprocs > 1:
-            cost = self._coll.broadcast(nbytes / self.nprocs, self.nprocs)
+            # Root-bound binomial-tree gather (NOT a broadcast: the
+            # root must absorb nearly the whole payload).
+            cost = self._coll.gather(nbytes, self.nprocs)
         self._timed_collective("gather", cost)
         return [np.array(c, copy=True) for c in contributions]
 

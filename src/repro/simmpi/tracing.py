@@ -37,6 +37,58 @@ class CommTrace:
         self.calls[kind] += 1
         self.bytes_by_kind[kind] += nbytes
 
+    def record_pairs(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        nbytes: np.ndarray,
+        kind: str = "ptp",
+    ) -> None:
+        """Log a batch of messages in one call (vectorized ``record``).
+
+        Equivalent to ``record(src[k], dst[k], nbytes[k], kind)`` for
+        every ``k``, but with a single scatter-add into the volume
+        matrix and one counter update.
+        """
+        src = np.asarray(src, dtype=np.intp)
+        dst = np.asarray(dst, dtype=np.intp)
+        nbytes = np.asarray(nbytes, dtype=np.float64)
+        if nbytes.size and nbytes.min() < 0:
+            raise ValueError("nbytes must be non-negative")
+        np.add.at(self.volume, (src, dst), nbytes)
+        self.calls[kind] += int(src.size)
+        self.bytes_by_kind[kind] += float(nbytes.sum())
+
+    def record_block(
+        self,
+        ranks: "np.ndarray | list[int]",
+        volumes: np.ndarray,
+        kind: str,
+        include_diagonal: bool = False,
+    ) -> None:
+        """Log a dense all-to-all round in one call.
+
+        ``volumes[i, j]`` bytes flow from ``ranks[i]`` to ``ranks[j]``;
+        the diagonal (self-sends) is skipped unless requested, matching
+        the per-pair loops the collectives used to run.
+        """
+        ranks = np.asarray(ranks, dtype=np.intp)
+        volumes = np.asarray(volumes, dtype=np.float64)
+        p = len(ranks)
+        if volumes.shape != (p, p):
+            raise ValueError("volumes must be (len(ranks), len(ranks))")
+        if volumes.size and volumes.min() < 0:
+            raise ValueError("nbytes must be non-negative")
+        if include_diagonal:
+            off = volumes
+            pairs = p * p
+        else:
+            off = volumes - np.diag(np.diag(volumes))
+            pairs = p * p - p
+        self.volume[np.ix_(ranks, ranks)] += off
+        self.calls[kind] += pairs
+        self.bytes_by_kind[kind] += float(off.sum())
+
     def matrix(self) -> np.ndarray:
         """Copy of the (P x P) byte-volume matrix (Figure 2's heatmap)."""
         return self.volume.copy()

@@ -61,3 +61,56 @@ class TestRequests:
         comm.isend(0, 1, np.ones(10))
         comm.waitall()
         assert comm.trace.matrix()[0, 1] == 80.0
+
+
+class TestOrderingAndDelivery:
+    """Post-order delivery and per-request data with fan-in traffic."""
+
+    def test_same_destination_preserves_post_order(self):
+        comm = Communicator(4)
+        comm.isend(0, 3, np.full(2, 10.0))
+        comm.isend(1, 3, np.full(2, 11.0))
+        comm.isend(2, 3, np.full(2, 12.0))
+        out = comm.waitall()
+        assert [buf[0] for buf in out[3]] == [10.0, 11.0, 12.0]
+
+    def test_request_data_multiple_messages_same_pair(self):
+        comm = Communicator(2)
+        reqs = [comm.isend(0, 1, np.full(3, float(k))) for k in range(4)]
+        out = comm.waitall()
+        assert len(out[1]) == 4
+        for k, req in enumerate(reqs):
+            np.testing.assert_array_equal(req.data, np.full(3, float(k)))
+            np.testing.assert_array_equal(out[1][k], np.full(3, float(k)))
+
+    def test_mixed_tags_same_destination(self):
+        comm = Communicator(3)
+        r_a = comm.isend(0, 2, np.array([1.0]), tag=7)
+        r_b = comm.isend(1, 2, np.array([2.0]), tag=0)
+        r_c = comm.isend(0, 2, np.array([3.0]), tag=7)
+        out = comm.waitall()
+        # delivery is post-ordered regardless of tag
+        assert [buf[0] for buf in out[2]] == [1.0, 2.0, 3.0]
+        assert (r_a.message.tag, r_b.message.tag, r_c.message.tag) == (7, 0, 7)
+        np.testing.assert_array_equal(r_a.data, [1.0])
+        np.testing.assert_array_equal(r_b.data, [2.0])
+        np.testing.assert_array_equal(r_c.data, [3.0])
+
+    def test_interleaved_destinations_keep_per_dst_order(self):
+        comm = Communicator(4)
+        comm.isend(0, 1, np.array([1.0]))
+        comm.isend(0, 2, np.array([2.0]))
+        comm.isend(3, 1, np.array([3.0]))
+        comm.isend(2, 1, np.array([4.0]), tag=9)
+        comm.isend(1, 2, np.array([5.0]))
+        out = comm.waitall()
+        assert [buf[0] for buf in out[1]] == [1.0, 3.0, 4.0]
+        assert [buf[0] for buf in out[2]] == [2.0, 5.0]
+
+    def test_request_data_isolated_between_requests(self):
+        comm = Communicator(2)
+        r1 = comm.isend(0, 1, np.zeros(2))
+        r2 = comm.isend(0, 1, np.ones(2))
+        comm.waitall()
+        r1.data[:] = 42.0  # mutating one delivery must not leak
+        np.testing.assert_array_equal(r2.data, np.ones(2))

@@ -10,8 +10,12 @@ configuration and its fast (arena-backed, zero-copy) configuration:
 * the PARATEC 3-D FFT global transpose round trip (zero-copy Alltoallv
   of column/slab views vs per-pair contiguous packing).
 
+Plus the harness-overhead campaign: the same step loop driven through
+the instrumented :mod:`repro.harness` (phase ledger attached) vs direct
+solver calls — the instrumentation must stay under 5% wall-clock.
+
 Run ``python benchmarks/bench_hotpath.py`` to record the campaign to
-``BENCH_PR1.json`` at the repository root.  The pytest entry points are
+``BENCH_PR2.json`` at the repository root.  The pytest entry points are
 smoke tests (marked ``bench_smoke``) that run tiny configurations and
 assert the fast paths stay bitwise-identical to the seed paths::
 
@@ -26,6 +30,7 @@ import numpy as np
 import pytest
 from numpy.testing import assert_array_equal
 
+from repro import harness
 from repro.apps.gtc.solver import GTC, GTCParams
 from repro.apps.lbmhd.solver import LBMHD3D, LBMHDParams
 from repro.apps.paratec.fft3d import ParallelFFT3D
@@ -53,6 +58,12 @@ PARATEC_RANKS = 16
 PARATEC_GRID = (24, 24, 24)
 PARATEC_ECUT = 30.0
 PARATEC_ROUNDTRIPS = 10
+
+HARNESS_SHAPE = (16, 16, 16)
+HARNESS_RANKS = 8
+HARNESS_STEPS = 5
+#: Acceptance bound: instrumented harness stepping vs direct calls.
+HARNESS_OVERHEAD_LIMIT = 0.05
 
 
 def _lbmhd_stepper(arena: Arena | None):
@@ -103,6 +114,46 @@ def _paratec_transposer(arena: Arena | None):
     return roundtrips
 
 
+def _overhead_pair(shape=HARNESS_SHAPE, nprocs=HARNESS_RANKS):
+    """(direct stepper, instrumented-harness stepper) on equal footing.
+
+    Both sides step an identical pre-built LBMHD solver; the harness
+    side goes through the adapter with a phase ledger attached, so the
+    measured gap is exactly the instrumentation + dispatch overhead.
+    """
+    params = LBMHDParams(shape=shape)
+    direct = LBMHD3D(params, Communicator(nprocs))
+    direct.run(1)
+    result = harness.run("lbmhd", params, steps=1, nprocs=nprocs)
+    adapter, state = result.app, result.state
+
+    def run_direct() -> None:
+        direct.run(HARNESS_STEPS)
+
+    def run_harness() -> None:
+        for _ in range(HARNESS_STEPS):
+            adapter.step(state)
+
+    return run_direct, run_harness
+
+
+def measure_harness_overhead(repeats: int = 5) -> dict:
+    """Best-of-repeats relative overhead of instrumented harness steps."""
+    run_direct, run_harness = _overhead_pair()
+    direct = measure(run_direct, "harness_overhead.direct", repeats=repeats)
+    instrumented = measure(
+        run_harness, "harness_overhead.harness", repeats=repeats
+    )
+    overhead = instrumented.best / direct.best - 1.0
+    return {
+        "direct": direct.to_dict(),
+        "harness": instrumented.to_dict(),
+        "units_per_sample": HARNESS_STEPS,
+        "overhead": overhead,
+        "limit": HARNESS_OVERHEAD_LIMIT,
+    }
+
+
 def run_campaign(repeats: int = 5) -> dict:
     """Measure every hot path, seed vs fast; returns the JSON payload."""
     results: dict = {"config": {
@@ -131,6 +182,12 @@ def run_campaign(repeats: int = 5) -> dict:
             "units_per_sample": per_sample,
             "speedup": fast.speedup_over(seed),
         }
+    results["harness_overhead"] = measure_harness_overhead(repeats=repeats)
+    results["config"]["harness_overhead"] = {
+        "shape": list(HARNESS_SHAPE),
+        "ranks": HARNESS_RANKS,
+        "steps_per_sample": HARNESS_STEPS,
+    }
     return results
 
 
@@ -194,8 +251,32 @@ def test_campaign_harness_flows():
     assert timing.repeats == 2
 
 
+@pytest.mark.bench_smoke
+def test_harness_overhead_under_limit():
+    """Instrumented harness stepping stays within 5% of direct calls."""
+    row = measure_harness_overhead(repeats=5)
+    assert row["overhead"] < HARNESS_OVERHEAD_LIMIT, (
+        f"harness overhead {row['overhead'] * 100:.1f}% exceeds "
+        f"{HARNESS_OVERHEAD_LIMIT * 100:.0f}% "
+        f"(direct best {row['direct']['best_s'] * 1e3:.2f} ms, "
+        f"harness best {row['harness']['best_s'] * 1e3:.2f} ms)"
+    )
+
+
+@pytest.mark.bench_smoke
+def test_harness_stepping_matches_direct_bitwise():
+    """The instrumented adapter loop computes the exact same states."""
+    params = LBMHDParams(shape=(8, 8, 8))
+    a = LBMHD3D(params, Communicator(8))
+    b = harness.run("lbmhd", params, steps=0, nprocs=8).state
+    a.run(4)
+    for _ in range(4):
+        harness.APPLICATIONS["lbmhd"].step(b)
+    assert_array_equal(a.global_state(), b.global_state())
+
+
 if __name__ == "__main__":
-    out = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+    out = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
     payload = run_campaign()
     for name in ("lbmhd_step_loop", "gtc_pic_cycle", "paratec_transpose"):
         row = payload[name]
@@ -206,5 +287,13 @@ if __name__ == "__main__":
             f"{name:24s} seed {seed_ms:8.2f} ms/unit   "
             f"fast {fast_ms:8.2f} ms/unit   speedup {row['speedup']:.2f}x"
         )
+    ho = payload["harness_overhead"]
+    print(
+        f"{'harness_overhead':24s} direct "
+        f"{ho['direct']['best_s'] * 1e3:8.2f} ms   harness "
+        f"{ho['harness']['best_s'] * 1e3:8.2f} ms   "
+        f"overhead {ho['overhead'] * 100:+.1f}% (limit "
+        f"{ho['limit'] * 100:.0f}%)"
+    )
     write_results(out, payload)
     print(f"wrote {out}")

@@ -89,6 +89,9 @@ class FVCAM:
     """Parallel FVCAM mini-app over a simulated communicator."""
 
     app_key = "fvcam"
+    #: IPM phase labels of one step (physics/remap fire on their
+    #: intervals only).
+    phases = ("halo", "geopotential", "dynamics", "physics", "remap")
 
     def __init__(self, params: FVCAMParams, comm: Communicator) -> None:
         self.params = params
@@ -222,9 +225,33 @@ class FVCAM:
     def step(self) -> None:
         grid = self.grid
         dt = self.params.dt
-        padded = self._padded()
-        phis = self._geopotential(padded)
+        with self.comm.phase("halo"):
+            padded = self._padded()
+        with self.comm.phase("geopotential"):
+            phis = self._geopotential(padded)
 
+        with self.comm.phase("dynamics"):
+            self._dynamics_sweep(padded, phis)
+
+        self.step_count += 1
+        # As in CAM itself, the physics runs on the long time step, with
+        # several dynamics sub-steps beneath it.
+        if (
+            self.params.with_physics
+            and self.step_count % self.params.physics_interval == 0
+        ):
+            with self.comm.phase("physics"):
+                self._physics_phase(dt * self.params.physics_interval)
+        if self.step_count % self.params.remap_interval == 0:
+            with self.comm.phase("remap"):
+                self.remap()
+
+    def _dynamics_sweep(
+        self, padded: list[np.ndarray], phis: list[np.ndarray]
+    ) -> None:
+        """Transport + pressure gradient + polar filter on every rank."""
+        grid = self.grid
+        dt = self.params.dt
         for rank in range(self.comm.nprocs):
             km_l, jm_l, im = self.decomp.local_shape(rank)
             coslat_pad = self._padded_coslat(rank)
@@ -279,17 +306,6 @@ class FVCAM:
             self.comm.compute(
                 rank, filter_work(grid, max(len(rows), 0) * km_l or 1)
             )
-
-        self.step_count += 1
-        # As in CAM itself, the physics runs on the long time step, with
-        # several dynamics sub-steps beneath it.
-        if (
-            self.params.with_physics
-            and self.step_count % self.params.physics_interval == 0
-        ):
-            self._physics_phase(dt * self.params.physics_interval)
-        if self.step_count % self.params.remap_interval == 0:
-            self.remap()
 
     def _filtered_rows_local(self, rank: int) -> np.ndarray:
         ls = self.decomp.lat_slice(rank)

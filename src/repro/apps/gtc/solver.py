@@ -74,6 +74,8 @@ class GTC:
     """Parallel GTC simulation over a simulated communicator."""
 
     app_key = "gtc"
+    #: IPM phase labels of one step, in the paper's order.
+    phases = ("charge", "reduce", "field", "push", "shift")
 
     def __init__(
         self,
@@ -122,6 +124,13 @@ class GTC:
 
     def charge_phase(self) -> None:
         """Deposit + subgroup Allreduce (phases 1 and 2)."""
+        with self.comm.phase("charge"):
+            partial = self._deposit()
+        with self.comm.phase("reduce"):
+            self._reduce_charge(partial)
+
+    def _deposit(self) -> list[np.ndarray]:
+        """Per-rank charge deposition; returns the unreduced partials."""
         grid = self.torus.plane
         vectorized = self.params.use_work_vector
         partial: list[np.ndarray] = []
@@ -141,7 +150,10 @@ class GTC:
                 rho = deposit_scalar(grid, p, out=dest)
             self.comm.compute(rank, deposit_work(len(p), vectorized))
             partial.append(rho)
+        return partial
 
+    def _reduce_charge(self, partial: list[np.ndarray]) -> None:
+        """Subgroup Allreduce of the deposited partials."""
         for domain, sub in enumerate(self.subgroups):
             lo = domain * self.decomp.npe_per_domain
             hi = lo + self.decomp.npe_per_domain
@@ -241,9 +253,12 @@ class GTC:
 
     def step(self) -> None:
         self.charge_phase()
-        self.field_phase()
-        self.push_phase()
-        self.shift_phase()
+        with self.comm.phase("field"):
+            self.field_phase()
+        with self.comm.phase("push"):
+            self.push_phase()
+        with self.comm.phase("shift"):
+            self.shift_phase()
         self.step_count += 1
 
     def run(self, steps: int) -> None:

@@ -163,6 +163,8 @@ class LBMHD3D:
     """
 
     app_key = "lbmhd"
+    #: IPM phase labels of one step.
+    phases = ("collision", "stream")
 
     def __init__(
         self,
@@ -201,20 +203,24 @@ class LBMHD3D:
             from .mrt import collide_mrt
 
             mrt_params = self.params.mrt
-        for rank, state in enumerate(self.states):
-            if self.params.use_mrt:
-                new = collide_mrt(state, mrt_params)
-            else:
-                new = collide(state, self.params.collision, arena=self.arena)
-            self.comm.compute(rank, collision_work(local_points))
-            post.append(new)
+        with self.comm.phase("collision"):
+            for rank, state in enumerate(self.states):
+                if self.params.use_mrt:
+                    new = collide_mrt(state, mrt_params)
+                else:
+                    new = collide(
+                        state, self.params.collision, arena=self.arena
+                    )
+                self.comm.compute(rank, collision_work(local_points))
+                post.append(new)
 
-        if self.comm.nprocs == 1:
-            self.states = [stream_periodic(post[0])]
-        else:
-            padded = [pad_state(p) for p in post]
-            exchange_halos(self.comm, self.decomp, padded)
-            self.states = [stream_from_padded(p) for p in padded]
+        with self.comm.phase("stream"):
+            if self.comm.nprocs == 1:
+                self.states = [stream_periodic(post[0])]
+            else:
+                padded = [pad_state(p) for p in post]
+                exchange_halos(self.comm, self.decomp, padded)
+                self.states = [stream_from_padded(p) for p in padded]
         self.step_count += 1
 
     def _step_fast(self) -> None:
@@ -228,20 +234,22 @@ class LBMHD3D:
         padded_block = arena.scratch(
             "lbmhd.padded_block", (NSLOTS, nranks, lx + 2, ly + 2, lz + 2)
         )
-        # Collide straight into the ghost-padded core: no separate
-        # post-collision buffer, no pack copy.
-        collide(
-            block,
-            self.params.collision,
-            out=padded_block[:, :, 1 : lx + 1, 1 : ly + 1, 1 : lz + 1],
-            arena=arena,
-        )
-        work = collision_work(lx * ly * lz)
-        for rank in range(nranks):
-            self.comm.compute(rank, work)
+        with self.comm.phase("collision"):
+            # Collide straight into the ghost-padded core: no separate
+            # post-collision buffer, no pack copy.
+            collide(
+                block,
+                self.params.collision,
+                out=padded_block[:, :, 1 : lx + 1, 1 : ly + 1, 1 : lz + 1],
+                arena=arena,
+            )
+            work = collision_work(lx * ly * lz)
+            for rank in range(nranks):
+                self.comm.compute(rank, work)
 
-        exchange_halos_block(self.comm, self.decomp, padded_block)
-        stream_from_padded_batch(padded_block, out=block)
+        with self.comm.phase("stream"):
+            exchange_halos_block(self.comm, self.decomp, padded_block)
+            stream_from_padded_batch(padded_block, out=block)
 
     def run(self, steps: int) -> None:
         for _ in range(steps):

@@ -175,7 +175,8 @@ class ParallelFFT3D:
                 ]
                 for i in range(p)
             ]
-            recv = self.comm.alltoallv(send)
+            with self.comm.phase("fft"):
+                recv = self.comm.alltoallv(send)
         else:
             send = [
                 [
@@ -186,7 +187,8 @@ class ParallelFFT3D:
                 ]
                 for i in range(p)
             ]
-            recv = self.comm.alltoallv(send, copy=False)
+            with self.comm.phase("fft"):
+                recv = self.comm.alltoallv(send, copy=False)
 
         slabs = []
         off = self._col_offsets
@@ -270,7 +272,8 @@ class ParallelFFT3D:
                 ]
                 for j in range(p)
             ]
-            return self.comm.alltoallv(send)
+            with self.comm.phase("fft"):
+                return self.comm.alltoallv(send)
         off = self._col_offsets
         send = []
         for j in range(p):
@@ -278,7 +281,8 @@ class ParallelFFT3D:
             # blocks are row ranges (views) of the stacked result.
             allcols = f2s[j][self._all_keys[:, 0], self._all_keys[:, 1], :]
             send.append([allcols[off[i] : off[i + 1]] for i in range(p)])
-        return self.comm.alltoallv(send, copy=False)
+        with self.comm.phase("fft"):
+            return self.comm.alltoallv(send, copy=False)
 
     # -- cost accounting --------------------------------------------------
 

@@ -68,29 +68,31 @@ class SCFDriver:
 
     def solve_bands(self, bands: Bands) -> np.ndarray:
         """One CG sweep over all bands + subspace rotation."""
-        for b, band in enumerate(bands):
-            cg_band(self.comm, self.ham, band, bands[:b], self.cg_options)
-        return subspace_rotation(self.comm, self.ham, bands)
+        with self.comm.phase("cg"):
+            for b, band in enumerate(bands):
+                cg_band(self.comm, self.ham, band, bands[:b], self.cg_options)
+            return subspace_rotation(self.comm, self.ham, bands)
 
     def update_potential(self, bands: Bands) -> float:
         """Recompute V_eff from the band density; returns |dV|_max."""
         fft = self.ham.fft
-        band_slabs = [fft.sphere_to_real(band) for band in bands]
-        rho_slabs = accumulate_density(band_slabs, self.occupations)
-        rho = np.concatenate(rho_slabs, axis=2)
-        v_new = (
-            self.v_external
-            + hartree_potential(rho)
-            + exchange_potential(rho)
-        )
-        v_old = fft.gather_slabs(self.ham.potential_slabs)
-        v_mixed = mix_potentials(v_old, v_new, self.mixing)
-        slabs = [
-            np.ascontiguousarray(v_mixed[:, :, slice(*fft.slab_range(r))])
-            for r in range(fft.dist.nranks)
-        ]
-        self.ham.set_potential(slabs)
-        return float(np.abs(v_mixed - v_old).max())
+        with self.comm.phase("density"):
+            band_slabs = [fft.sphere_to_real(band) for band in bands]
+            rho_slabs = accumulate_density(band_slabs, self.occupations)
+            rho = np.concatenate(rho_slabs, axis=2)
+            v_new = (
+                self.v_external
+                + hartree_potential(rho)
+                + exchange_potential(rho)
+            )
+            v_old = fft.gather_slabs(self.ham.potential_slabs)
+            v_mixed = mix_potentials(v_old, v_new, self.mixing)
+            slabs = [
+                np.ascontiguousarray(v_mixed[:, :, slice(*fft.slab_range(r))])
+                for r in range(fft.dist.nranks)
+            ]
+            self.ham.set_potential(slabs)
+            return float(np.abs(v_mixed - v_old).max())
 
     def run(
         self,

@@ -39,6 +39,9 @@ class Paratec:
     """Distributed plane-wave DFT solve over a simulated communicator."""
 
     app_key = "paratec"
+    #: IPM phase labels of one SCF iteration ("fft" nests inside both:
+    #: the global transposes attribute their traffic to it).
+    phases = ("cg", "density", "fft")
 
     def __init__(self, params: ParatecParams, comm: Communicator) -> None:
         self.params = params
@@ -81,6 +84,53 @@ class Paratec:
             update_density=update_density,
         )
         return self.result
+
+    def scf_step(self, update_density: bool = True) -> SCFResult:
+        """One SCF iteration (band solve + density/potential update).
+
+        The harness-facing unit of stepping: charges the per-sweep
+        compute work under the "cg" phase, then runs exactly one
+        ``solve_bands`` / ``update_potential`` round.  ``run()`` above
+        keeps its original all-at-once behavior for direct users.
+        """
+        ng_local = self.sphere.num_g / self.comm.nprocs
+        per_band = self.ham.apply_work().scaled(
+            2.0 * self.params.cg_iterations
+        )
+        with self.comm.phase("cg"):
+            for rank in range(self.comm.nprocs):
+                for _ in range(self.params.nbands):
+                    self.comm.compute(rank, per_band)
+                self.comm.compute(
+                    rank, blas3_work(self.params.nbands, ng_local)
+                )
+        eigenvalues = self.driver.solve_bands(self.bands)
+        dv = (
+            self.driver.update_potential(self.bands)
+            if update_density
+            else 0.0
+        )
+        band_energy = float((self.driver.occupations * eigenvalues).sum())
+        self.result = SCFResult(
+            eigenvalues=eigenvalues,
+            band_energy=band_energy,
+            potential_change=dv,
+            iterations=1,
+        )
+        return self.result
+
+    @property
+    def flops_per_step(self) -> float:
+        """Total useful flops of one SCF iteration across all ranks."""
+        ng_local = self.sphere.num_g / self.comm.nprocs
+        per_band = self.ham.apply_work().scaled(
+            2.0 * self.params.cg_iterations
+        )
+        per_rank = (
+            self.params.nbands * per_band.flops
+            + blas3_work(self.params.nbands, ng_local).flops
+        )
+        return per_rank * self.comm.nprocs
 
     @property
     def eigenvalues(self) -> np.ndarray:

@@ -12,6 +12,7 @@ from . import (  # noqa: F401
     fig4,
     fig8,
     figviz,
+    ipm,
     modelcard,
     paper_data,
     roofline_view,
@@ -34,6 +35,7 @@ __all__ = [
     "fig4",
     "fig8",
     "figviz",
+    "ipm",
     "modelcard",
     "roofline_view",
     "main",

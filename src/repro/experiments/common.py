@@ -72,10 +72,14 @@ def render_comparison(
 
 
 def mean_abs_deviation(cells: dict) -> float:
-    """Mean |model/paper - 1| over the cells with paper values."""
+    """Mean |model/paper - 1| over the cells with paper values.
+
+    An empty cell set has no defined deviation: returns ``nan`` (not
+    0.0, which would read as a perfect score).
+    """
     devs = [
         abs(c.ratio - 1.0)
         for c in cells.values()
         if c is not None and c.ratio is not None
     ]
-    return sum(devs) / len(devs) if devs else 0.0
+    return sum(devs) / len(devs) if devs else float("nan")

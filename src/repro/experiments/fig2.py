@@ -16,9 +16,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import harness
 from ..apps.fvcam.grid import LatLonGrid
-from ..apps.fvcam.solver import FVCAM, FVCAMParams
-from ..simmpi.comm import Communicator
+from ..apps.fvcam.solver import FVCAMParams
 
 #: Mini-mesh: same aspect ratios as the D grid, sized for 64 ranks.
 MINI_GRID = LatLonGrid(im=48, jm=192, km=16)
@@ -59,13 +59,14 @@ class Fig2Result:
 
 
 def _traced_run(py: int, pz: int) -> np.ndarray:
-    comm = Communicator(NPROCS, trace=True)
-    sim = FVCAM(
+    result = harness.run(
+        "fvcam",
         FVCAMParams(grid=MINI_GRID, py=py, pz=pz, dt=30.0, remap_interval=4),
-        comm,
+        steps=STEPS,
+        nprocs=NPROCS,
+        trace=True,
     )
-    sim.run(STEPS)
-    return comm.trace.matrix()
+    return result.comm.trace.matrix()
 
 
 def run() -> Fig2Result:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..simmpi import Communicator
+from .. import harness
 
 RAMP = " .:-=+*#%@"
 
@@ -44,13 +44,14 @@ def ascii_field(field: np.ndarray, width: int = 64) -> str:
 
 def fig1_run(steps: int = 60) -> tuple[np.ndarray, np.ndarray]:
     """(initial, evolved) column-height anomaly of an FVCAM run."""
-    from ..apps.fvcam import FVCAM, FVCAMParams, LatLonGrid
+    from ..apps.fvcam import FVCAMParams, LatLonGrid
 
     grid = LatLonGrid(im=48, jm=36, km=4)
-    sim = FVCAM(
+    sim = harness.run(
+        "fvcam",
         FVCAMParams(grid=grid, py=4, pz=1, dt=120.0, bump_amplitude=150.0),
-        Communicator(4),
-    )
+        steps=0,
+    ).state
 
     def anomaly() -> np.ndarray:
         h, _, _ = sim.global_fields()
@@ -67,13 +68,13 @@ def fig1_run(steps: int = 60) -> tuple[np.ndarray, np.ndarray]:
 
 def fig5_run(steps: int = 8) -> np.ndarray:
     """Poloidal cross-section of the GTC potential after some steps."""
-    from ..apps.gtc import GTC, GTCParams
+    from ..apps.gtc import GTCParams
 
-    sim = GTC(
+    sim = harness.run(
+        "gtc",
         GTCParams(mpsi=24, mtheta=48, ntoroidal=4, particles_per_cell=20),
-        Communicator(4),
-    )
-    sim.run(steps)
+        steps=steps,
+    ).state
     return sim.phi[0].copy()
 
 
@@ -82,12 +83,14 @@ def fig5_run(steps: int = 8) -> np.ndarray:
 
 def fig6_run(steps: int = 100) -> tuple[np.ndarray, np.ndarray]:
     """(initial, evolved) vorticity magnitude in an xy-plane."""
-    from ..apps.lbmhd import LBMHD3D, LBMHDParams, moments, vorticity
+    from ..apps.lbmhd import LBMHDParams, moments, vorticity
 
-    sim = LBMHD3D(
+    sim = harness.run(
+        "lbmhd",
         LBMHDParams(shape=(32, 32, 8), tau=0.6, tau_m=0.6, u0=0.08, b0=0.08),
-        Communicator(8),
-    )
+        steps=0,
+        nprocs=8,
+    ).state
 
     def slice_now() -> np.ndarray:
         _, u, _ = moments(sim.global_state())
@@ -104,9 +107,9 @@ def fig6_run(steps: int = 100) -> tuple[np.ndarray, np.ndarray]:
 
 def fig7_run() -> np.ndarray:
     """Mid-plane slice of the converged ground-state density."""
-    from ..apps.paratec import Paratec, ParatecParams
+    from ..apps.paratec import ParatecParams
 
-    solver = Paratec(ParatecParams(), Communicator(2))
+    solver = harness.run("paratec", ParatecParams(), steps=0, nprocs=2).state
     solver.run()
     rho = solver.density()
     return rho[:, :, rho.shape[2] // 2]

@@ -1,0 +1,63 @@
+"""IPM-style per-phase profiles of all four applications on one machine.
+
+The paper's methodology in one table set: every application runs through
+the unified harness (:mod:`repro.harness`) on the Earth Simulator
+machine model with a phase ledger attached, and each run's per-phase
+compute / communication / synchronization / byte-volume breakdown is
+printed — the simulated counterpart of the IPM profiles the authors
+collected on each platform.
+"""
+
+from __future__ import annotations
+
+from .. import harness
+from ..apps.fvcam import FVCAMParams, LatLonGrid
+from ..apps.gtc import GTCParams
+from ..apps.lbmhd import LBMHDParams
+from ..apps.paratec import ParatecParams
+
+MACHINE = "ES"
+
+#: (app key, params, nprocs, steps) of each profiled run — laptop-scale
+#: configurations with genuinely parallel decompositions.
+RUNS = (
+    ("lbmhd", LBMHDParams(shape=(8, 8, 8)), 8, 3),
+    (
+        "gtc",
+        GTCParams(mpsi=12, mtheta=16, ntoroidal=4, particles_per_cell=5),
+        8,
+        3,
+    ),
+    (
+        "fvcam",
+        FVCAMParams(grid=LatLonGrid(im=24, jm=18, km=4), py=3, pz=2),
+        6,
+        4,
+    ),
+    ("paratec", ParatecParams(), 2, 2),
+)
+
+
+def run() -> list[harness.HarnessResult]:
+    """Execute every configured run on the machine model."""
+    return [
+        harness.run(key, params, steps=steps, nprocs=nprocs, machine=MACHINE)
+        for key, params, nprocs, steps in RUNS
+    ]
+
+
+def render() -> str:
+    results = run()
+    lines = [
+        "IPM-style phase profiles: all four applications through the",
+        f"unified harness on the {MACHINE} machine model "
+        "(per step, rank-averaged)",
+    ]
+    for result in results:
+        lines.append("")
+        lines.append(result.render())
+        bd = result.breakdown()
+        lines.append(
+            f"{'':<14} comm+sync fraction: {100 * bd.comm_fraction:5.1f}%"
+        )
+    return "\n".join(lines)

@@ -2,8 +2,10 @@
 
 Usage::
 
-    repro-experiments              # everything
-    repro-experiments table5 fig8  # a selection
+    repro-experiments                # everything
+    repro-experiments table5 fig8    # a selection
+    repro-experiments --list         # what's available
+    repro-experiments --json table3  # machine-readable output
     python -m repro.experiments table3
 """
 
@@ -17,6 +19,7 @@ from . import (
     fig3,
     fig4,
     fig8,
+    ipm,
     table1,
     table2,
     table3,
@@ -44,7 +47,23 @@ EXPERIMENTS = {
     "figviz": figviz,
     "modelcard": modelcard,
     "roofline": roofline_view,
+    "ipm": ipm,
 }
+
+
+def _describe(module) -> str:
+    """First line of an experiment module's docstring."""
+    doc = (module.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+def list_experiments() -> str:
+    """The ``--list`` text: one ``name — description`` line each."""
+    width = max(len(name) for name in EXPERIMENTS)
+    return "\n".join(
+        f"{name:<{width}}  {_describe(module)}"
+        for name, module in EXPERIMENTS.items()
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -58,9 +77,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "names",
         nargs="*",
-        choices=[*EXPERIMENTS, "all"],
+        metavar="name",
         default=["all"],
-        help="which experiments to run (default: all)",
+        help=(
+            "which experiments to run (default: all; "
+            "see --list for the choices)"
+        ),
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_only",
+        help="list the available experiments and exit",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object mapping each name to its rendered text",
     )
     parser.add_argument(
         "--save",
@@ -69,20 +102,41 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    names = list(EXPERIMENTS) if "all" in args.names else args.names
+    if args.list_only:
+        print(list_experiments())
+        return 0
+
+    requested = args.names or ["all"]
+    unknown = [n for n in requested if n != "all" and n not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"repro-experiments: unknown experiment name(s): "
+            f"{', '.join(unknown)}\n"
+            f"available: {', '.join(EXPERIMENTS)}, all",
+            file=sys.stderr,
+        )
+        return 2
+
+    names = list(EXPERIMENTS) if "all" in requested else requested
     save_dir = None
     if args.save:
         import pathlib
 
         save_dir = pathlib.Path(args.save)
         save_dir.mkdir(parents=True, exist_ok=True)
-    for i, name in enumerate(names):
-        if i:
-            print("\n" + "=" * 78 + "\n")
-        text = EXPERIMENTS[name].render()
-        print(text)
+
+    outputs: dict[str, str] = {}
+    for name in names:
+        outputs[name] = EXPERIMENTS[name].render()
         if save_dir is not None:
-            (save_dir / f"{name}.txt").write_text(text + "\n")
+            (save_dir / f"{name}.txt").write_text(outputs[name] + "\n")
+
+    if args.json:
+        import json
+
+        print(json.dumps(outputs, indent=2))
+    else:
+        print(("\n\n" + "=" * 78 + "\n\n").join(outputs.values()))
     return 0
 
 

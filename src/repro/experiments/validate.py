@@ -35,15 +35,14 @@ class Check:
 
 
 def _lbmhd_checks() -> list[Check]:
-    from ..apps.lbmhd import LBMHD3D, LBMHDParams
-    from ..simmpi import Communicator
+    from .. import harness
+    from ..apps.lbmhd import LBMHDParams
 
     params = LBMHDParams(shape=(8, 8, 8))
-    serial = LBMHD3D(params, Communicator(1))
-    parallel = LBMHD3D(params, Communicator(8))
+    serial = harness.run("lbmhd", params, steps=0, nprocs=1).state
     d0 = serial.diagnostics()
     serial.run(5)
-    parallel.run(5)
+    parallel = harness.run("lbmhd", params, steps=5, nprocs=8).state
     d1 = serial.diagnostics()
     return [
         Check("lbmhd: mass conservation", (d1.mass - d0.mass) / d0.mass, 1e-12),
@@ -65,13 +64,15 @@ def _lbmhd_checks() -> list[Check]:
 
 
 def _gtc_checks() -> list[Check]:
-    from ..apps.gtc import GTC, GTCParams, deposit_scalar, deposit_work_vector
-    from ..simmpi import Communicator
+    from .. import harness
+    from ..apps.gtc import GTCParams, deposit_scalar, deposit_work_vector
 
-    sim = GTC(
+    sim = harness.run(
+        "gtc",
         GTCParams(mpsi=12, mtheta=16, ntoroidal=4, particles_per_cell=5),
-        Communicator(8),
-    )
+        steps=0,
+        nprocs=8,
+    ).state
     n0, q0 = sim.total_particles(), sim.total_charge()
     sim.run(3)
     a = deposit_scalar(sim.torus.plane, sim.particles[0], 0.03)
@@ -88,19 +89,20 @@ def _gtc_checks() -> list[Check]:
 
 
 def _fvcam_checks() -> list[Check]:
-    from ..apps.fvcam import FVCAM, FVCAMParams, LatLonGrid
-    from ..simmpi import Communicator
+    from .. import harness
+    from ..apps.fvcam import FVCAMParams, LatLonGrid
 
     grid = LatLonGrid(im=24, jm=18, km=4)
-    serial = FVCAM(
-        FVCAMParams(grid=grid, with_tracer=True), Communicator(1)
-    )
-    parallel = FVCAM(
-        FVCAMParams(grid=grid, py=3, pz=2, with_tracer=True), Communicator(6)
-    )
+    serial = harness.run(
+        "fvcam", FVCAMParams(grid=grid, with_tracer=True), steps=0
+    ).state
     m0, t0 = serial.total_mass(), serial.tracer_mass()
     serial.run(6)
-    parallel.run(6)
+    parallel = harness.run(
+        "fvcam",
+        FVCAMParams(grid=grid, py=3, pz=2, with_tracer=True),
+        steps=6,
+    ).state
     h_s, _, _ = serial.global_fields()
     h_p, _, _ = parallel.global_fields()
     return [
@@ -127,7 +129,6 @@ def _paratec_checks() -> list[Check]:
         GSphere,
         Hamiltonian,
         ParallelFFT3D,
-        Paratec,
         ParatecParams,
         SphereDistribution,
         dot,
@@ -148,7 +149,11 @@ def _paratec_checks() -> list[Check]:
     full = fft.gather_slabs(fft.sphere_to_real(dist.scatter(psi)))
     fft_err = float(np.abs(full - np.fft.ifftn(dense)).max())
 
-    solver = Paratec(ParatecParams(scf_iterations=2), Communicator(2))
+    from .. import harness
+
+    solver = harness.run(
+        "paratec", ParatecParams(scf_iterations=2), steps=0, nprocs=2
+    ).state
     solver.run()
     worst = 0.0
     for i in range(len(solver.bands)):

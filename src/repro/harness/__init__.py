@@ -1,0 +1,24 @@
+"""Unified SPMD application harness with IPM-style phase instrumentation.
+
+One protocol (:class:`SPMDApplication`), four adapters (LBMHD3D, GTC,
+FVCAM, PARATEC), one driver (:func:`run`)::
+
+    from repro import harness
+
+    result = harness.run("gtc", steps=5, machine="ES")
+    print(result.render())          # per-phase compute/comm/sync table
+    bd = result.breakdown()         # perfmodel.PhaseBreakdown
+"""
+
+from .apps import APPLICATIONS, get_application, register
+from .driver import HarnessResult, run
+from .protocol import SPMDApplication
+
+__all__ = [
+    "APPLICATIONS",
+    "HarnessResult",
+    "SPMDApplication",
+    "get_application",
+    "register",
+    "run",
+]

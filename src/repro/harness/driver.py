@@ -1,0 +1,148 @@
+"""The single driver that runs any application on any machine.
+
+``run("gtc", steps=5, machine="ES")`` builds a simulated communicator
+for the named machine, attaches an IPM-style phase ledger, constructs
+the solver through its adapter, advances it, and returns a
+:class:`HarnessResult` bundling the state, the per-rank per-phase
+compute/comm/wait/bytes/messages breakdown, and the physics
+diagnostics.  Every experiment script reduces to a call (or a few)
+into this function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..machines.catalog import get_machine
+from ..machines.spec import MachineSpec
+from ..simmpi.comm import Communicator
+from ..simmpi.phases import PhaseLedger
+from .apps import get_application
+from .protocol import SPMDApplication
+
+
+@dataclass
+class HarnessResult:
+    """Everything one instrumented harness run produced."""
+
+    app: SPMDApplication
+    params: Any
+    comm: Communicator
+    state: Any
+    steps: int
+    ledger: PhaseLedger | None
+    diagnostics: dict[str, float]
+
+    @property
+    def machine_name(self) -> str:
+        return self.comm.machine.name if self.comm.machine else "ideal"
+
+    @property
+    def flops_per_step(self) -> float:
+        return self.app.flops_per_step(self.state)
+
+    def breakdown(self, reduce: str = "mean"):
+        """Empirical :class:`~repro.perfmodel.breakdown.PhaseBreakdown`."""
+        from ..perfmodel.breakdown import PhaseBreakdown
+
+        if self.ledger is None:
+            raise RuntimeError("run was not instrumented (instrument=False)")
+        return PhaseBreakdown.from_ledger(
+            self.app.key,
+            self.machine_name,
+            self.ledger,
+            steps=self.steps,
+            reduce=reduce,
+        )
+
+    def render(self, title: str | None = None) -> str:
+        """Per-phase ASCII table (per step, averaged over ranks)."""
+        if self.ledger is None:
+            raise RuntimeError("run was not instrumented (instrument=False)")
+        if title is None:
+            title = (
+                f"{self.app.name} on {self.machine_name}, "
+                f"P={self.comm.nprocs}, {self.steps} step(s)"
+            )
+        return self.ledger.render(title=title, steps=self.steps)
+
+
+def run(
+    app: str | SPMDApplication,
+    params: Any | None = None,
+    *,
+    steps: int = 1,
+    nprocs: int | None = None,
+    machine: str | MachineSpec | None = None,
+    comm: Communicator | None = None,
+    trace: bool = False,
+    timeline: bool = False,
+    arena: Any | None = None,
+    instrument: bool = True,
+    loop_registers: float | None = None,
+) -> HarnessResult:
+    """Run ``steps`` steps of an application and return the result.
+
+    Parameters
+    ----------
+    app:
+        Registry key (``"lbmhd"``, ``"gtc"``, ``"fvcam"``,
+        ``"paratec"``) or an adapter satisfying
+        :class:`~repro.harness.protocol.SPMDApplication`.
+    params:
+        Application parameter dataclass; the adapter's
+        ``default_params()`` when omitted.
+    nprocs, machine, trace, timeline, loop_registers:
+        Communicator construction knobs, used only when ``comm`` is not
+        given.  ``machine`` accepts a catalog name or a
+        :class:`~repro.machines.spec.MachineSpec`; ``None`` gives the
+        ideal (zero-cost) communicator.
+    comm:
+        An existing communicator to run on instead (its machine/trace
+        settings are respected; the other knobs must be left default).
+    arena:
+        Optional :class:`~repro.runtime.arena.Arena` enabling the
+        solvers' zero-copy fast paths.
+    instrument:
+        Attach a fresh :class:`~repro.simmpi.PhaseLedger` for the run
+        (the default).  ``False`` runs without phase accounting — the
+        overhead is tiny, but bit-for-bit benchmarking wants it off.
+    """
+    adapter = get_application(app) if isinstance(app, str) else app
+    if params is None:
+        params = adapter.default_params()
+    if steps < 0:
+        raise ValueError("steps must be >= 0")
+
+    if comm is None:
+        if nprocs is None:
+            nprocs = adapter.default_nprocs(params)
+        spec = get_machine(machine) if isinstance(machine, str) else machine
+        comm = Communicator(
+            nprocs,
+            machine=spec,
+            trace=trace,
+            timeline=timeline,
+            loop_registers=loop_registers,
+        )
+    elif nprocs is not None and nprocs != comm.nprocs:
+        raise ValueError(
+            f"nprocs={nprocs} conflicts with the given communicator "
+            f"(nprocs={comm.nprocs})"
+        )
+
+    ledger = comm.attach_phase_ledger() if instrument else None
+    state = adapter.setup(comm, params, arena=arena)
+    for _ in range(steps):
+        state = adapter.step(state)
+    diagnostics = adapter.diagnostics(state)
+    return HarnessResult(
+        app=adapter,
+        params=params,
+        comm=comm,
+        state=state,
+        steps=steps,
+        ledger=ledger,
+        diagnostics=diagnostics,
+    )

@@ -35,12 +35,20 @@ def _app_module(app: str):
 
 @dataclass
 class PhaseBreakdown:
-    """Modeled per-phase seconds for one (app, machine, scenario)."""
+    """Per-phase seconds for one (app, machine, scenario).
+
+    Built either analytically (:func:`phase_breakdown`, from the
+    closed-form workload models) or empirically
+    (:meth:`from_ledger`, from the phase ledger an instrumented
+    harness run accumulated).  The empirical form also carries the
+    synchronization (load-imbalance wait) seconds per phase.
+    """
 
     app: str
     machine: str
     compute: dict[str, float] = field(default_factory=dict)
     comm: dict[str, float] = field(default_factory=dict)
+    sync: dict[str, float] = field(default_factory=dict)
 
     @property
     def compute_seconds(self) -> float:
@@ -51,8 +59,12 @@ class PhaseBreakdown:
         return sum(self.comm.values())
 
     @property
+    def sync_seconds(self) -> float:
+        return sum(self.sync.values())
+
+    @property
     def total_seconds(self) -> float:
-        return self.compute_seconds + self.comm_seconds
+        return self.compute_seconds + self.comm_seconds + self.sync_seconds
 
     def fraction(self, phase: str) -> float:
         """Share of the step spent in one named phase."""
@@ -62,11 +74,42 @@ class PhaseBreakdown:
                 f"unknown phase {phase!r}; have "
                 f"{sorted(self.compute) + sorted(self.comm)}"
             )
-        return t / self.total_seconds
+        return (t + self.sync.get(phase, 0.0)) / self.total_seconds
 
     @property
     def comm_fraction(self) -> float:
-        return self.comm_seconds / self.total_seconds
+        return (self.comm_seconds + self.sync_seconds) / self.total_seconds
+
+    @classmethod
+    def from_ledger(
+        cls,
+        app: str,
+        machine: str,
+        ledger,
+        steps: int = 1,
+        reduce: str = "mean",
+    ) -> PhaseBreakdown:
+        """Empirical breakdown from a :class:`simmpi.PhaseLedger`.
+
+        ``reduce`` picks the across-ranks statistic: ``"mean"`` (the
+        IPM convention) or ``"max"`` (the critical path).  Seconds are
+        per step.
+        """
+        if reduce not in ("mean", "max"):
+            raise ValueError(f"reduce must be 'mean' or 'max', not {reduce!r}")
+        compute: dict[str, float] = {}
+        comm: dict[str, float] = {}
+        sync: dict[str, float] = {}
+        denom = max(steps, 1)
+        for name in ledger.phases:
+            bucket = ledger[name]
+            stat = getattr(bucket.compute_s, reduce)
+            compute[name] = float(stat()) / denom
+            comm[name] = float(getattr(bucket.comm_s, reduce)()) / denom
+            sync[name] = float(getattr(bucket.wait_s, reduce)()) / denom
+        return cls(
+            app=app, machine=machine, compute=compute, comm=comm, sync=sync
+        )
 
     def render(self) -> str:
         lines = [
@@ -83,6 +126,13 @@ class PhaseBreakdown:
         for name, t in sorted(self.comm.items(), key=lambda kv: -kv[1]):
             lines.append(
                 f"  comm     {name:<22} {t * 1e3:9.2f} ms  "
+                f"{100 * t / total:5.1f}%"
+            )
+        for name, t in sorted(self.sync.items(), key=lambda kv: -kv[1]):
+            if t <= 0.0:
+                continue
+            lines.append(
+                f"  sync     {name:<22} {t * 1e3:9.2f} ms  "
                 f"{100 * t / total:5.1f}%"
             )
         lines.append(f"  total    {'':<22} {total * 1e3:9.2f} ms")

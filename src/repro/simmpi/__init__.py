@@ -2,6 +2,7 @@
 
 from .clock import VirtualClock
 from .comm import Communicator, Message, Request
+from .phases import UNPHASED, PhaseBucket, PhaseLedger, PhaseScope
 from .timeline import Event, Timeline
 from .tracing import CommTrace
 
@@ -10,7 +11,11 @@ __all__ = [
     "CommTrace",
     "Event",
     "Message",
+    "PhaseBucket",
+    "PhaseLedger",
+    "PhaseScope",
     "Request",
     "Timeline",
+    "UNPHASED",
     "VirtualClock",
 ]

@@ -40,6 +40,20 @@ class VirtualClock:
         self._t[idx] = t_max
         return t_max
 
+    def synchronize_with_waits(self, ranks=None) -> tuple[float, np.ndarray]:
+        """:meth:`synchronize`, also returning each rank's wait time.
+
+        The waits (``t_max - t_rank``, in the order of ``ranks``) are
+        what the phase ledger books as synchronization overhead — load
+        imbalance surfacing at a collective, exactly as IPM reports it.
+        """
+        idx = slice(None) if ranks is None else list(ranks)
+        waits = -self._t[idx]
+        t_max = float(self._t[idx].max())
+        self._t[idx] = t_max
+        waits += t_max
+        return t_max, waits
+
     def time(self, rank: int) -> float:
         return float(self._t[rank])
 

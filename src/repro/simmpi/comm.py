@@ -27,6 +27,7 @@ from ..network.collectives import CollectiveModel
 from ..network.model import NetworkModel
 from ..workload import Work, WorkloadMeter
 from .clock import VirtualClock
+from .phases import PhaseLedger, PhaseScope, PhaseState
 from .timeline import Timeline
 from .tracing import CommTrace
 
@@ -105,6 +106,7 @@ class Communicator:
         self._meter = WorkloadMeter()
         self._pending: list[Request] = []
         self._world: Communicator = self
+        self._phase = PhaseState()
         if machine is not None:
             self._proc: ProcessorModel | None = make_model(
                 machine, loop_registers=loop_registers
@@ -132,6 +134,7 @@ class Communicator:
         sub._net = world._net
         sub._coll = world._coll
         sub._world = world._world
+        sub._phase = world._phase
         return sub
 
     def split(self, colors: Sequence[int]) -> list["Communicator"]:
@@ -174,6 +177,50 @@ class Communicator:
     def meter(self) -> WorkloadMeter:
         return self._meter
 
+    # -- IPM-style phase instrumentation -------------------------------
+
+    def phase(self, name: str) -> PhaseScope:
+        """Scope for attributing activity to a named phase.
+
+        ``with comm.phase("charge"): ...`` labels every compute charge,
+        point-to-point exchange, and collective issued inside the block
+        — including those on subcommunicators split from this world —
+        so the attached :class:`~repro.simmpi.phases.PhaseLedger` and
+        the :class:`~repro.simmpi.tracing.CommTrace` can split the run
+        the way the paper's IPM profiles do.  Without a ledger the
+        scope is two attribute writes (safe on hot paths).
+        """
+        return PhaseScope(self._phase, self._trace, name)
+
+    def attach_phase_ledger(
+        self, ledger: PhaseLedger | None = None
+    ) -> PhaseLedger:
+        """Start per-phase accounting; returns the (shared) ledger.
+
+        The ledger is sized to the world communicator and shared with
+        every subgroup, whether split before or after this call.
+        """
+        if ledger is None:
+            ledger = PhaseLedger(self._world.nprocs)
+        elif ledger.nprocs != self._world.nprocs:
+            raise ValueError(
+                f"ledger sized for {ledger.nprocs} ranks, world has "
+                f"{self._world.nprocs}"
+            )
+        self._phase.ledger = ledger
+        return ledger
+
+    def detach_phase_ledger(self) -> None:
+        self._phase.ledger = None
+
+    @property
+    def phase_ledger(self) -> PhaseLedger | None:
+        return self._phase.ledger
+
+    @property
+    def current_phase(self) -> str | None:
+        return self._phase.current
+
     @property
     def elapsed(self) -> float:
         """Virtual wall-clock so far (slowest rank of the world)."""
@@ -197,7 +244,12 @@ class Communicator:
     def compute(self, local_rank: int, work: Work) -> float:
         """Charge one rank for a kernel; returns the seconds charged."""
         self._meter.record(work)
+        ledger = self._phase.ledger
         if self._proc is None:
+            if ledger is not None:
+                ledger.record_compute(
+                    self._phase.current, self._g(local_rank), 0.0, work.flops
+                )
             return 0.0
         dt = self._proc.time(work)
         g = self._g(local_rank)
@@ -205,6 +257,8 @@ class Communicator:
         self._clock.advance(g, dt)
         if self._timeline is not None:
             self._timeline.record(g, t0, t0 + dt, work.name, "compute")
+        if ledger is not None:
+            ledger.record_compute(self._phase.current, g, dt, work.flops)
         return dt
 
     def compute_all(self, work_per_rank: Sequence[Work]) -> float:
@@ -236,12 +290,16 @@ class Communicator:
         depart_base = {m.src: self._clock.time(self._g(m.src)) for m in messages}
         send_accum: dict[int, float] = {}
         arrivals: dict[int, float] = {}
+        ledger = self._phase.ledger
+        phase = self._phase.current
 
         for m in messages:
             if not (0 <= m.src < self.nprocs and 0 <= m.dst < self.nprocs):
                 raise IndexError(f"message rank out of range: {m.src}->{m.dst}")
             if self._trace is not None:
                 self._trace.record(self._g(m.src), self._g(m.dst), m.nbytes)
+            if ledger is not None:
+                ledger.record_traffic(phase, self._g(m.src), m.nbytes)
             received.setdefault(m.dst, []).append(
                 np.array(m.payload, copy=True) if copy else m.payload
             )
@@ -259,6 +317,8 @@ class Communicator:
                 self._clock.advance(g, dt)
                 if self._timeline is not None:
                     self._timeline.record(g, t0, t0 + dt, "send", "comm")
+                if ledger is not None:
+                    ledger.record_comm(phase, g, dt)
             for dst, t_arr in arrivals.items():
                 g = self._g(dst)
                 wait = t_arr - self._clock.time(g)
@@ -269,6 +329,8 @@ class Communicator:
                         self._timeline.record(
                             g, t0, t0 + wait, "recv", "wait"
                         )
+                    if ledger is not None:
+                        ledger.record_wait(phase, g, wait)
         return received
 
     def exchange_phase(
@@ -299,12 +361,18 @@ class Communicator:
             or max(srcs_a.max(), dsts_a.max()) >= self.nprocs
         ):
             raise IndexError("message rank out of range")
-        if self._trace is not None:
-            self._trace.record_pairs(
-                [self._g(int(s)) for s in srcs_a],
-                [self._g(int(d)) for d in dsts_a],
-                nbytes_a,
-            )
+        ledger = self._phase.ledger
+        phase = self._phase.current
+        if self._trace is not None or ledger is not None:
+            g_srcs = [self._g(int(s)) for s in srcs_a]
+            if self._trace is not None:
+                self._trace.record_pairs(
+                    g_srcs,
+                    [self._g(int(d)) for d in dsts_a],
+                    nbytes_a,
+                )
+            if ledger is not None and srcs_a.size:
+                ledger.record_traffic_bulk(phase, g_srcs, nbytes_a)
         if self._net is None:
             return
         depart_base = {
@@ -325,6 +393,8 @@ class Communicator:
             self._clock.advance(g, dt)
             if self._timeline is not None:
                 self._timeline.record(g, t0, t0 + dt, "send", "comm")
+            if ledger is not None:
+                ledger.record_comm(phase, g, dt)
         for dst, t_arr in arrivals.items():
             g = self._g(dst)
             wait = t_arr - self._clock.time(g)
@@ -333,6 +403,8 @@ class Communicator:
                 self._clock.advance(g, wait)
                 if self._timeline is not None:
                     self._timeline.record(g, t0, t0 + wait, "recv", "wait")
+                if ledger is not None:
+                    ledger.record_wait(phase, g, wait)
 
     def sendrecv(
         self, src: int, dst: int, payload: np.ndarray
@@ -418,7 +490,7 @@ class Communicator:
             if self._coll
             else 0.0
         )
-        self._timed_collective("allreduce", cost)
+        self._timed_collective("allreduce", cost, result.nbytes)
         # One broadcast copy into a stacked block; each rank's private
         # result is its own row (disjoint, independently mutable).
         if result.ndim == 0:
@@ -481,7 +553,7 @@ class Communicator:
         cost = 0.0
         if self._coll is not None and p > 1:
             cost = self._coll.alltoall(total / (p * p), p)
-        self._timed_collective("alltoall", cost)
+        self._timed_collective("alltoall", cost, total / max(p, 1))
         return recv
 
     def allgather(
@@ -502,7 +574,7 @@ class Communicator:
         cost = 0.0
         if self._coll is not None and self.nprocs > 1:
             cost = self._coll.allgather(nbytes, self.nprocs)
-        self._timed_collective("allgather", cost)
+        self._timed_collective("allgather", cost, nbytes / max(self.nprocs, 1))
 
         homogeneous = (
             len({(c.shape, c.dtype.str) for c in contributions}) == 1
@@ -549,7 +621,7 @@ class Communicator:
         if self._coll is not None and self.nprocs > 1:
             # half the allreduce: log p rounds, n bytes total
             cost = 0.5 * self._coll.allreduce(total.nbytes, self.nprocs)
-        self._timed_collective("reduce_scatter", cost)
+        self._timed_collective("reduce_scatter", cost, total.nbytes)
         return [b.copy() for b in blocks]
 
     def scan(
@@ -579,7 +651,7 @@ class Communicator:
         cost = 0.0
         if self._coll is not None and self.nprocs > 1:
             cost = self._coll.allreduce(contributions[0].nbytes, self.nprocs)
-        self._timed_collective("scan", cost)
+        self._timed_collective("scan", cost, contributions[0].nbytes)
         return out
 
     def gather(self, contributions: Sequence[np.ndarray], root: int = 0) -> list[np.ndarray]:
@@ -596,17 +668,30 @@ class Communicator:
             # Root-bound binomial-tree gather (NOT a broadcast: the
             # root must absorb nearly the whole payload).
             cost = self._coll.gather(nbytes, self.nprocs)
-        self._timed_collective("gather", cost)
+        self._timed_collective("gather", cost, nbytes / max(self.nprocs, 1))
         return [np.array(c, copy=True) for c in contributions]
 
-    def _timed_collective(self, label: str, cost: float) -> None:
-        """Synchronize the group (wait) then charge a collective (comm)."""
+    def _timed_collective(
+        self, label: str, cost: float, nbytes_per_rank: float = 0.0
+    ) -> None:
+        """Synchronize the group (wait) then charge a collective (comm).
+
+        ``nbytes_per_rank`` is the payload volume the phase ledger
+        attributes to every participating rank (one message each) —
+        the per-rank share of the collective's traffic.
+        """
+        ledger = self._phase.ledger
+        phase = self._phase.current
         if self._timeline is not None:
             pre = {g: self._clock.time(g) for g in self._ranks}
-        t_sync = self._clock.synchronize(self._ranks)
+        t_sync, waits = self._clock.synchronize_with_waits(self._ranks)
         if self._timeline is not None:
             for g in self._ranks:
                 self._timeline.record(g, pre[g], t_sync, label, "wait")
+        if ledger is not None:
+            ledger.record_waits(phase, self._ranks, waits)
+            if nbytes_per_rank > 0:
+                ledger.record_collective(phase, self._ranks, nbytes_per_rank)
         if cost > 0:
             self._clock.advance_group(self._ranks, cost)
             if self._timeline is not None:
@@ -614,6 +699,8 @@ class Communicator:
                     self._timeline.record(
                         g, t_sync, t_sync + cost, label, "comm"
                     )
+            if ledger is not None:
+                ledger.record_comm_group(phase, self._ranks, cost)
 
     # -- internals ---------------------------------------------------------
 

@@ -17,12 +17,21 @@ import numpy as np
 
 @dataclass
 class CommTrace:
-    """Accumulated communication record for one simulated job."""
+    """Accumulated communication record for one simulated job.
+
+    When a harness phase scope is open (``with comm.phase("charge")``)
+    the communicator mirrors the label into :attr:`phase`, and every
+    recorded message additionally lands in the per-phase byte and call
+    counters — the phase axis of the paper's IPM profiles.
+    """
 
     nprocs: int
     volume: np.ndarray = field(init=False)
     calls: Counter = field(default_factory=Counter)
     bytes_by_kind: Counter = field(default_factory=Counter)
+    phase: str | None = None
+    bytes_by_phase: Counter = field(default_factory=Counter)
+    calls_by_phase: Counter = field(default_factory=Counter)
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -36,6 +45,9 @@ class CommTrace:
         self.volume[src, dst] += nbytes
         self.calls[kind] += 1
         self.bytes_by_kind[kind] += nbytes
+        if self.phase is not None:
+            self.bytes_by_phase[self.phase] += nbytes
+            self.calls_by_phase[self.phase] += 1
 
     def record_pairs(
         self,
@@ -58,6 +70,9 @@ class CommTrace:
         np.add.at(self.volume, (src, dst), nbytes)
         self.calls[kind] += int(src.size)
         self.bytes_by_kind[kind] += float(nbytes.sum())
+        if self.phase is not None:
+            self.bytes_by_phase[self.phase] += float(nbytes.sum())
+            self.calls_by_phase[self.phase] += int(src.size)
 
     def record_block(
         self,
@@ -88,6 +103,9 @@ class CommTrace:
         self.volume[np.ix_(ranks, ranks)] += off
         self.calls[kind] += pairs
         self.bytes_by_kind[kind] += float(off.sum())
+        if self.phase is not None:
+            self.bytes_by_phase[self.phase] += float(off.sum())
+            self.calls_by_phase[self.phase] += pairs
 
     def matrix(self) -> np.ndarray:
         """Copy of the (P x P) byte-volume matrix (Figure 2's heatmap)."""
@@ -143,3 +161,5 @@ class CommTrace:
         self.volume[:] = 0.0
         self.calls.clear()
         self.bytes_by_kind.clear()
+        self.bytes_by_phase.clear()
+        self.calls_by_phase.clear()

@@ -130,7 +130,7 @@ class TestRunnerRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5", "table6",
             "fig2", "fig3", "fig4", "fig8", "whatif", "breakdown", "validate",
-            "figviz", "modelcard", "roofline",
+            "figviz", "modelcard", "roofline", "ipm",
         }
 
     @pytest.mark.parametrize(
@@ -147,3 +147,52 @@ class TestRunnerRegistry:
         assert main(["table2"]) == 0
         out = capsys.readouterr().out
         assert "LBMHD3D" in out
+
+    def test_cli_list(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_cli_json(self, capsys):
+        import json
+
+        from repro.experiments.runner import main
+
+        assert main(["--json", "table2"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert set(out) == {"table2"}
+        assert "LBMHD3D" in out["table2"]
+
+    def test_cli_unknown_name_exits_nonzero(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["no-such-experiment"]) != 0
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "no-such-experiment" in err
+
+
+class TestMeanAbsDeviation:
+    def test_empty_cells_is_nan(self):
+        import math
+
+        assert math.isnan(mean_abs_deviation({}))
+
+    def test_cells_without_ratios_is_nan(self):
+        import math
+
+        class Cell:
+            ratio = None
+
+        assert math.isnan(mean_abs_deviation({"a": Cell(), "b": None}))
+
+    def test_nonempty_mean(self):
+        class Cell:
+            def __init__(self, ratio):
+                self.ratio = ratio
+
+        cells = {"a": Cell(1.1), "b": Cell(0.9)}
+        assert mean_abs_deviation(cells) == pytest.approx(0.1)

@@ -1,0 +1,131 @@
+"""Degenerate layouts: P=1 harness runs and flat halo-exchange axes.
+
+The harness (phase scopes, ledger attachment) must be numerically
+invisible: a single-rank run through ``harness.run`` is bitwise
+identical to constructing and stepping the solver directly.  And the
+batched halo exchange must handle processor grids that are flat along
+one or more axes (``_halo_plan`` returns ``None`` there — the periodic
+wrap is purely local).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import harness
+from repro.simmpi import Communicator
+
+
+class TestSingleRankBitwise:
+    def test_lbmhd(self):
+        from repro.apps.lbmhd import LBMHD3D, LBMHDParams
+
+        params = LBMHDParams(shape=(8, 8, 8))
+        direct = LBMHD3D(params, Communicator(1))
+        direct.run(3)
+        via_harness = harness.run("lbmhd", params, steps=3, nprocs=1)
+        assert np.array_equal(
+            direct.global_state(), via_harness.state.global_state()
+        )
+
+    def test_gtc(self):
+        from repro.apps.gtc import GTC, GTCParams
+
+        params = GTCParams(
+            mpsi=8, mtheta=16, ntoroidal=1, particles_per_cell=3
+        )
+        direct = GTC(params, Communicator(1))
+        direct.run(2)
+        via_harness = harness.run("gtc", params, steps=2, nprocs=1)
+        assert np.array_equal(direct.charge[0], via_harness.state.charge[0])
+        for attr in ("r", "theta", "zeta", "vpar", "weight"):
+            assert np.array_equal(
+                getattr(direct.particles[0], attr),
+                getattr(via_harness.state.particles[0], attr),
+            )
+
+    def test_fvcam(self):
+        from repro.apps.fvcam import FVCAM, FVCAMParams, LatLonGrid
+
+        # 4 steps crosses both the physics and remap intervals
+        params = FVCAMParams(grid=LatLonGrid(im=24, jm=18, km=4))
+        direct = FVCAM(params, Communicator(1))
+        direct.run(4)
+        via_harness = harness.run("fvcam", params, steps=4, nprocs=1)
+        for a, b in zip(
+            direct.global_fields(), via_harness.state.global_fields()
+        ):
+            assert np.array_equal(a, b)
+
+    def test_paratec(self):
+        from repro.apps.paratec import Paratec, ParatecParams
+
+        params = ParatecParams()
+        direct = Paratec(params, Communicator(1))
+        for _ in range(2):
+            eigenvalues = direct.driver.solve_bands(direct.bands)
+            direct.driver.update_potential(direct.bands)
+        via_harness = harness.run("paratec", params, steps=2, nprocs=1)
+        assert np.array_equal(
+            eigenvalues, via_harness.state.result.eigenvalues
+        )
+        for a, b in zip(direct.bands, via_harness.state.bands):
+            assert np.array_equal(a, b)
+
+
+class TestFlatAxisHaloExchange:
+    @pytest.mark.parametrize(
+        "proc_grid", [(4, 1, 1), (1, 4, 1), (1, 1, 4), (2, 2, 1), (1, 1, 1)]
+    )
+    def test_block_matches_per_rank_path(self, proc_grid):
+        from repro.apps.lbmhd.decomp import (
+            CartesianDecomposition3D,
+            exchange_halos,
+            exchange_halos_block,
+        )
+
+        decomp = CartesianDecomposition3D(
+            global_shape=(8, 4, 4), proc_grid=proc_grid
+        )
+        lx, ly, lz = decomp.local_shape
+        rng = np.random.default_rng(3)
+        nslots = 5
+        block = np.zeros((nslots, decomp.nprocs, lx + 2, ly + 2, lz + 2))
+        block[:, :, 1 : lx + 1, 1 : ly + 1, 1 : lz + 1] = rng.standard_normal(
+            (nslots, decomp.nprocs, lx, ly, lz)
+        )
+        reference = [block[:, r].copy() for r in range(decomp.nprocs)]
+
+        exchange_halos_block(Communicator(decomp.nprocs), decomp, block)
+        exchange_halos(Communicator(decomp.nprocs), decomp, reference)
+        for r in range(decomp.nprocs):
+            assert np.array_equal(block[:, r], reference[r]), proc_grid
+
+    def test_flat_axes_wrap_periodically(self):
+        from repro.apps.lbmhd.decomp import (
+            CartesianDecomposition3D,
+            exchange_halos_block,
+        )
+
+        decomp = CartesianDecomposition3D(
+            global_shape=(8, 4, 4), proc_grid=(4, 1, 1)
+        )
+        lx, ly, lz = decomp.local_shape
+        block = np.zeros((1, 4, lx + 2, ly + 2, lz + 2))
+        core = np.arange(4 * lx * ly * lz, dtype=float).reshape(
+            1, 4, lx, ly, lz
+        )
+        block[:, :, 1 : lx + 1, 1 : ly + 1, 1 : lz + 1] = core
+        exchange_halos_block(Communicator(4), decomp, block)
+        # y and z are flat: ghosts wrap each rank's own core locally
+        assert np.array_equal(
+            block[:, :, 1 : lx + 1, 0, 1 : lz + 1], core[..., -1, :]
+        )
+        assert np.array_equal(
+            block[:, :, 1 : lx + 1, 1 : ly + 1, lz + 1], core[..., 0]
+        )
+        # x is decomposed: rank 0's low ghost is rank 3's high core plane
+        assert np.array_equal(
+            block[:, 0, 0, 1 : ly + 1, 1 : lz + 1], core[:, 3, -1]
+        )

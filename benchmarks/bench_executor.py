@@ -1,0 +1,186 @@
+"""Wall-clock executor benchmark: serial vs threaded rank stepping.
+
+The determinism contract says executors change *only* wall-clock, so
+this campaign is the other half of the story: on a multi-core host the
+``ThreadExecutor`` should overlap the per-rank NumPy kernels (which
+release the GIL) and beat the ``SerialExecutor`` on the tracked LBMHD
+32-rank hot path.
+
+Run ``python benchmarks/bench_executor.py`` to record the campaign to
+``BENCH_PR3.json`` at the repository root.  The payload records the
+measured speedup *and* ``os.cpu_count()``: the >= 1.5x acceptance bound
+is only asserted on hosts with at least :data:`MIN_CORES_FOR_TARGET`
+cores (a single-core container cannot overlap anything; CI runs on
+multi-core runners and enforces the bound there).
+
+The pytest entry points are smoke tests (marked ``bench_smoke``) that
+run tiny configurations and assert serial and threaded stepping stay
+bitwise-identical::
+
+    pytest benchmarks/bench_executor.py -q --benchmark-disable
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+from numpy.testing import assert_array_equal
+
+from repro import harness
+from repro.apps.lbmhd.solver import LBMHD3D, LBMHDParams
+from repro.runtime.arena import Arena
+from repro.runtime.executors import SerialExecutor, ThreadExecutor
+from repro.runtime.perf import Timing, measure, write_results
+from repro.simmpi.comm import Communicator
+
+# -- benchmark configuration (the tracked numbers) -------------------------
+
+LBMHD_SHAPE = (32, 32, 32)
+LBMHD_RANKS = 32
+LBMHD_STEPS = 5
+THREAD_WORKERS = 8
+
+#: Acceptance bound: threaded vs serial wall-clock on the hot path.
+THREAD_SPEEDUP_TARGET = 1.5
+#: The bound is only meaningful with real cores to overlap on.
+MIN_CORES_FOR_TARGET = 4
+
+
+def _lbmhd_stepper(executor):
+    """The tracked hot path: 32-rank arena-backed LBMHD stepping."""
+    solver = LBMHD3D(
+        LBMHDParams(shape=LBMHD_SHAPE),
+        Communicator(LBMHD_RANKS, executor=executor),
+        arena=Arena(),
+    )
+    solver.run(1)  # populate arena pools / warm caches
+    return lambda: solver.run(LBMHD_STEPS)
+
+
+def run_campaign(repeats: int = 5) -> dict:
+    """Time serial vs threaded stepping; returns the JSON payload."""
+    serial = measure(
+        _lbmhd_stepper(SerialExecutor()),
+        "lbmhd_step_loop.serial",
+        repeats=repeats,
+    )
+    threaded = measure(
+        _lbmhd_stepper(ThreadExecutor(THREAD_WORKERS)),
+        "lbmhd_step_loop.threads",
+        repeats=repeats,
+    )
+    speedup = threaded.speedup_over(serial)
+    cores = os.cpu_count() or 1
+    return {
+        "config": {
+            "shape": list(LBMHD_SHAPE),
+            "ranks": LBMHD_RANKS,
+            "steps_per_sample": LBMHD_STEPS,
+            "workers": THREAD_WORKERS,
+        },
+        "host": {"cpu_count": cores},
+        "lbmhd_step_loop": {
+            "serial": serial.to_dict(),
+            "threads": threaded.to_dict(),
+            "units_per_sample": LBMHD_STEPS,
+            "speedup": speedup,
+        },
+        "target": {
+            "speedup": THREAD_SPEEDUP_TARGET,
+            "min_cores": MIN_CORES_FOR_TARGET,
+            "enforced": cores >= MIN_CORES_FOR_TARGET,
+            "met": speedup >= THREAD_SPEEDUP_TARGET,
+        },
+    }
+
+
+# -- pytest smoke tests ---------------------------------------------------
+
+
+@pytest.mark.bench_smoke
+def test_threaded_stepping_bitwise_matches_serial():
+    """Tiny configuration of the tracked loop: states must be bitwise
+    identical across executors (arena fast path included)."""
+    params = LBMHDParams(shape=(8, 8, 8))
+    serial = LBMHD3D(
+        params, Communicator(8, executor=SerialExecutor()), arena=Arena()
+    )
+    threaded = LBMHD3D(
+        params,
+        Communicator(8, executor=ThreadExecutor(4)),
+        arena=Arena(),
+    )
+    serial.run(3)
+    threaded.run(3)
+    assert_array_equal(serial.global_state(), threaded.global_state())
+
+
+@pytest.mark.bench_smoke
+def test_threaded_harness_run_bitwise_matches_serial():
+    """The same contract through the instrumented harness driver."""
+    params = LBMHDParams(shape=(8, 8, 8))
+    a = harness.run(
+        "lbmhd", params, steps=3, nprocs=8, executor="serial", arena=Arena()
+    )
+    b = harness.run(
+        "lbmhd", params, steps=3, nprocs=8, executor="threads:4",
+        arena=Arena(),
+    )
+    assert_array_equal(a.state.global_state(), b.state.global_state())
+
+
+@pytest.mark.bench_smoke
+def test_campaign_machinery_flows():
+    """One-repeat end-to-end pass over the measuring machinery."""
+    timing = measure(lambda: None, "noop", repeats=2, warmup=0)
+    assert isinstance(timing, Timing)
+    assert timing.repeats == 2
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < MIN_CORES_FOR_TARGET,
+    reason=f"speedup target needs >= {MIN_CORES_FOR_TARGET} cores",
+)
+def test_threaded_speedup_meets_target():
+    """On a real multi-core host the thread pool must pay for itself."""
+    payload = run_campaign(repeats=3)
+    row = payload["lbmhd_step_loop"]
+    assert row["speedup"] >= THREAD_SPEEDUP_TARGET, (
+        f"threaded speedup {row['speedup']:.2f}x below "
+        f"{THREAD_SPEEDUP_TARGET}x target "
+        f"(serial best {row['serial']['best_s'] * 1e3:.1f} ms, "
+        f"threads best {row['threads']['best_s'] * 1e3:.1f} ms, "
+        f"{payload['host']['cpu_count']} cores)"
+    )
+
+
+if __name__ == "__main__":
+    out = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+    payload = run_campaign()
+    row = payload["lbmhd_step_loop"]
+    per = row["units_per_sample"]
+    serial_ms = row["serial"]["best_s"] / per * 1e3
+    threads_ms = row["threads"]["best_s"] / per * 1e3
+    cores = payload["host"]["cpu_count"]
+    print(
+        f"lbmhd_step_loop          serial {serial_ms:8.2f} ms/step   "
+        f"threads({THREAD_WORKERS}) {threads_ms:8.2f} ms/step   "
+        f"speedup {row['speedup']:.2f}x   ({cores} cores)"
+    )
+    target = payload["target"]
+    if target["enforced"]:
+        assert target["met"], (
+            f"threaded speedup {row['speedup']:.2f}x below "
+            f"{THREAD_SPEEDUP_TARGET}x target on a {cores}-core host"
+        )
+    elif not target["met"]:
+        print(
+            f"note: {cores} core(s) < {MIN_CORES_FOR_TARGET} — "
+            f"speedup target recorded but not enforced on this host"
+        )
+    write_results(out, payload)
+    print(f"wrote {out}")

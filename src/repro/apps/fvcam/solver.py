@@ -131,8 +131,8 @@ class FVCAM:
         """Stacked (nf, km_local, jm_local + 2 HALO, im) padded fields."""
         fields = self._fields()
         nf = len(fields)
-        padded = []
-        for rank in range(self.comm.nprocs):
+
+        def pack_rank(rank: int) -> np.ndarray:
             km_l, jm_l, im = self.decomp.local_shape(rank)
             block = np.empty((nf, km_l, jm_l + 2 * HALO, im))
             for f, arr in enumerate(fields):
@@ -141,7 +141,9 @@ class FVCAM:
                 # neighbor exists (walls keep the replication)
                 block[f, :, :HALO, :] = arr[rank][:, :1, :]
                 block[f, :, -HALO:, :] = arr[rank][:, -1:, :]
-            padded.append(block)
+            return block
+
+        padded = self.comm.map_ranks(pack_rank)
 
         messages = []
         for rank in range(self.comm.nprocs):
@@ -188,15 +190,16 @@ class FVCAM:
         pz = self.decomp.pz
         phis: list[np.ndarray | None] = [None] * self.comm.nprocs
         if pz == 1:
-            for rank in range(self.comm.nprocs):
+
+            def suffix_rank(rank: int) -> None:
                 h_pad = padded[rank][0]
                 phis[rank] = g * np.cumsum(h_pad[::-1], axis=0)[::-1]
+
+            self.comm.map_ranks(suffix_rank)
             return phis  # type: ignore[return-value]
 
-        block_sums = {
-            rank: padded[rank][0].sum(axis=0)
-            for rank in range(self.comm.nprocs)
-        }
+        sums = self.comm.map_ranks(lambda r: padded[r][0].sum(axis=0))
+        block_sums = dict(enumerate(sums))
         messages = []
         for rank in range(self.comm.nprocs):
             y, z = self.decomp.coords(rank)
@@ -211,13 +214,15 @@ class FVCAM:
                 )
         received = self.comm.exchange(messages)
 
-        for rank in range(self.comm.nprocs):
+        def combine_rank(rank: int) -> None:
             h_pad = padded[rank][0]
             suffix = np.cumsum(h_pad[::-1], axis=0)[::-1]
             below = np.zeros_like(block_sums[rank])
             for plane in received.get(rank, []):
                 below += plane
             phis[rank] = g * (suffix + below[None, :, :])
+
+        self.comm.map_ranks(combine_rank)
         return phis  # type: ignore[return-value]
 
     # -- time stepping ---------------------------------------------------------
@@ -252,7 +257,8 @@ class FVCAM:
         """Transport + pressure gradient + polar filter on every rank."""
         grid = self.grid
         dt = self.params.dt
-        for rank in range(self.comm.nprocs):
+
+        def sweep_rank(rank: int) -> None:
             km_l, jm_l, im = self.decomp.local_shape(rank)
             coslat_pad = self._padded_coslat(rank)
             h_pad, u_pad, v_pad = padded[rank][:3]
@@ -307,6 +313,8 @@ class FVCAM:
                 rank, filter_work(grid, max(len(rows), 0) * km_l or 1)
             )
 
+        self.comm.map_ranks(sweep_rank)
+
     def _filtered_rows_local(self, rank: int) -> np.ndarray:
         ls = self.decomp.lat_slice(rank)
         rows = self.grid.filtered_rows
@@ -343,12 +351,14 @@ class FVCAM:
         physics in a whole-column decomposition.
         """
         km = self.grid.km
-        raw = [
-            (self.h_ref[rank] - self.h[rank]) * (dt / self.phys.tau_thermal)
-            for rank in range(self.comm.nprocs)
-        ]
+        raw = self.comm.map_ranks(
+            lambda rank: (self.h_ref[rank] - self.h[rank])
+            * (dt / self.phys.tau_thermal)
+        )
         if self.decomp.pz == 1:
-            means = [r.mean(axis=0, keepdims=True) for r in raw]
+            means = self.comm.map_ranks(
+                lambda rank: raw[rank].mean(axis=0, keepdims=True)
+            )
         else:
             means = [None] * self.comm.nprocs
             for group in self.level_groups:
@@ -359,7 +369,8 @@ class FVCAM:
                 for local, grank in enumerate(group.ranks):
                     means[grank] = (summed[local] / km)[None, :, :]
         damp = 1.0 - dt / self.phys.tau_drag
-        for rank in range(self.comm.nprocs):
+
+        def update_rank(rank: int) -> None:
             self.h[rank] = self.h[rank] + raw[rank] - means[rank]
             self.u[rank] = self.u[rank] * damp
             self.v[rank] = self.v[rank] * damp
@@ -368,6 +379,8 @@ class FVCAM:
                 rank, physics_work(self.grid, km_l * jm_l * im)
             )
 
+        self.comm.map_ranks(update_rank)
+
     # -- remap phase ---------------------------------------------------------
 
     def remap(self) -> None:
@@ -375,7 +388,8 @@ class FVCAM:
         pz = self.decomp.pz
         grid = self.grid
         if pz == 1:
-            for rank in range(self.comm.nprocs):
+
+            def remap_rank(rank: int) -> None:
                 fields = [self.u[rank], self.v[rank]]
                 if self.q is not None:
                     fields.append(self.q[rank])
@@ -385,6 +399,8 @@ class FVCAM:
                     self.q[rank] = out[2]
                 _, jm_l, im = self.decomp.local_shape(rank)
                 self.comm.compute(rank, remap_work(grid, jm_l * im))
+
+            self.comm.map_ranks(remap_rank)
             return
 
         for group in self.level_groups:
@@ -407,7 +423,10 @@ class FVCAM:
                 for grank in group.ranks
             ]
             recv = group.alltoallv(send)
-            for local, grank in enumerate(group.ranks):
+            granks = group.ranks
+
+            def remap_member(local: int) -> None:
+                grank = granks[local]
                 stacked = np.concatenate(recv[local], axis=1)  # full km
                 h, out = remap_column(stacked[0], list(stacked[1:]))
                 ncols = h.shape[1] * h.shape[2]
@@ -422,6 +441,8 @@ class FVCAM:
                     for j in range(gsize)
                 ]
                 recv[local] = send_back  # reuse container
+
+            self.comm.map_ranks(remap_member, indices=range(gsize))
             back = group.alltoallv(
                 [recv[local] for local in range(gsize)]
             )

@@ -133,12 +133,17 @@ class GTC:
         """Per-rank charge deposition; returns the unreduced partials."""
         grid = self.torus.plane
         vectorized = self.params.use_work_vector
-        partial: list[np.ndarray] = []
-        for rank, p in enumerate(self.particles):
-            # Per-rank persistent accumulation buffers: the partials
-            # must all survive until the subgroup Allreduce below.
+
+        def deposit_rank(rank: int) -> np.ndarray:
+            p = self.particles[rank]
+            # Per-rank persistent accumulation buffers (drawn from the
+            # rank's child arena so concurrent segments never alias):
+            # the partials must all survive until the subgroup
+            # Allreduce below.
             dest = (
-                self.arena.scratch(f"gtc.charge.partial.{rank}", grid.shape)
+                self.arena.for_rank(rank).scratch(
+                    "gtc.charge.partial", grid.shape
+                )
                 if self.arena is not None
                 else None
             )
@@ -149,8 +154,9 @@ class GTC:
             else:
                 rho = deposit_scalar(grid, p, out=dest)
             self.comm.compute(rank, deposit_work(len(p), vectorized))
-            partial.append(rho)
-        return partial
+            return rho
+
+        return self.comm.map_ranks(deposit_rank)
 
     def _reduce_charge(self, partial: list[np.ndarray]) -> None:
         """Subgroup Allreduce of the deposited partials."""
@@ -172,42 +178,62 @@ class GTC:
         each simulated processor does the work.
         """
         grid = self.torus.plane
+        npe = self.decomp.npe_per_domain
+        work = poisson_work(grid)
+        results: list[tuple[np.ndarray, tuple] | None] = [
+            None
+        ] * self.comm.nprocs
+
+        def field_domain(domain: int) -> None:
+            # One segment per toroidal domain, not per rank: in arena
+            # mode the ranks of a domain share the solve result, so the
+            # domain is the independent unit of work.  Ranks within a
+            # domain are contiguous and walked in ascending order, so
+            # the deferred compute charges replay exactly as the serial
+            # per-rank loop charged them.
+            lo = domain * npe
+            fields: tuple[np.ndarray, tuple] | None = None
+            for rank in range(lo, lo + npe):
+                if self.arena is None or fields is None:
+                    rho = self.charge[rank]
+                    phi = solve_poisson(grid, rho - rho.mean())
+                    fields = (phi, electric_field(grid, phi))
+                results[rank] = fields
+                self.comm.compute(rank, work)
+
+        self.comm.map_ranks(
+            field_domain, indices=range(self.decomp.ntoroidal)
+        )
         self.e_fields = []
-        domain_fields: dict[int, tuple[np.ndarray, tuple]] = {}
         for rank in range(self.comm.nprocs):
-            domain = self.decomp.domain_of(rank)
-            if self.arena is None or domain not in domain_fields:
-                rho = self.charge[rank]
-                phi = solve_poisson(grid, rho - rho.mean())
-                fields = (phi, electric_field(grid, phi))
-                if self.arena is not None:
-                    domain_fields[domain] = fields
-            else:
-                fields = domain_fields[domain]
+            fields = results[rank]
+            assert fields is not None
             self.phi[rank] = fields[0]
             self.e_fields.append(fields[1])
-            self.comm.compute(rank, poisson_work(grid))
 
     def push_phase(self) -> None:
         """Gather + guiding-center advance (phase 4)."""
         grid = self.torus.plane
         vectorized = self.params.use_work_vector
-        new_particles = []
-        for rank, p in enumerate(self.particles):
+
+        def push_rank(rank: int) -> ParticleArray:
+            p = self.particles[rank]
+            # e_fields may be shared between the ranks of a domain in
+            # arena mode — segments only read them.
             e_r, e_theta = self.e_fields[rank]
             er_p, et_p = gather_field(grid, e_r, e_theta, p)
-            new_particles.append(
-                push_particles(
-                    self.torus,
-                    p,
-                    er_p,
-                    et_p,
-                    self.push_params,
-                    out=self._push_buffers(rank, len(p)),
-                )
+            new = push_particles(
+                self.torus,
+                p,
+                er_p,
+                et_p,
+                self.push_params,
+                out=self._push_buffers(rank, len(p)),
             )
             self.comm.compute(rank, push_work(len(p), vectorized))
-        self.particles = new_particles
+            return new
+
+        self.particles = self.comm.map_ranks(push_rank)
 
     def _push_buffers(self, rank: int, n: int) -> ParticleArray | None:
         """Arena-backed destination particles for the push ping-pong.
@@ -217,8 +243,8 @@ class GTC:
         """
         if self.arena is None:
             return None
-        tag = f"gtc.push.{rank}.{self.step_count % 2}"
-        sc = self.arena.scratch
+        tag = f"gtc.push.{self.step_count % 2}"
+        sc = self.arena.for_rank(rank).scratch
         return ParticleArray(
             r=sc(tag + ".r", (n,)),
             theta=sc(tag + ".theta", (n,)),

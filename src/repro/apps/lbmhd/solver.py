@@ -197,30 +197,37 @@ class LBMHD3D:
             self._step_fast()
             self.step_count += 1
             return
-        post = []
         local_points = int(np.prod(self.decomp.local_shape))
         if self.params.use_mrt:
             from .mrt import collide_mrt
 
             mrt_params = self.params.mrt
+        work = collision_work(local_points)
+
+        def collide_rank(rank: int) -> np.ndarray:
+            if self.params.use_mrt:
+                new = collide_mrt(self.states[rank], mrt_params)
+            else:
+                new = collide(
+                    self.states[rank],
+                    self.params.collision,
+                    arena=None if self.arena is None else self.arena.for_rank(rank),
+                )
+            self.comm.compute(rank, work)
+            return new
+
         with self.comm.phase("collision"):
-            for rank, state in enumerate(self.states):
-                if self.params.use_mrt:
-                    new = collide_mrt(state, mrt_params)
-                else:
-                    new = collide(
-                        state, self.params.collision, arena=self.arena
-                    )
-                self.comm.compute(rank, collision_work(local_points))
-                post.append(new)
+            post = self.comm.map_ranks(collide_rank)
 
         with self.comm.phase("stream"):
             if self.comm.nprocs == 1:
                 self.states = [stream_periodic(post[0])]
             else:
-                padded = [pad_state(p) for p in post]
+                padded = self.comm.map_ranks(lambda r: pad_state(post[r]))
                 exchange_halos(self.comm, self.decomp, padded)
-                self.states = [stream_from_padded(p) for p in padded]
+                self.states = self.comm.map_ranks(
+                    lambda r: stream_from_padded(padded[r])
+                )
         self.step_count += 1
 
     def _step_fast(self) -> None:
@@ -234,22 +241,54 @@ class LBMHD3D:
         padded_block = arena.scratch(
             "lbmhd.padded_block", (NSLOTS, nranks, lx + 2, ly + 2, lz + 2)
         )
-        with self.comm.phase("collision"):
-            # Collide straight into the ghost-padded core: no separate
-            # post-collision buffer, no pack copy.
-            collide(
-                block,
-                self.params.collision,
-                out=padded_block[:, :, 1 : lx + 1, 1 : ly + 1, 1 : lz + 1],
-                arena=arena,
-            )
-            work = collision_work(lx * ly * lz)
-            for rank in range(nranks):
+        core = padded_block[:, :, 1 : lx + 1, 1 : ly + 1, 1 : lz + 1]
+        work = collision_work(lx * ly * lz)
+
+        # The per-rank slice kernels are bitwise-identical to the
+        # batched whole-block kernels (point-local arithmetic, pinned
+        # tile width), so the executor only picks which shape runs: a
+        # serial executor keeps the batched calls (one large NumPy op
+        # beats 2P small ones on a single core), a parallel executor
+        # gets per-rank segments that overlap across worker threads.
+        # Either way each rank's charge lands in rank order.
+        if not self.comm.executor.parallel:
+
+            def collide_rank(rank: int) -> None:
+                if rank == 0:
+                    # Collide straight into the ghost-padded core: no
+                    # separate post-collision buffer, no pack copy.
+                    collide(
+                        block, self.params.collision, out=core, arena=arena
+                    )
                 self.comm.compute(rank, work)
+
+            def stream_rank(rank: int) -> None:
+                if rank == 0:
+                    stream_from_padded_batch(padded_block, out=block)
+
+        else:
+
+            def collide_rank(rank: int) -> None:
+                # Each segment writes a disjoint [:, rank] slice and
+                # scratches from its own per-rank child arena, so
+                # segments are independent.
+                collide(
+                    block[:, rank],
+                    self.params.collision,
+                    out=core[:, rank],
+                    arena=arena.for_rank(rank),
+                )
+                self.comm.compute(rank, work)
+
+            def stream_rank(rank: int) -> None:
+                stream_from_padded(padded_block[:, rank], out=block[:, rank])
+
+        with self.comm.phase("collision"):
+            self.comm.map_ranks(collide_rank)
 
         with self.comm.phase("stream"):
             exchange_halos_block(self.comm, self.decomp, padded_block)
-            stream_from_padded_batch(padded_block, out=block)
+            self.comm.map_ranks(stream_rank)
 
     def run(self, steps: int) -> None:
         for _ in range(steps):

@@ -129,12 +129,11 @@ class ParallelFFT3D:
         p = self.comm.nprocs
 
         # 1. scatter points into columns; 1-D inverse FFT along z.
-        lines: list[np.ndarray] = []
-        for rank in range(p):
+        def line_rank(rank: int) -> np.ndarray:
             ncol = len(self._col_keys[rank])
             if self.arena is not None:
-                line = self.arena.scratch(
-                    f"paratec.line.{rank}", (ncol, n3), np.complex128
+                line = self.arena.for_rank(rank).scratch(
+                    "paratec.line", (ncol, n3), np.complex128
                 )
                 line.fill(0.0)
             else:
@@ -142,11 +141,15 @@ class ParallelFFT3D:
             line[self._col_of_point[rank], self._gz_of_point[rank]] = coeffs[
                 rank
             ]
-            lines.append(np.fft.ifft(line, axis=1))
+            return np.fft.ifft(line, axis=1)
+
+        lines = self.comm.map_ranks(line_rank)
 
         # 2 + 3. global transpose, then 2-D inverse FFT per plane.
         slabs = self.transpose_columns_to_slabs(lines)
-        return [np.fft.ifft2(s, axes=(0, 1)) for s in slabs]
+        return self.comm.map_ranks(
+            lambda r: np.fft.ifft2(slabs[r], axes=(0, 1))
+        )
 
     def transpose_columns_to_slabs(
         self, lines: list[np.ndarray]
@@ -164,8 +167,8 @@ class ParallelFFT3D:
         p = self.comm.nprocs
         n1, n2, _ = self.grid_shape
         if self.arena is None:
-            send = [
-                [
+            send = self.comm.map_ranks(
+                lambda i: [
                     np.ascontiguousarray(
                         lines[i][
                             :, self._slab_bounds[j] : self._slab_bounds[j + 1]
@@ -173,8 +176,7 @@ class ParallelFFT3D:
                     )
                     for j in range(p)
                 ]
-                for i in range(p)
-            ]
+            )
             with self.comm.phase("fft"):
                 recv = self.comm.alltoallv(send)
         else:
@@ -190,18 +192,19 @@ class ParallelFFT3D:
             with self.comm.phase("fft"):
                 recv = self.comm.alltoallv(send, copy=False)
 
-        slabs = []
         off = self._col_offsets
         total = int(off[-1])
-        for j in range(p):
+
+        def unpack_rank(j: int) -> np.ndarray:
             nz = self.slab_shape(j)[2]
             if self.arena is not None:
-                slab = self.arena.scratch(
-                    f"paratec.slab.{j}", (n1, n2, nz), np.complex128
+                rank_arena = self.arena.for_rank(j)
+                slab = rank_arena.scratch(
+                    "paratec.slab", (n1, n2, nz), np.complex128
                 )
                 slab.fill(0.0)
-                rows = self.arena.scratch(
-                    f"paratec.rows.{j}", (total, nz), np.complex128
+                rows = rank_arena.scratch(
+                    "paratec.rows", (total, nz), np.complex128
                 )
                 for i in range(p):
                     rows[off[i] : off[i + 1]] = recv[j][i]
@@ -211,8 +214,9 @@ class ParallelFFT3D:
                 for i in range(p):
                     keys = self._col_keys[i]
                     slab[keys[:, 0], keys[:, 1], :] = recv[j][i]
-            slabs.append(slab)
-        return slabs
+            return slab
+
+        return self.comm.map_ranks(unpack_rank)
 
     def real_to_sphere(self, slabs: list[np.ndarray]) -> list[np.ndarray]:
         """psi(r) (per-rank z-slabs) -> psi(G) (per-rank sphere slices).
@@ -224,18 +228,19 @@ class ParallelFFT3D:
         p = self.comm.nprocs
 
         # 1. 2-D forward FFT per plane.
-        f2s = [np.fft.fft2(s, axes=(0, 1)) for s in slabs]
+        f2s = self.comm.map_ranks(
+            lambda r: np.fft.fft2(slabs[r], axes=(0, 1))
+        )
 
         # 2. global transpose slabs -> columns.
         recv = self.transpose_slabs_to_columns(f2s)
 
         # 3. reassemble full z-lines; forward FFT along z; pull points.
-        out = []
-        for i in range(p):
+        def zline_rank(i: int) -> np.ndarray:
             ncol = len(self._col_keys[i])
             if self.arena is not None:
-                line = self.arena.scratch(
-                    f"paratec.zline.{i}", (ncol, n3), np.complex128
+                line = self.arena.for_rank(i).scratch(
+                    "paratec.zline", (ncol, n3), np.complex128
                 )
             else:
                 line = np.empty((ncol, n3), dtype=complex)
@@ -243,8 +248,9 @@ class ParallelFFT3D:
                 lo, hi = self.slab_range(j)
                 line[:, lo:hi] = recv[i][j]
             fz = np.fft.fft(line, axis=1)
-            out.append(fz[self._col_of_point[i], self._gz_of_point[i]])
-        return out
+            return fz[self._col_of_point[i], self._gz_of_point[i]]
+
+        return self.comm.map_ranks(zline_rank)
 
     def transpose_slabs_to_columns(
         self, f2s: list[np.ndarray]
@@ -261,8 +267,8 @@ class ParallelFFT3D:
         """
         p = self.comm.nprocs
         if self.arena is None:
-            send = [
-                [
+            send = self.comm.map_ranks(
+                lambda j: [
                     np.ascontiguousarray(
                         f2s[j][
                             self._col_keys[i][:, 0], self._col_keys[i][:, 1], :
@@ -270,17 +276,18 @@ class ParallelFFT3D:
                     )
                     for i in range(p)
                 ]
-                for j in range(p)
-            ]
+            )
             with self.comm.phase("fft"):
                 return self.comm.alltoallv(send)
         off = self._col_offsets
-        send = []
-        for j in range(p):
+
+        def pack_rank(j: int) -> list[np.ndarray]:
             # One gather for every destination at once; the per-rank
             # blocks are row ranges (views) of the stacked result.
             allcols = f2s[j][self._all_keys[:, 0], self._all_keys[:, 1], :]
-            send.append([allcols[off[i] : off[i + 1]] for i in range(p)])
+            return [allcols[off[i] : off[i + 1]] for i in range(p)]
+
+        send = self.comm.map_ranks(pack_rank)
         with self.comm.phase("fft"):
             return self.comm.alltoallv(send, copy=False)
 

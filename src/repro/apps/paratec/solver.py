@@ -72,12 +72,7 @@ class Paratec:
         per_band = self.ham.apply_work().scaled(
             2.0 * self.params.cg_iterations
         )
-        for rank in range(self.comm.nprocs):
-            for _ in range(self.params.nbands):
-                self.comm.compute(rank, per_band)
-            self.comm.compute(
-                rank, blas3_work(self.params.nbands, ng_local)
-            )
+        self.comm.map_ranks(lambda rank: self._charge_sweep(rank, per_band, ng_local))
         self.result = self.driver.run(
             self.bands,
             max_iterations=self.params.scf_iterations,
@@ -98,12 +93,9 @@ class Paratec:
             2.0 * self.params.cg_iterations
         )
         with self.comm.phase("cg"):
-            for rank in range(self.comm.nprocs):
-                for _ in range(self.params.nbands):
-                    self.comm.compute(rank, per_band)
-                self.comm.compute(
-                    rank, blas3_work(self.params.nbands, ng_local)
-                )
+            self.comm.map_ranks(
+                lambda rank: self._charge_sweep(rank, per_band, ng_local)
+            )
         eigenvalues = self.driver.solve_bands(self.bands)
         dv = (
             self.driver.update_potential(self.bands)
@@ -118,6 +110,12 @@ class Paratec:
             iterations=1,
         )
         return self.result
+
+    def _charge_sweep(self, rank: int, per_band, ng_local: float) -> None:
+        """One rank's CG-sweep compute charges (band loops + BLAS3)."""
+        for _ in range(self.params.nbands):
+            self.comm.compute(rank, per_band)
+        self.comm.compute(rank, blas3_work(self.params.nbands, ng_local))
 
     @property
     def flops_per_step(self) -> float:

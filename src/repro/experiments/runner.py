@@ -100,11 +100,42 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write each experiment's output to DIR/<name>.txt",
     )
+    parser.add_argument(
+        "--executor",
+        metavar="SPEC",
+        help=(
+            "executor for per-rank compute segments: 'serial', 'threads', "
+            "or 'threads:N' (results are identical either way — only "
+            "wall-clock differs)"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        metavar="N",
+        help=(
+            "seed NumPy's legacy global RNG before running, so any "
+            "experiment replays deterministically on either backend"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list_only:
         print(list_experiments())
         return 0
+
+    if args.executor is not None:
+        from ..runtime.executors import set_default_executor
+
+        try:
+            set_default_executor(args.executor)
+        except ValueError as exc:
+            print(f"repro-experiments: {exc}", file=sys.stderr)
+            return 2
+    if args.seed is not None:
+        import numpy as np
+
+        np.random.seed(args.seed)
 
     requested = args.names or ["all"]
     unknown = [n for n in requested if n != "all" and n not in EXPERIMENTS]

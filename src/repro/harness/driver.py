@@ -81,6 +81,7 @@ def run(
     arena: Any | None = None,
     instrument: bool = True,
     loop_registers: float | None = None,
+    executor: Any | None = None,
 ) -> HarnessResult:
     """Run ``steps`` steps of an application and return the result.
 
@@ -108,6 +109,15 @@ def run(
         Attach a fresh :class:`~repro.simmpi.PhaseLedger` for the run
         (the default).  ``False`` runs without phase accounting — the
         overhead is tiny, but bit-for-bit benchmarking wants it off.
+    executor:
+        How per-rank compute segments are scheduled: an
+        :class:`~repro.runtime.executors.Executor`, a spec string
+        (``"serial"``, ``"threads"``, ``"threads:N"``), or ``None`` to
+        resolve the process default / ``REPRO_EXECUTOR``.  Changes
+        wall-clock only — states, traces, and ledgers are identical
+        across executors.  Only meaningful when the harness builds the
+        communicator; combining it with an explicit ``comm`` is an
+        error (the communicator already carries its executor).
     """
     adapter = get_application(app) if isinstance(app, str) else app
     if params is None:
@@ -125,11 +135,17 @@ def run(
             trace=trace,
             timeline=timeline,
             loop_registers=loop_registers,
+            executor=executor,
         )
     elif nprocs is not None and nprocs != comm.nprocs:
         raise ValueError(
             f"nprocs={nprocs} conflicts with the given communicator "
             f"(nprocs={comm.nprocs})"
+        )
+    elif executor is not None:
+        raise ValueError(
+            "executor= conflicts with an explicit comm=; construct the "
+            "communicator with the executor instead"
         )
 
     ledger = comm.attach_phase_ledger() if instrument else None

@@ -3,13 +3,36 @@
 * :mod:`repro.runtime.arena` — shape/dtype-keyed scratch-buffer arena
   that lets hot kernels (LBMHD collide, GTC deposit/push, PARATEC FFT
   transposes) reuse workspaces across time steps instead of
-  reallocating them;
+  reallocating them; per-rank child arenas keep concurrent rank
+  segments from aliasing a workspace;
+* :mod:`repro.runtime.executors` — the executor seam: serial lockstep
+  or a thread pool for per-rank compute segments, resolved from an
+  explicit spec, :func:`set_default_executor`, or ``REPRO_EXECUTOR``;
 * :mod:`repro.runtime.perf` — small wall-clock timing helpers backing
   ``benchmarks/bench_hotpath.py`` and the ``BENCH_*.json`` perf
   trajectory.
 """
 
 from .arena import Arena
+from .executors import (
+    Executor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_executors,
+    get_executor,
+    set_default_executor,
+)
 from .perf import Timing, measure, write_results
 
-__all__ = ["Arena", "Timing", "measure", "write_results"]
+__all__ = [
+    "Arena",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "Timing",
+    "available_executors",
+    "get_executor",
+    "measure",
+    "set_default_executor",
+    "write_results",
+]

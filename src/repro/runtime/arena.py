@@ -16,9 +16,13 @@ Contract
   it — the hot kernels here always do the former.
 * Distinct call sites use distinct ``key`` strings, so two kernels can
   never collide on a workspace even when their shapes agree.
-* An arena is **not** thread-safe and buffers must not be held across
-  a second ``scratch`` call with the same key: the second call returns
-  the same memory.
+* Pool bookkeeping is lock-guarded, so concurrent ``scratch`` calls
+  are safe and two threads asking for the same key get the same
+  buffer.  That is still *aliasing* if the threads are different
+  ranks: concurrent rank segments must draw from per-rank child arenas
+  (:meth:`Arena.for_rank`), which hold disjoint pools by construction.
+* Buffers must not be held across a second ``scratch`` call with the
+  same key on the same arena: the second call returns the same memory.
 
 Passing ``arena=None`` to any kernel that accepts one falls back
 transparently to the seed's allocating behavior (every call gets fresh
@@ -28,6 +32,7 @@ oracle for the fast path.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -49,6 +54,12 @@ class Arena:
     hits: int = 0
     misses: int = 0
     _pool: dict[tuple, np.ndarray] = field(default_factory=dict, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    _children: dict[int, "Arena"] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def scratch(
         self,
@@ -64,39 +75,68 @@ class Arena:
         if isinstance(shape, (int, np.integer)):
             shape = (int(shape),)
         k = (key, tuple(int(s) for s in shape), np.dtype(dtype).str)
-        buf = self._pool.get(k)
-        if buf is None:
-            buf = np.zeros(k[1], dtype=np.dtype(dtype))
-            self._pool[k] = buf
-            self.misses += 1
-        else:
-            self.hits += 1
+        with self._lock:
+            buf = self._pool.get(k)
+            if buf is None:
+                buf = np.zeros(k[1], dtype=np.dtype(dtype))
+                self._pool[k] = buf
+                self.misses += 1
+            else:
+                self.hits += 1
         return buf
 
     def scratch_like(self, key: str, ref: np.ndarray) -> np.ndarray:
         """Workspace with the shape and dtype of a reference array."""
         return self.scratch(key, ref.shape, ref.dtype)
 
+    def for_rank(self, rank: int) -> "Arena":
+        """The per-rank child arena — disjoint pool, stable identity.
+
+        Rank kernels share arena keys ("lbmhd.collide.rho",
+        "gtc.deposit.rho", ...) because the key names the *call site*,
+        not the rank.  When rank segments run concurrently those keys
+        must not resolve to one buffer, so each rank draws scratch from
+        its own child.  Children are cached: the same child (hence the
+        same buffers) comes back every step, preserving the reuse the
+        arena exists for.
+        """
+        rank = int(rank)
+        with self._lock:
+            child = self._children.get(rank)
+            if child is None:
+                child = Arena(name=f"{self.name}[{rank}]")
+                self._children[rank] = child
+        return child
+
     # -- introspection -------------------------------------------------
 
     @property
     def nbytes(self) -> int:
-        """Total bytes currently held by the pool."""
-        return sum(int(b.nbytes) for b in self._pool.values())
+        """Total bytes held by the pool, including per-rank children."""
+        with self._lock:
+            own = sum(int(b.nbytes) for b in self._pool.values())
+            children = list(self._children.values())
+        return own + sum(c.nbytes for c in children)
 
     @property
     def num_buffers(self) -> int:
-        return len(self._pool)
+        with self._lock:
+            own = len(self._pool)
+            children = list(self._children.values())
+        return own + sum(c.num_buffers for c in children)
 
     def keys(self) -> list[tuple]:
-        """The (key, shape, dtype) triples currently pooled."""
-        return sorted(self._pool, key=str)
+        """The (key, shape, dtype) triples pooled by *this* arena."""
+        with self._lock:
+            return sorted(self._pool, key=str)
 
     def clear(self) -> None:
-        """Drop every pooled buffer (and reset the statistics)."""
-        self._pool.clear()
-        self.hits = 0
-        self.misses = 0
+        """Drop every pooled buffer and child (and reset statistics)."""
+        with self._lock:
+            self._pool.clear()
+            self._children.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

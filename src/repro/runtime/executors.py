@@ -1,0 +1,193 @@
+"""Pluggable executors: how per-rank compute segments are scheduled.
+
+The simulated machine keeps every rank's data in one Python process, so
+"parallel" rank compute has historically meant a serial ``for rank in
+range(nprocs)`` loop.  The executor seam makes that loop pluggable:
+
+* :class:`SerialExecutor` — run segments one after another on the
+  calling thread.  This is the default and reproduces the historical
+  lockstep semantics exactly.
+* :class:`ThreadExecutor` — dispatch segments to a shared thread pool.
+  The rank kernels are NumPy-heavy and release the GIL inside array
+  arithmetic, so independent rank segments genuinely overlap on a
+  multi-core host.
+
+Executors schedule **compute only**.  Communication stays serialized
+between parallel regions (see ``Communicator.map_ranks``), and the
+deferred-accounting replay in the communicator guarantees that both
+executors produce bitwise-identical solver states and identical
+clock/trace/ledger instrumentation — only real wall-clock differs.
+
+Resolution order for "which executor should this run use":
+
+1. an explicit ``Executor`` instance or spec string passed by the caller;
+2. the process-wide default installed with :func:`set_default_executor`
+   (what the ``repro-experiments --executor`` flag uses);
+3. the ``REPRO_EXECUTOR`` environment variable (what the CI threaded job
+   sets);
+4. ``"serial"``.
+
+Spec strings are ``"serial"``, ``"threads"`` (worker count picked from
+the host), or ``"threads:N"``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor as _ThreadPool
+from typing import Callable, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+_ENV_VAR = "REPRO_EXECUTOR"
+
+
+class Executor:
+    """Schedules a batch of independent segments and collects results.
+
+    Subclasses must preserve *result order*: ``map(fn, items)`` returns
+    ``[fn(items[0]), fn(items[1]), ...]`` regardless of the order the
+    calls actually ran in.  If any call raises, ``map`` raises (the
+    first failure in item order); remaining segments may or may not
+    have run, so callers must treat a raised region as charged-nothing
+    (the communicator does).
+    """
+
+    #: spec-style name ("serial", "threads")
+    name: str = "executor"
+    #: number of worker threads segments may occupy concurrently
+    workers: int = 1
+    #: True when segments may run concurrently (drives deferred
+    #: accounting and the parallel-region communication guard)
+    parallel: bool = False
+
+    def map(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> list[_R]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """Run every segment on the calling thread, in item order."""
+
+    name = "serial"
+    workers = 1
+    parallel = False
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        return [fn(item) for item in items]
+
+
+# One shared pool per worker count, process-wide.  Communicators are
+# created by the hundreds across a test run; per-communicator pools
+# would churn threads, and idle pool threads cost nothing.
+_POOLS: dict[int, _ThreadPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _shared_pool(workers: int) -> _ThreadPool:
+    with _POOLS_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = _ThreadPool(
+                max_workers=workers, thread_name_prefix=f"repro-exec{workers}"
+            )
+            _POOLS[workers] = pool
+        return pool
+
+
+class ThreadExecutor(Executor):
+    """Run segments on a shared thread pool (NumPy releases the GIL).
+
+    ``workers=None`` picks ``min(8, os.cpu_count())`` — eight threads
+    saturate the per-rank segment sizes the benchmarks use, and more
+    only adds scheduling noise.
+    """
+
+    name = "threads"
+    parallel = True
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is None:
+            workers = min(8, os.cpu_count() or 1)
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        pool = _shared_pool(self.workers)
+        futures = [pool.submit(fn, item) for item in items]
+        # result() in submission order: ordered results, and the first
+        # failing item's exception (not an arbitrary thread's).
+        return [f.result() for f in futures]
+
+
+_DEFAULT_LOCK = threading.Lock()
+_default_spec: "str | Executor | None" = None
+
+
+def set_default_executor(spec: "str | Executor | None") -> Executor | None:
+    """Install a process-wide default executor (``None`` clears it).
+
+    Returns the resolved executor (so callers can log the choice), or
+    ``None`` when clearing.  The default outranks ``REPRO_EXECUTOR``
+    but is outranked by an explicit per-communicator argument.
+    """
+    global _default_spec
+    resolved = None if spec is None else _parse(spec)
+    with _DEFAULT_LOCK:
+        _default_spec = spec
+    return resolved
+
+
+def get_executor(spec: "str | Executor | None" = None) -> Executor:
+    """Resolve an executor spec (see module docstring for the chain)."""
+    if spec is None:
+        with _DEFAULT_LOCK:
+            spec = _default_spec
+    if spec is None:
+        spec = os.environ.get(_ENV_VAR) or "serial"
+    return _parse(spec)
+
+
+def _parse(spec: "str | Executor") -> Executor:
+    if isinstance(spec, Executor):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"executor spec must be a string or Executor, got {type(spec)!r}"
+        )
+    base, _, arg = spec.partition(":")
+    base = base.strip().lower()
+    if base == "serial":
+        if arg:
+            raise ValueError(f"serial executor takes no argument: {spec!r}")
+        return SerialExecutor()
+    if base == "threads":
+        if not arg:
+            return ThreadExecutor()
+        try:
+            workers = int(arg)
+        except ValueError:
+            raise ValueError(
+                f"bad worker count in executor spec {spec!r}"
+            ) from None
+        return ThreadExecutor(workers)
+    raise ValueError(
+        f"unknown executor {spec!r}; expected 'serial', 'threads', or "
+        "'threads:N'"
+    )
+
+
+def available_executors() -> list[str]:
+    """Spec names accepted by :func:`get_executor` (for CLI help)."""
+    return ["serial", "threads", "threads:N"]

@@ -5,6 +5,7 @@ from .comm import Communicator, Message, Request
 from .phases import UNPHASED, PhaseBucket, PhaseLedger, PhaseScope
 from .timeline import Event, Timeline
 from .tracing import CommTrace
+from .transport import REDUCERS, Transport
 
 __all__ = [
     "Communicator",
@@ -14,8 +15,10 @@ __all__ = [
     "PhaseBucket",
     "PhaseLedger",
     "PhaseScope",
+    "REDUCERS",
     "Request",
     "Timeline",
+    "Transport",
     "UNPHASED",
     "VirtualClock",
 ]

@@ -9,6 +9,16 @@ buffers (so the numerics are exact and decomposition-independence is
 testable), while per-rank virtual clocks are advanced by the platform's
 processor, memory and network cost models.
 
+The :class:`Communicator` itself is a facade over four composed layers:
+
+* :class:`~repro.simmpi.transport.Transport` — pure byte movement;
+* :class:`~repro.simmpi.clock.VirtualClock` — per-rank virtual time;
+* :class:`~repro.simmpi.tracing.CommTrace` /
+  :class:`~repro.simmpi.phases.PhaseLedger` — IPM-style instrumentation;
+* :class:`~repro.runtime.executors.Executor` — how per-rank compute
+  segments are scheduled (serial lockstep or a thread pool), reached
+  through :meth:`Communicator.map_ranks`.
+
 Passing ``machine=None`` yields an *ideal* communicator: data still
 moves and traces still record, but no time is charged — this is the mode
 the correctness tests run in.
@@ -16,8 +26,9 @@ the correctness tests run in.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
@@ -25,18 +36,18 @@ from ..machines.processor import ProcessorModel, make_model
 from ..machines.spec import MachineSpec
 from ..network.collectives import CollectiveModel
 from ..network.model import NetworkModel
+from ..runtime.executors import Executor, get_executor
 from ..workload import Work, WorkloadMeter
 from .clock import VirtualClock
 from .phases import PhaseLedger, PhaseScope, PhaseState
 from .timeline import Timeline
 from .tracing import CommTrace
+from .transport import REDUCERS, Transport, get_reducer
 
-_REDUCERS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
-    "sum": np.add,
-    "max": np.maximum,
-    "min": np.minimum,
-    "prod": np.multiply,
-}
+_R = TypeVar("_R")
+
+# Back-compat alias: the reducer table now lives with the transport.
+_REDUCERS = REDUCERS
 
 
 @dataclass(frozen=True)
@@ -70,6 +81,29 @@ class Request:
         return self.done
 
 
+class _ExecState:
+    """Executor + parallel-region state shared by world and subgroups.
+
+    Lives in one box (like :class:`PhaseState`) so a subgroup split
+    before or after a ``map_ranks`` region sees the same region flag:
+    compute charged on a subcommunicator inside a segment defers like
+    compute charged on the world, and communication attempted on either
+    is rejected.
+
+    ``tls.buffer`` is the calling thread's deferred-work buffer; it is
+    only set while that thread is running a segment, so charges from
+    concurrent segments land in disjoint per-segment lists without a
+    lock (list.append is atomic under the GIL either way).
+    """
+
+    __slots__ = ("executor", "active", "tls")
+
+    def __init__(self, executor: Executor) -> None:
+        self.executor = executor
+        self.active = False
+        self.tls = threading.local()
+
+
 class Communicator:
     """A group of simulated ranks sharing clocks, trace, and cost models.
 
@@ -86,6 +120,13 @@ class Communicator:
         Record per-rank compute/comm/wait intervals (Gantt profiling).
     loop_registers:
         Register-demand hint forwarded to the vector processor model.
+    executor:
+        How :meth:`map_ranks` schedules per-rank compute segments: an
+        :class:`~repro.runtime.executors.Executor`, a spec string
+        (``"serial"``, ``"threads"``, ``"threads:N"``), or ``None`` to
+        resolve via :func:`~repro.runtime.executors.get_executor`
+        (process default, then ``REPRO_EXECUTOR``, then serial).
+        Executor choice never changes results — only wall-clock.
     """
 
     def __init__(
@@ -95,11 +136,13 @@ class Communicator:
         trace: bool = False,
         timeline: bool = False,
         loop_registers: float | None = None,
+        executor: "Executor | str | None" = None,
     ) -> None:
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         self.machine = machine
         self._ranks: list[int] = list(range(nprocs))
+        self._transport = Transport()
         self._clock = VirtualClock(nprocs)
         self._trace = CommTrace(nprocs) if trace else None
         self._timeline = Timeline(nprocs) if timeline else None
@@ -107,6 +150,7 @@ class Communicator:
         self._pending: list[Request] = []
         self._world: Communicator = self
         self._phase = PhaseState()
+        self._exec = _ExecState(get_executor(executor))
         if machine is not None:
             self._proc: ProcessorModel | None = make_model(
                 machine, loop_registers=loop_registers
@@ -125,6 +169,7 @@ class Communicator:
         sub = cls.__new__(cls)
         sub.machine = world.machine
         sub._ranks = list(ranks)
+        sub._transport = world._transport
         sub._clock = world._clock
         sub._trace = world._trace
         sub._timeline = world._timeline
@@ -135,6 +180,7 @@ class Communicator:
         sub._coll = world._coll
         sub._world = world._world
         sub._phase = world._phase
+        sub._exec = world._exec
         return sub
 
     def split(self, colors: Sequence[int]) -> list["Communicator"]:
@@ -177,6 +223,11 @@ class Communicator:
     def meter(self) -> WorkloadMeter:
         return self._meter
 
+    @property
+    def executor(self) -> Executor:
+        """The executor scheduling :meth:`map_ranks` segments."""
+        return self._exec.executor
+
     # -- IPM-style phase instrumentation -------------------------------
 
     def phase(self, name: str) -> PhaseScope:
@@ -190,6 +241,7 @@ class Communicator:
         the way the paper's IPM profiles do.  Without a ledger the
         scope is two attribute writes (safe on hot paths).
         """
+        self._require_serial_region("phase")
         return PhaseScope(self._phase, self._trace, name)
 
     def attach_phase_ledger(
@@ -239,20 +291,99 @@ class Communicator:
     def _g(self, local_rank: int) -> int:
         return self._ranks[local_rank]
 
+    # -- executor seam ---------------------------------------------------
+
+    def map_ranks(
+        self,
+        fn: Callable[[int], _R],
+        indices: Iterable[int] | None = None,
+    ) -> list[_R]:
+        """Run independent per-rank compute segments via the executor.
+
+        ``fn(index)`` is called once per index (default: every local
+        rank), possibly concurrently, and the results are returned in
+        index order.  Segments are *compute only*: they may mutate
+        rank-local state and charge :meth:`compute`, but any
+        communication (exchange, collectives, phase changes) raises
+        ``RuntimeError`` — communication belongs between regions, where
+        rank order is deterministic.
+
+        Determinism contract: while the region runs, every ``compute``
+        charge is deferred into the calling segment's buffer instead of
+        touching the meter/clock/ledger; when all segments finish, the
+        charges are replayed in segment order — exactly the order a
+        serial ``for`` loop would have produced.  Serial and threaded
+        executors therefore yield bitwise-identical clocks, traces,
+        ledgers and meters; only real wall-clock differs.  A region
+        that raises charges nothing.
+        """
+        exec_state = self._exec
+        if exec_state.active:
+            raise RuntimeError("map_ranks regions cannot nest")
+        idx = list(range(self.nprocs)) if indices is None else list(indices)
+        if not idx:
+            return []
+        buffers: list[list[tuple[int, Work]]] = [[] for _ in idx]
+        tls = exec_state.tls
+
+        def segment(job: tuple[int, int]) -> _R:
+            i, index = job
+            tls.buffer = buffers[i]
+            try:
+                return fn(index)
+            finally:
+                tls.buffer = None
+
+        exec_state.active = True
+        try:
+            results = exec_state.executor.map(segment, list(enumerate(idx)))
+        finally:
+            exec_state.active = False
+            tls.buffer = None
+        for buf in buffers:
+            for g, work in buf:
+                self._charge_compute(g, work)
+        return results
+
+    def _require_serial_region(self, opname: str) -> None:
+        if self._exec.active:
+            raise RuntimeError(
+                f"{opname} is not allowed inside a map_ranks parallel "
+                "region; segments are compute-only — communicate between "
+                "regions"
+            )
+
     # -- compute ---------------------------------------------------------
 
     def compute(self, local_rank: int, work: Work) -> float:
-        """Charge one rank for a kernel; returns the seconds charged."""
+        """Charge one rank for a kernel; returns the seconds charged.
+
+        Inside a :meth:`map_ranks` region the charge is deferred (and
+        replayed in deterministic order at region end); the returned
+        duration is the same either way, since the processor model is a
+        pure function of the work record.
+        """
+        exec_state = self._exec
+        if exec_state.active:
+            buf = getattr(exec_state.tls, "buffer", None)
+            if buf is None:
+                raise RuntimeError(
+                    "compute called during a map_ranks region from outside "
+                    "any segment"
+                )
+            buf.append((self._g(local_rank), work))
+            return self._proc.time(work) if self._proc is not None else 0.0
+        return self._charge_compute(self._g(local_rank), work)
+
+    def _charge_compute(self, g: int, work: Work) -> float:
+        """Meter/clock/timeline/ledger bookkeeping for one charge."""
         self._meter.record(work)
         ledger = self._phase.ledger
         if self._proc is None:
             if ledger is not None:
-                ledger.record_compute(
-                    self._phase.current, self._g(local_rank), 0.0, work.flops
-                )
+                ledger.record_compute(self._phase.current, g, 0.0, work.flops)
             return 0.0
         dt = self._proc.time(work)
-        g = self._g(local_rank)
         t0 = self._clock.time(g)
         self._clock.advance(g, dt)
         if self._timeline is not None:
@@ -279,6 +410,11 @@ class Communicator:
         costs; each receiver's clock waits for the latest arrival.
         Returns ``{dst_local_rank: [payload, ...]}`` in posting order.
 
+        Zero-byte messages are legitimate (empty halos on degenerate
+        decompositions): they deliver an empty payload, count as one
+        message in the trace, and cost pure latency on the wire.  An
+        empty message list is a no-op.
+
         With ``copy=True`` (the default) payloads are copied, so
         senders may reuse their buffers.  ``copy=False`` is the
         zero-copy fast path: the posted payload objects themselves are
@@ -286,51 +422,24 @@ class Communicator:
         them before the receiver is done (the halo exchange sends
         freshly sliced planes, so it qualifies).
         """
-        received: dict[int, list[np.ndarray]] = {}
-        depart_base = {m.src: self._clock.time(self._g(m.src)) for m in messages}
-        send_accum: dict[int, float] = {}
-        arrivals: dict[int, float] = {}
-        ledger = self._phase.ledger
-        phase = self._phase.current
-
+        self._require_serial_region("exchange")
+        if not messages:
+            return {}
         for m in messages:
             if not (0 <= m.src < self.nprocs and 0 <= m.dst < self.nprocs):
                 raise IndexError(f"message rank out of range: {m.src}->{m.dst}")
+        received = self._transport.deliver(messages, copy=copy)
+        ledger = self._phase.ledger
+        phase = self._phase.current
+        for m in messages:
             if self._trace is not None:
                 self._trace.record(self._g(m.src), self._g(m.dst), m.nbytes)
             if ledger is not None:
                 ledger.record_traffic(phase, self._g(m.src), m.nbytes)
-            received.setdefault(m.dst, []).append(
-                np.array(m.payload, copy=True) if copy else m.payload
-            )
-            if self._net is None:
-                continue
-            cost = self._net.ptp_time(m.nbytes, self._g(m.src), self._g(m.dst))
-            send_accum[m.src] = send_accum.get(m.src, 0.0) + cost
-            arrival = depart_base[m.src] + send_accum[m.src]
-            arrivals[m.dst] = max(arrivals.get(m.dst, 0.0), arrival)
-
         if self._net is not None:
-            for src, dt in send_accum.items():
-                g = self._g(src)
-                t0 = self._clock.time(g)
-                self._clock.advance(g, dt)
-                if self._timeline is not None:
-                    self._timeline.record(g, t0, t0 + dt, "send", "comm")
-                if ledger is not None:
-                    ledger.record_comm(phase, g, dt)
-            for dst, t_arr in arrivals.items():
-                g = self._g(dst)
-                wait = t_arr - self._clock.time(g)
-                if wait > 0:
-                    t0 = self._clock.time(g)
-                    self._clock.advance(g, wait)
-                    if self._timeline is not None:
-                        self._timeline.record(
-                            g, t0, t0 + wait, "recv", "wait"
-                        )
-                    if ledger is not None:
-                        ledger.record_wait(phase, g, wait)
+            self._charge_ptp_phase(
+                [(m.src, m.dst, m.nbytes) for m in messages]
+            )
         return received
 
     def exchange_phase(
@@ -348,15 +457,36 @@ class Communicator:
         a whole stacked rank block).  Message order is the sequence
         order, which fixes the per-sender serialization exactly as the
         legacy per-message loop did.
+
+        ``nbytes`` is either one size for every message or a sequence
+        with exactly one size per message; anything else (including the
+        shapes NumPy broadcasting would quietly accept) is a
+        ``ValueError``.  Zero sizes are legitimate; empty ``srcs`` /
+        ``dsts`` is a no-op.
         """
-        srcs_a = np.asarray(srcs, dtype=np.intp)
-        dsts_a = np.asarray(dsts, dtype=np.intp)
+        self._require_serial_region("exchange_phase")
+        srcs_a = np.asarray(srcs, dtype=np.intp).reshape(-1)
+        dsts_a = np.asarray(dsts, dtype=np.intp).reshape(-1)
         if srcs_a.shape != dsts_a.shape:
-            raise ValueError("srcs and dsts must have equal length")
-        nbytes_a = np.broadcast_to(
-            np.asarray(nbytes, dtype=np.int64), srcs_a.shape
-        )
-        if srcs_a.size and (
+            raise ValueError(
+                f"srcs and dsts must have equal length: "
+                f"{srcs_a.size} vs {dsts_a.size}"
+            )
+        nbytes_in = np.asarray(nbytes, dtype=np.int64)
+        if nbytes_in.ndim == 0:
+            nbytes_a = np.full(srcs_a.shape, int(nbytes_in), dtype=np.int64)
+        elif nbytes_in.shape == srcs_a.shape:
+            nbytes_a = nbytes_in
+        else:
+            raise ValueError(
+                f"nbytes must be a scalar or one size per message: got "
+                f"{nbytes_in.size} sizes for {srcs_a.size} messages"
+            )
+        if nbytes_a.size and nbytes_a.min() < 0:
+            raise ValueError("message sizes must be >= 0")
+        if srcs_a.size == 0:
+            return
+        if (
             min(srcs_a.min(), dsts_a.min()) < 0
             or max(srcs_a.max(), dsts_a.max()) >= self.nprocs
         ):
@@ -371,18 +501,36 @@ class Communicator:
                     [self._g(int(d)) for d in dsts_a],
                     nbytes_a,
                 )
-            if ledger is not None and srcs_a.size:
+            if ledger is not None:
                 ledger.record_traffic_bulk(phase, g_srcs, nbytes_a)
         if self._net is None:
             return
+        self._charge_ptp_phase(
+            [
+                (int(s), int(d), int(nb))
+                for s, d, nb in zip(srcs_a, dsts_a, nbytes_a)
+            ]
+        )
+
+    def _charge_ptp_phase(
+        self, triples: Sequence[tuple[int, int, int]]
+    ) -> None:
+        """Clock/timeline/ledger charging for one point-to-point phase.
+
+        ``triples`` is ``(src_local, dst_local, nbytes)`` in posting
+        order.  Senders serialize their own sends; receivers wait for
+        their latest arrival.  Shared by :meth:`exchange` (which moved
+        real payloads) and :meth:`exchange_phase` (accounting only).
+        """
+        ledger = self._phase.ledger
+        phase = self._phase.current
         depart_base = {
-            int(s): self._clock.time(self._g(int(s))) for s in srcs_a
+            s: self._clock.time(self._g(s)) for s, _, _ in triples
         }
         send_accum: dict[int, float] = {}
         arrivals: dict[int, float] = {}
-        for s, d, nb in zip(srcs_a, dsts_a, nbytes_a):
-            s, d = int(s), int(d)
-            cost = self._net.ptp_time(int(nb), self._g(s), self._g(d))
+        for s, d, nb in triples:
+            cost = self._net.ptp_time(nb, self._g(s), self._g(d))
             send_accum[s] = send_accum.get(s, 0.0) + cost
             arrivals[d] = max(
                 arrivals.get(d, 0.0), depart_base[s] + send_accum[s]
@@ -423,6 +571,7 @@ class Communicator:
         The payload is captured (copied) at post time, so the sender
         may immediately reuse its buffer — eager-protocol semantics.
         """
+        self._require_serial_region("isend")
         req = Request(
             comm=self,
             message=Message(
@@ -439,6 +588,7 @@ class Communicator:
         :meth:`exchange` and marks all requests complete (each request's
         :attr:`Request.data` is filled for receives addressed to it).
         """
+        self._require_serial_region("waitall")
         pending = self._pending
         self._pending = []
         if not pending:
@@ -472,18 +622,7 @@ class Communicator:
         """
         if len(contributions) != self.nprocs:
             raise ValueError("need one contribution per rank")
-        reducer = _REDUCERS.get(op)
-        if reducer is None:
-            raise KeyError(f"unknown reduction {op!r}; have {sorted(_REDUCERS)}")
-        result = np.array(contributions[0], copy=True)
-        for arr in contributions[1:]:
-            if arr.shape != result.shape:
-                raise ValueError("allreduce contributions must share a shape")
-            if np.can_cast(arr.dtype, result.dtype, casting="same_kind"):
-                reducer(result, arr, out=result)  # accumulate in place
-            else:
-                result = reducer(result, arr)
-
+        result = self._transport.reduce(contributions, op)
         self._record_butterfly(result.nbytes, kind="allreduce")
         cost = (
             self._coll.allreduce(result.nbytes, self.nprocs)
@@ -491,13 +630,7 @@ class Communicator:
             else 0.0
         )
         self._timed_collective("allreduce", cost, result.nbytes)
-        # One broadcast copy into a stacked block; each rank's private
-        # result is its own row (disjoint, independently mutable).
-        if result.ndim == 0:
-            return [result.copy() for _ in range(self.nprocs)]
-        stacked = np.empty((self.nprocs, *result.shape), dtype=result.dtype)
-        stacked[...] = result
-        return list(stacked)
+        return self._transport.replicate(result, self.nprocs)
 
     def alltoallv(
         self, sendbufs: Sequence[Sequence[np.ndarray]], copy: bool = True
@@ -518,32 +651,7 @@ class Communicator:
         if len(sendbufs) != p or any(len(row) != p for row in sendbufs):
             raise ValueError("sendbufs must be a PxP nested sequence")
         rows = [[np.asarray(b) for b in row] for row in sendbufs]
-        if copy:
-            # Pack each sender's row into one contiguous buffer and hand
-            # out reshaped views: one allocation + one pass per sender.
-            recv_by_sender: list[list[np.ndarray]] = []
-            for row in rows:
-                if len({b.dtype.str for b in row}) != 1:
-                    # mixed dtypes cannot share one packed buffer
-                    recv_by_sender.append([b.copy() for b in row])
-                    continue
-                sizes = [b.size for b in row]
-                flat = (
-                    np.concatenate([b.reshape(-1) for b in row])
-                    if sum(sizes)
-                    else np.empty(0, dtype=row[0].dtype)
-                )
-                offs = np.cumsum([0] + sizes)
-                recv_by_sender.append(
-                    [
-                        flat[offs[j] : offs[j + 1]].reshape(row[j].shape)
-                        for j in range(p)
-                    ]
-                )
-            recv = [[recv_by_sender[i][j] for i in range(p)] for j in range(p)]
-        else:
-            recv = [[rows[i][j] for i in range(p)] for j in range(p)]
-
+        recv = self._transport.alltoallv(rows, copy=copy)
         volumes = np.array(
             [[b.nbytes for b in row] for row in rows], dtype=np.float64
         )
@@ -575,21 +683,7 @@ class Communicator:
         if self._coll is not None and self.nprocs > 1:
             cost = self._coll.allgather(nbytes, self.nprocs)
         self._timed_collective("allgather", cost, nbytes / max(self.nprocs, 1))
-
-        homogeneous = (
-            len({(c.shape, c.dtype.str) for c in contributions}) == 1
-            and contributions[0].ndim > 0
-        )
-        if homogeneous:
-            base = np.stack(contributions)
-            if not copy:
-                shared = list(base)
-                return [shared for _ in range(self.nprocs)]
-            return [list(base.copy()) for _ in range(self.nprocs)]
-        return [
-            [np.array(c, copy=True) for c in contributions]
-            for _ in range(self.nprocs)
-        ]
+        return self._transport.allgather(contributions, copy=copy)
 
     def reduce_scatter(
         self, contributions: Sequence[np.ndarray], op: str = "sum"
@@ -602,19 +696,7 @@ class Communicator:
         """
         if len(contributions) != self.nprocs:
             raise ValueError("need one contribution per rank")
-        reducer = _REDUCERS.get(op)
-        if reducer is None:
-            raise KeyError(f"unknown reduction {op!r}; have {sorted(_REDUCERS)}")
-        total = np.array(contributions[0], copy=True)
-        for arr in contributions[1:]:
-            if arr.shape != total.shape:
-                raise ValueError("contributions must share a shape")
-            if np.can_cast(arr.dtype, total.dtype, casting="same_kind"):
-                reducer(total, arr, out=total)
-            else:
-                total = reducer(total, arr)
-        blocks = np.array_split(total.ravel(), self.nprocs)
-
+        total = self._transport.reduce(contributions, op)
         if self._trace is not None:
             self._record_butterfly(total.nbytes / self.nprocs, "reduce_scatter")
         cost = 0.0
@@ -622,7 +704,7 @@ class Communicator:
             # half the allreduce: log p rounds, n bytes total
             cost = 0.5 * self._coll.allreduce(total.nbytes, self.nprocs)
         self._timed_collective("reduce_scatter", cost, total.nbytes)
-        return [b.copy() for b in blocks]
+        return self._transport.scatter_blocks(total, self.nprocs)
 
     def scan(
         self, contributions: Sequence[np.ndarray], op: str = "sum"
@@ -630,19 +712,8 @@ class Communicator:
         """Inclusive prefix reduction: rank r gets reduce(ranks 0..r)."""
         if len(contributions) != self.nprocs:
             raise ValueError("need one contribution per rank")
-        reducer = _REDUCERS.get(op)
-        if reducer is None:
-            raise KeyError(f"unknown reduction {op!r}; have {sorted(_REDUCERS)}")
-        out: list[np.ndarray] = []
-        acc: np.ndarray | None = None
-        for arr in contributions:
-            if acc is None:
-                acc = np.array(arr, copy=True)
-            elif np.can_cast(arr.dtype, acc.dtype, casting="same_kind"):
-                reducer(acc, arr, out=acc)
-            else:
-                acc = reducer(acc, arr)
-            out.append(acc.copy())
+        get_reducer(op)  # validate before any bookkeeping
+        out = self._transport.scan(contributions, op)
         if self._trace is not None and self.nprocs > 1:
             for r in range(self.nprocs - 1):
                 self._trace.record(
@@ -669,7 +740,7 @@ class Communicator:
             # root must absorb nearly the whole payload).
             cost = self._coll.gather(nbytes, self.nprocs)
         self._timed_collective("gather", cost, nbytes / max(self.nprocs, 1))
-        return [np.array(c, copy=True) for c in contributions]
+        return self._transport.gather(contributions)
 
     def _timed_collective(
         self, label: str, cost: float, nbytes_per_rank: float = 0.0
@@ -680,6 +751,7 @@ class Communicator:
         attributes to every participating rank (one message each) —
         the per-rank share of the collective's traffic.
         """
+        self._require_serial_region(label)
         ledger = self._phase.ledger
         phase = self._phase.current
         if self._timeline is not None:

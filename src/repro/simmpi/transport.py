@@ -1,0 +1,183 @@
+"""Transport: the byte-movement layer of the simulated MPI.
+
+Everything in this module actually moves NumPy data between rank-local
+buffers and nothing in it knows about clocks, traces, ledgers or cost
+models — those belong to the :class:`~repro.simmpi.comm.Communicator`
+facade that composes a ``Transport`` with a ``VirtualClock``, a
+``CommTrace``/``PhaseLedger`` pair, and an ``Executor``.
+
+Splitting the layers keeps two invariants testable in isolation:
+
+* transport correctness (the right bytes end up in the right rank's
+  buffer, for every collective pattern), independent of any machine
+  model;
+* accounting exactness (clock/trace/ledger arithmetic), independent of
+  how the bytes were packed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+REDUCERS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+    "prod": np.multiply,
+}
+
+
+def get_reducer(op: str) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    reducer = REDUCERS.get(op)
+    if reducer is None:
+        raise KeyError(f"unknown reduction {op!r}; have {sorted(REDUCERS)}")
+    return reducer
+
+
+class Transport:
+    """Moves bytes between rank-local NumPy buffers.
+
+    Stateless: every method takes the full set of per-rank inputs and
+    returns the per-rank outputs.  Rank indices are *local* to the
+    calling communicator; the facade maps them to global ranks only
+    for accounting.
+    """
+
+    # -- point-to-point -------------------------------------------------
+
+    def deliver(
+        self, messages: Sequence, copy: bool = True
+    ) -> dict[int, list[np.ndarray]]:
+        """Hand each message's payload to its destination, posting order.
+
+        ``copy=False`` delivers the posted payload objects themselves
+        (zero-copy; safe only when senders do not reuse the buffers).
+        Zero-byte payloads are delivered like any other: the receiver
+        gets an empty array of the payload's dtype/shape.
+        """
+        received: dict[int, list[np.ndarray]] = {}
+        for m in messages:
+            received.setdefault(m.dst, []).append(
+                np.array(m.payload, copy=True) if copy else m.payload
+            )
+        return received
+
+    # -- reductions -----------------------------------------------------
+
+    def reduce(
+        self, contributions: Sequence[np.ndarray], op: str = "sum"
+    ) -> np.ndarray:
+        """Elementwise reduction over per-rank contributions."""
+        reducer = get_reducer(op)
+        result = np.array(contributions[0], copy=True)
+        for arr in contributions[1:]:
+            if arr.shape != result.shape:
+                raise ValueError("contributions must share a shape")
+            if np.can_cast(arr.dtype, result.dtype, casting="same_kind"):
+                reducer(result, arr, out=result)  # accumulate in place
+            else:
+                result = reducer(result, arr)
+        return result
+
+    def replicate(self, result: np.ndarray, nprocs: int) -> list[np.ndarray]:
+        """Private per-rank copies of a reduced array (allreduce fan-out).
+
+        One broadcast copy into a stacked block; each rank's private
+        result is its own row (disjoint, independently mutable).
+        """
+        if result.ndim == 0:
+            return [result.copy() for _ in range(nprocs)]
+        stacked = np.empty((nprocs, *result.shape), dtype=result.dtype)
+        stacked[...] = result
+        return list(stacked)
+
+    def scatter_blocks(
+        self, total: np.ndarray, nprocs: int
+    ) -> list[np.ndarray]:
+        """Equal 1/P blocks of a flattened array (reduce-scatter fan-out)."""
+        return [b.copy() for b in np.array_split(total.ravel(), nprocs)]
+
+    def scan(
+        self, contributions: Sequence[np.ndarray], op: str = "sum"
+    ) -> list[np.ndarray]:
+        """Inclusive prefix reduction: rank r gets reduce(ranks 0..r)."""
+        reducer = get_reducer(op)
+        out: list[np.ndarray] = []
+        acc: np.ndarray | None = None
+        for arr in contributions:
+            if acc is None:
+                acc = np.array(arr, copy=True)
+            elif np.can_cast(arr.dtype, acc.dtype, casting="same_kind"):
+                reducer(acc, arr, out=acc)
+            else:
+                acc = reducer(acc, arr)
+            out.append(acc.copy())
+        return out
+
+    # -- personalized / gather patterns --------------------------------
+
+    def alltoallv(
+        self, rows: Sequence[Sequence[np.ndarray]], copy: bool = True
+    ) -> list[list[np.ndarray]]:
+        """Personalized all-to-all: ``rows[i][j]`` goes from i to j.
+
+        Returns ``recv[j][i]``.  With ``copy=True`` every received
+        block is backed by fresh memory (one contiguous pack per sender
+        rather than ``P x P`` individual array copies); ``copy=False``
+        hands the send blocks themselves to the receivers.
+        """
+        p = len(rows)
+        if copy:
+            recv_by_sender: list[list[np.ndarray]] = []
+            for row in rows:
+                if len({b.dtype.str for b in row}) != 1:
+                    # mixed dtypes cannot share one packed buffer
+                    recv_by_sender.append([b.copy() for b in row])
+                    continue
+                sizes = [b.size for b in row]
+                flat = (
+                    np.concatenate([b.reshape(-1) for b in row])
+                    if sum(sizes)
+                    else np.empty(0, dtype=row[0].dtype)
+                )
+                offs = np.cumsum([0] + sizes)
+                recv_by_sender.append(
+                    [
+                        flat[offs[j] : offs[j + 1]].reshape(row[j].shape)
+                        for j in range(p)
+                    ]
+                )
+            return [[recv_by_sender[i][j] for i in range(p)] for j in range(p)]
+        return [[rows[i][j] for i in range(p)] for j in range(p)]
+
+    def allgather(
+        self, contributions: Sequence[np.ndarray], copy: bool = True
+    ) -> list[list[np.ndarray]]:
+        """Every rank receives every rank's contribution (in rank order).
+
+        Homogeneous contributions are stacked once and replicated with
+        one block copy per rank instead of ``P x P`` array copies.
+        ``copy=False`` shares a single stacked block between all ranks
+        (read-only fast path: receivers must not mutate the views).
+        """
+        nprocs = len(contributions)
+        homogeneous = (
+            len({(c.shape, c.dtype.str) for c in contributions}) == 1
+            and contributions[0].ndim > 0
+        )
+        if homogeneous:
+            base = np.stack(contributions)
+            if not copy:
+                shared = list(base)
+                return [shared for _ in range(nprocs)]
+            return [list(base.copy()) for _ in range(nprocs)]
+        return [
+            [np.array(c, copy=True) for c in contributions]
+            for _ in range(nprocs)
+        ]
+
+    def gather(self, contributions: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Copies of every rank's contribution (root-side list)."""
+        return [np.array(c, copy=True) for c in contributions]

@@ -1,0 +1,334 @@
+"""The executor seam: resolution, ``map_ranks`` semantics, and the
+determinism contract.
+
+The contract is the heart of PR 3: serial and threaded execution of
+the same run must produce *bitwise-identical* solver states, identical
+``CommTrace`` byte/message matrices, identical per-phase ledger
+buckets, and identical virtual clocks — only host wall-clock may
+differ.  The equivalence matrix below checks every application at
+P in {1, 4, 8}.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import harness
+from repro.runtime import Arena
+from repro.runtime.executors import (
+    SerialExecutor,
+    ThreadExecutor,
+    available_executors,
+    get_executor,
+    set_default_executor,
+)
+from repro.simmpi import Communicator
+from repro.workload import Work
+
+
+@pytest.fixture(autouse=True)
+def _clean_default(monkeypatch):
+    """Each test sees a pristine resolution chain."""
+    monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+    set_default_executor(None)
+    yield
+    set_default_executor(None)
+
+
+# ---------------------------------------------------------------------------
+# resolution
+# ---------------------------------------------------------------------------
+
+
+class TestResolution:
+    def test_default_is_serial(self):
+        ex = get_executor()
+        assert isinstance(ex, SerialExecutor)
+        assert ex.name == "serial"
+        assert not ex.parallel
+
+    def test_spec_strings(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("threads"), ThreadExecutor)
+        assert get_executor("threads:3").workers == 3
+
+    def test_instance_passthrough(self):
+        ex = ThreadExecutor(2)
+        assert get_executor(ex) is ex
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "threads:2")
+        ex = get_executor()
+        assert isinstance(ex, ThreadExecutor)
+        assert ex.workers == 2
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "threads:2")
+        assert isinstance(get_executor("serial"), SerialExecutor)
+
+    def test_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "threads:2")
+        set_default_executor("serial")
+        assert isinstance(get_executor(), SerialExecutor)
+
+    def test_set_default_resolves_and_clears(self):
+        resolved = set_default_executor("threads:5")
+        assert isinstance(resolved, ThreadExecutor)
+        assert resolved.workers == 5
+        assert get_executor().workers == 5
+        set_default_executor(None)
+        assert isinstance(get_executor(), SerialExecutor)
+
+    @pytest.mark.parametrize(
+        "bad", ["bogus", "serial:2", "threads:0", "threads:x", ""]
+    )
+    def test_bad_specs(self, bad):
+        with pytest.raises(ValueError):
+            get_executor(bad)
+
+    def test_set_default_rejects_bad_spec(self):
+        with pytest.raises(ValueError):
+            set_default_executor("bogus")
+        # a failed set must not clobber the previous default
+        assert isinstance(get_executor(), SerialExecutor)
+
+    def test_thread_executor_validates_workers(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(0)
+
+    def test_available_executors(self):
+        names = available_executors()
+        assert "serial" in names and "threads" in names
+
+
+# ---------------------------------------------------------------------------
+# map_ranks semantics
+# ---------------------------------------------------------------------------
+
+
+def _work(flops: float = 1e6) -> Work:
+    return Work(name="seg", flops=flops, bytes_unit=8.0)
+
+
+class TestMapRanks:
+    @pytest.mark.parametrize("spec", ["serial", "threads:4"])
+    def test_results_in_rank_order(self, spec):
+        comm = Communicator(8, executor=spec)
+        assert comm.map_ranks(lambda r: r * r) == [r * r for r in range(8)]
+
+    @pytest.mark.parametrize("spec", ["serial", "threads:4"])
+    def test_indices_subset(self, spec):
+        comm = Communicator(8, executor=spec)
+        assert comm.map_ranks(lambda r: -r, indices=[5, 1, 6]) == [-5, -1, -6]
+
+    def test_empty_indices(self):
+        comm = Communicator(4, executor="threads:2")
+        assert comm.map_ranks(lambda r: r, indices=[]) == []
+
+    @pytest.mark.parametrize("spec", ["serial", "threads:4"])
+    def test_deferred_compute_matches_direct(self, spec):
+        """compute() inside segments charges exactly like serial code."""
+        from repro.machines.catalog import get_machine
+
+        power3 = get_machine("Power3")
+        direct = Communicator(4, machine=power3, trace=True)
+        for r in range(4):
+            direct.compute(r, _work((r + 1) * 1e6))
+
+        seg = Communicator(4, machine=power3, trace=True, executor=spec)
+        seg.map_ranks(lambda r: seg.compute(r, _work((r + 1) * 1e6)))
+
+        assert np.array_equal(direct.times, seg.times)
+        assert direct.meter.total_flops() == seg.meter.total_flops()
+        assert direct.meter.records == seg.meter.records
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda c, r: c.exchange([]),
+            lambda c, r: c.allreduce([np.ones(3)] * 4),
+            lambda c, r: c.barrier(),
+            lambda c, r: c.phase("bad").__enter__(),
+        ],
+    )
+    def test_communication_inside_segment_raises(self, op):
+        comm = Communicator(4, executor="threads:2")
+        with pytest.raises(RuntimeError, match="map_ranks"):
+            comm.map_ranks(lambda r: op(comm, r))
+
+    def test_nested_map_ranks_raises(self):
+        comm = Communicator(4, executor="threads:2")
+        with pytest.raises(RuntimeError, match="nest"):
+            comm.map_ranks(lambda r: comm.map_ranks(lambda q: q))
+
+    @pytest.mark.parametrize("spec", ["serial", "threads:4"])
+    def test_exception_propagates_and_charges_nothing(self, spec):
+        from repro.machines.catalog import get_machine
+
+        comm = Communicator(4, machine=get_machine("Power3"), executor=spec)
+
+        def boom(rank):
+            comm.compute(rank, _work())
+            raise KeyError("segment failed")
+
+        before = comm.times.copy()
+        with pytest.raises(KeyError, match="segment failed"):
+            comm.map_ranks(boom)
+        # failed regions replay nothing: the clocks are untouched
+        assert np.array_equal(comm.times, before)
+        # ...and the communicator is usable again afterwards
+        comm.map_ranks(lambda r: comm.compute(r, _work()))
+        assert (comm.times > before).all()
+
+    def test_threads_actually_overlap(self):
+        """ThreadExecutor runs segments on multiple threads."""
+        comm = Communicator(4, executor=ThreadExecutor(4))
+        barrier = threading.Barrier(4, timeout=10.0)
+        idents = comm.map_ranks(
+            lambda r: (barrier.wait(), threading.get_ident())[1]
+        )
+        assert len(set(idents)) > 1
+
+
+# ---------------------------------------------------------------------------
+# the equivalence matrix: 4 apps x P in {1, 4, 8}, serial vs threaded
+# ---------------------------------------------------------------------------
+
+
+def _params_for(app: str, nprocs: int):
+    if app == "lbmhd":
+        from repro.apps.lbmhd import LBMHDParams
+
+        return LBMHDParams(shape=(8, 8, 8)), 3
+    if app == "gtc":
+        from repro.apps.gtc import GTCParams
+
+        return (
+            GTCParams(
+                mpsi=8,
+                mtheta=16,
+                ntoroidal=min(nprocs, 4),
+                particles_per_cell=3,
+            ),
+            2,
+        )
+    if app == "fvcam":
+        from repro.apps.fvcam import FVCAMParams, LatLonGrid
+
+        # 4 steps crosses both the physics and remap intervals
+        return FVCAMParams(grid=LatLonGrid(im=24, jm=24, km=4), py=nprocs), 4
+    if app == "paratec":
+        from repro.apps.paratec import ParatecParams
+
+        return ParatecParams(), 2
+    raise AssertionError(app)
+
+
+def _flatten(obj) -> list[np.ndarray]:
+    """Recursively flatten nested lists/tuples of arrays (paratec bands)."""
+    if isinstance(obj, np.ndarray):
+        return [obj]
+    out: list[np.ndarray] = []
+    for item in obj:
+        out.extend(_flatten(item))
+    return out
+
+
+def _snapshot(app: str, state) -> np.ndarray:
+    if app == "lbmhd":
+        return state.global_state()
+    if app == "gtc":
+        parts = [c.ravel() for c in state.charge]
+        for p in state.particles:
+            for attr in ("r", "theta", "zeta", "vpar", "weight"):
+                parts.append(getattr(p, attr).ravel())
+        return np.concatenate(parts)
+    if app == "fvcam":
+        return np.concatenate([f.ravel() for f in state.global_fields()])
+    if app == "paratec":
+        parts = [a.ravel() for a in _flatten(state.bands)]
+        parts.append(state.result.eigenvalues.ravel())
+        return np.concatenate(parts)
+    raise AssertionError(app)
+
+
+def _assert_ledgers_equal(a, b) -> None:
+    assert set(a._buckets) == set(b._buckets)
+    for phase, bucket in a._buckets.items():
+        other = b._buckets[phase]
+        for attr in (
+            "compute_s",
+            "comm_s",
+            "wait_s",
+            "flops",
+            "nbytes",
+            "messages",
+        ):
+            assert np.array_equal(
+                getattr(bucket, attr), getattr(other, attr)
+            ), (phase, attr)
+
+
+def _run(app: str, nprocs: int, executor, arena: bool):
+    params, steps = _params_for(app, nprocs)
+    return harness.run(
+        app,
+        params,
+        steps=steps,
+        nprocs=nprocs,
+        machine="Power3",
+        trace=True,
+        executor=executor,
+        arena=Arena() if arena else None,
+    )
+
+
+class TestExecutorEquivalence:
+    @pytest.mark.parametrize("nprocs", [1, 4, 8])
+    @pytest.mark.parametrize("app", ["lbmhd", "gtc", "fvcam", "paratec"])
+    def test_threaded_matches_serial_bitwise(self, app, nprocs):
+        serial = _run(app, nprocs, "serial", arena=False)
+        threaded = _run(app, nprocs, ThreadExecutor(4), arena=False)
+
+        assert np.array_equal(
+            _snapshot(app, serial.state), _snapshot(app, threaded.state)
+        )
+        # identical byte/message traffic, call mix, and virtual clocks
+        assert np.array_equal(
+            serial.comm.trace.matrix(), threaded.comm.trace.matrix()
+        )
+        assert serial.comm.trace.calls == threaded.comm.trace.calls
+        assert np.array_equal(serial.comm.times, threaded.comm.times)
+        _assert_ledgers_equal(serial.ledger, threaded.ledger)
+
+    @pytest.mark.parametrize("app", ["lbmhd", "gtc", "fvcam", "paratec"])
+    def test_threaded_matches_serial_with_arena(self, app):
+        """The zero-copy fast paths obey the same contract (P=4)."""
+        serial = _run(app, 4, "serial", arena=True)
+        threaded = _run(app, 4, ThreadExecutor(4), arena=True)
+
+        assert np.array_equal(
+            _snapshot(app, serial.state), _snapshot(app, threaded.state)
+        )
+        assert np.array_equal(
+            serial.comm.trace.matrix(), threaded.comm.trace.matrix()
+        )
+        assert serial.comm.trace.calls == threaded.comm.trace.calls
+        assert np.array_equal(serial.comm.times, threaded.comm.times)
+        _assert_ledgers_equal(serial.ledger, threaded.ledger)
+
+    def test_arena_path_matches_plain_path_threaded(self):
+        """Fast path vs slow path equality survives the thread pool."""
+        plain = _run("lbmhd", 4, ThreadExecutor(4), arena=False)
+        fast = _run("lbmhd", 4, ThreadExecutor(4), arena=True)
+        assert np.array_equal(
+            _snapshot("lbmhd", plain.state), _snapshot("lbmhd", fast.state)
+        )
+
+    def test_harness_rejects_executor_with_explicit_comm(self):
+        comm = Communicator(1)
+        with pytest.raises(ValueError, match="executor"):
+            harness.run("lbmhd", steps=0, comm=comm, executor="threads")

@@ -1,0 +1,138 @@
+"""Zero-byte messages and the validated ``exchange_phase`` contract.
+
+Empty halos on degenerate decompositions used to ride on NumPy
+broadcasting accidents.  The contract is now explicit: a zero-byte
+message delivers an empty payload, counts as one message in the trace,
+and costs pure latency on the wire; an empty message list is a no-op;
+and ``exchange_phase`` rejects size sequences that are neither scalar
+nor exactly one-per-message instead of quietly broadcasting them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines.catalog import get_machine
+from repro.simmpi import Communicator, Message
+
+
+def _comm(nprocs: int = 4, machine: bool = False) -> Communicator:
+    spec = get_machine("Power3") if machine else None
+    return Communicator(nprocs, machine=spec, trace=True)
+
+
+class TestZeroByteMessages:
+    def test_delivers_empty_payload(self):
+        comm = _comm()
+        out = comm.exchange(
+            [Message(src=0, dst=1, payload=np.empty(0, dtype=np.float64))]
+        )
+        assert list(out) == [1]
+        (payload,) = out[1]
+        assert payload.size == 0
+        assert payload.dtype == np.float64
+
+    def test_traced_as_one_message_zero_bytes(self):
+        comm = _comm()
+        comm.exchange([Message(src=0, dst=1, payload=np.empty(0))])
+        assert comm.trace.calls["ptp"] == 1
+        assert comm.trace.total_bytes == 0.0
+        assert comm.trace.matrix()[0, 1] == 0.0
+
+    def test_costs_pure_latency(self):
+        comm = _comm(machine=True)
+        comm.exchange([Message(src=0, dst=1, payload=np.empty(0))])
+        # sender pays the wire latency; receiver waits for the arrival
+        assert comm.times[0] > 0.0
+        assert comm.times[1] >= comm.times[0]
+        assert comm.times[2] == 0.0 and comm.times[3] == 0.0
+
+    def test_empty_message_list_is_noop(self):
+        comm = _comm(machine=True)
+        assert comm.exchange([]) == {}
+        assert (comm.times == 0.0).all()
+        assert comm.trace.calls["ptp"] == 0
+
+    def test_mixed_zero_and_nonzero(self):
+        comm = _comm()
+        out = comm.exchange(
+            [
+                Message(src=0, dst=1, payload=np.empty(0)),
+                Message(src=2, dst=1, payload=np.arange(3.0)),
+            ]
+        )
+        empty, data = out[1]
+        assert empty.size == 0
+        assert np.array_equal(data, np.arange(3.0))
+        assert comm.trace.calls["ptp"] == 2
+        assert comm.trace.total_bytes == 24.0
+
+
+class TestExchangePhaseValidation:
+    def test_scalar_nbytes_broadcasts(self):
+        comm = _comm()
+        comm.exchange_phase([0, 1, 2], [1, 2, 3], 8)
+        assert comm.trace.total_bytes == 24.0
+        assert comm.trace.calls["ptp"] == 3
+
+    def test_per_message_nbytes(self):
+        comm = _comm()
+        comm.exchange_phase([0, 1], [1, 0], [8, 16])
+        m = comm.trace.matrix()
+        assert m[0, 1] == 8.0 and m[1, 0] == 16.0
+
+    def test_length_mismatch_rejected(self):
+        comm = _comm()
+        with pytest.raises(ValueError, match="one size per message"):
+            comm.exchange_phase([0, 1, 2], [1, 2, 3], [8, 16])
+
+    def test_broadcastable_but_wrong_shape_rejected(self):
+        """Shapes NumPy broadcasting would quietly accept must fail."""
+        comm = _comm()
+        with pytest.raises(ValueError, match="one size per message"):
+            comm.exchange_phase([0, 1], [1, 0], [[8, 16]])
+
+    def test_negative_nbytes_rejected(self):
+        comm = _comm()
+        with pytest.raises(ValueError, match=">= 0"):
+            comm.exchange_phase([0, 1], [1, 0], [8, -1])
+
+    def test_srcs_dsts_length_mismatch_rejected(self):
+        comm = _comm()
+        with pytest.raises(ValueError, match="equal length"):
+            comm.exchange_phase([0, 1], [1], 8)
+
+    def test_empty_is_noop(self):
+        comm = _comm(machine=True)
+        comm.exchange_phase([], [], 0)
+        comm.exchange_phase([], [], [])
+        assert (comm.times == 0.0).all()
+        assert comm.trace.calls["ptp"] == 0
+
+    def test_rank_out_of_range_rejected(self):
+        comm = _comm()
+        with pytest.raises(IndexError):
+            comm.exchange_phase([0], [4], 8)
+
+
+class TestZeroByteAgreement:
+    """exchange and exchange_phase must account zero bytes identically."""
+
+    @pytest.mark.parametrize("sizes", [[0], [0, 0], [0, 24, 0]])
+    def test_same_trace_and_clock(self, sizes):
+        pairs = [(k % 4, (k + 1) % 4) for k in range(len(sizes))]
+        real = _comm(machine=True)
+        real.exchange(
+            [
+                Message(src=s, dst=d, payload=np.empty(n // 8))
+                for (s, d), n in zip(pairs, sizes)
+            ]
+        )
+        acct = _comm(machine=True)
+        acct.exchange_phase(
+            [s for s, _ in pairs], [d for _, d in pairs], sizes
+        )
+        assert np.array_equal(real.trace.matrix(), acct.trace.matrix())
+        assert real.trace.calls == acct.trace.calls
+        assert np.array_equal(real.times, acct.times)

@@ -459,6 +459,34 @@ class FVCAM:
         for _ in range(steps):
             self.step()
 
+    # -- checkpoint/restart ------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot the prognostic fields (``Checkpointable``).
+
+        ``h_ref`` and the damping coefficients are constants; halo
+        padding is rebuilt every dynamics step.
+        """
+        snap: dict = {
+            "step_count": self.step_count,
+            "h": [np.array(a, copy=True) for a in self.h],
+            "u": [np.array(a, copy=True) for a in self.u],
+            "v": [np.array(a, copy=True) for a in self.v],
+        }
+        if self.q is not None:
+            snap["q"] = [np.array(a, copy=True) for a in self.q]
+        return snap
+
+    def restore_state(self, snapshot: dict) -> None:
+        if len(snapshot["h"]) != self.comm.nprocs:
+            raise ValueError("checkpoint rank count mismatch")
+        self.h = [np.array(a, copy=True) for a in snapshot["h"]]
+        self.u = [np.array(a, copy=True) for a in snapshot["u"]]
+        self.v = [np.array(a, copy=True) for a in snapshot["v"]]
+        if self.q is not None:
+            self.q = [np.array(a, copy=True) for a in snapshot["q"]]
+        self.step_count = int(snapshot["step_count"])
+
     # -- observation -------------------------------------------------------------
 
     def global_fields(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

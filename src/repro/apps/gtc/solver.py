@@ -29,6 +29,7 @@ from .deposit import (
 from .grid import PoloidalGrid, TorusGrid
 from .particles import (
     DEFAULT_SPECIES,
+    PARTICLE_FIELDS,
     ParticleArray,
     Species,
     load_multispecies,
@@ -290,6 +291,41 @@ class GTC:
     def run(self, steps: int) -> None:
         for _ in range(steps):
             self.step()
+
+    # -- checkpoint/restart ------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot particles + fields (``repro.resilience.Checkpointable``).
+
+        ``step_count`` rides along because the push phase ping-pongs
+        arena buffers on its parity; E-fields are derived each step and
+        recomputed on replay.
+        """
+        return {
+            "step_count": self.step_count,
+            "particles": [
+                {
+                    name: np.array(getattr(p, name), copy=True)
+                    for name in PARTICLE_FIELDS
+                }
+                for p in self.particles
+            ],
+            "charge": [np.array(c, copy=True) for c in self.charge],
+            "phi": [np.array(f, copy=True) for f in self.phi],
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        if len(snapshot["charge"]) != self.comm.nprocs:
+            raise ValueError("checkpoint rank count mismatch")
+        self.particles = [
+            ParticleArray(
+                **{k: np.array(v, copy=True) for k, v in d.items()}
+            )
+            for d in snapshot["particles"]
+        ]
+        self.charge = [np.array(c, copy=True) for c in snapshot["charge"]]
+        self.phi = [np.array(f, copy=True) for f in snapshot["phi"]]
+        self.step_count = int(snapshot["step_count"])
 
     # -- observation ------------------------------------------------------
 

@@ -294,6 +294,25 @@ class LBMHD3D:
         for _ in range(steps):
             self.step()
 
+    # -- checkpoint/restart ------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot the distributions (``repro.resilience.Checkpointable``)."""
+        return {
+            "step_count": self.step_count,
+            "states": [np.array(s, copy=True) for s in self.states],
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        states = snapshot["states"]
+        if len(states) != len(self.states):
+            raise ValueError("checkpoint rank count mismatch")
+        # copy in place: in arena-block mode states[r] are views into
+        # the batched block, which _step_fast reads directly
+        for dst, src in zip(self.states, states):
+            dst[...] = src
+        self.step_count = int(snapshot["step_count"])
+
     # -- observation ------------------------------------------------------
 
     def global_state(self) -> np.ndarray:

@@ -130,6 +130,37 @@ class Paratec:
         )
         return per_rank * self.comm.nprocs
 
+    # -- checkpoint/restart ------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot wavefunctions + potential (``Checkpointable``).
+
+        The SCF driver itself is stateless between sweeps: the mixed
+        potential lives in the Hamiltonian and ``v_external`` is a
+        constant, so bands + potential slabs reproduce any later sweep.
+        """
+        return {
+            "bands": [
+                [np.array(a, copy=True) for a in band]
+                for band in self.bands
+            ],
+            "potential_slabs": [
+                np.array(s, copy=True) for s in self.ham.potential_slabs
+            ],
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        if len(snapshot["bands"]) != len(self.bands):
+            raise ValueError("checkpoint band count mismatch")
+        self.bands = [
+            [np.array(a, copy=True) for a in band]
+            for band in snapshot["bands"]
+        ]
+        self.ham.set_potential(
+            [np.array(s, copy=True) for s in snapshot["potential_slabs"]]
+        )
+        self.result = None
+
     @property
     def eigenvalues(self) -> np.ndarray:
         if self.result is None:

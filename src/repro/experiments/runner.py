@@ -15,6 +15,7 @@ import argparse
 import sys
 
 from . import (
+    chaos,
     fig2,
     fig3,
     fig4,
@@ -48,6 +49,7 @@ EXPERIMENTS = {
     "modelcard": modelcard,
     "roofline": roofline_view,
     "ipm": ipm,
+    "chaos": chaos,
 }
 
 
@@ -55,6 +57,33 @@ def _describe(module) -> str:
     """First line of an experiment module's docstring."""
     doc = (module.__doc__ or "").strip()
     return doc.splitlines()[0] if doc else ""
+
+
+#: Largest seed NumPy's legacy global RNG accepts.
+_MAX_SEED = 2**32 - 1
+
+
+def validate_args(args) -> list[str]:
+    """Every CLI-argument problem, found *before* any experiment runs.
+
+    Collected into one list so a bad ``--seed --executor`` combination
+    reports both mistakes at once instead of raising mid-run.
+    """
+    errors: list[str] = []
+    if args.executor is not None:
+        from ..runtime.executors import get_executor
+
+        try:
+            # constructs (without installing) the executor; raises on a
+            # malformed spec like "threads:0" or "fibers"
+            get_executor(args.executor)
+        except ValueError as exc:
+            errors.append(f"--executor: {exc}")
+    if args.seed is not None and not 0 <= args.seed <= _MAX_SEED:
+        errors.append(
+            f"--seed: must be in [0, 2**32 - 1], got {args.seed}"
+        )
+    return errors
 
 
 def list_experiments() -> str:
@@ -118,20 +147,30 @@ def main(argv: list[str] | None = None) -> int:
             "experiment replays deterministically on either backend"
         ),
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "reduced-size variant for experiments that support it "
+            "(currently: chaos); others run at full size"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list_only:
         print(list_experiments())
         return 0
 
+    errors = validate_args(args)
+    if errors:
+        for err in errors:
+            print(f"repro-experiments: {err}", file=sys.stderr)
+        return 2
+
     if args.executor is not None:
         from ..runtime.executors import set_default_executor
 
-        try:
-            set_default_executor(args.executor)
-        except ValueError as exc:
-            print(f"repro-experiments: {exc}", file=sys.stderr)
-            return 2
+        set_default_executor(args.executor)
     if args.seed is not None:
         import numpy as np
 
@@ -156,9 +195,16 @@ def main(argv: list[str] | None = None) -> int:
         save_dir = pathlib.Path(args.save)
         save_dir.mkdir(parents=True, exist_ok=True)
 
+    import inspect
+
     outputs: dict[str, str] = {}
     for name in names:
-        outputs[name] = EXPERIMENTS[name].render()
+        module = EXPERIMENTS[name]
+        render_params = inspect.signature(module.render).parameters
+        if args.quick and "quick" in render_params:
+            outputs[name] = module.render(quick=True)
+        else:
+            outputs[name] = module.render()
         if save_dir is not None:
             (save_dir / f"{name}.txt").write_text(outputs[name] + "\n")
 

@@ -15,7 +15,10 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from ..apps.fvcam.solver import FVCAM, FVCAMParams
+from ..apps.gtc.particles import PARTICLE_FIELDS
 from ..apps.gtc.solver import GTC, GTCParams
 from ..apps.lbmhd.solver import LBMHD3D, LBMHDParams
 from ..apps.paratec.solver import Paratec, ParatecParams
@@ -57,6 +60,9 @@ class LBMHDApp:
             "magnetic_energy": d.magnetic_energy,
         }
 
+    def state_vector(self, state: LBMHD3D) -> np.ndarray:
+        return state.global_state().ravel()
+
 
 class GTCApp:
     """Gyrokinetic toroidal particle-in-cell code (GTC)."""
@@ -89,6 +95,13 @@ class GTCApp:
             "particles": float(state.total_particles()),
             "total_charge": state.total_charge(),
         }
+
+    def state_vector(self, state: GTC) -> np.ndarray:
+        parts = [c.ravel() for c in state.charge]
+        parts += [f.ravel() for f in state.phi]
+        for p in state.particles:
+            parts += [getattr(p, name).ravel() for name in PARTICLE_FIELDS]
+        return np.concatenate(parts)
 
 
 class FVCAMApp:
@@ -124,6 +137,12 @@ class FVCAMApp:
         if state.params.with_tracer:
             out["tracer_mass"] = state.tracer_mass()
         return out
+
+    def state_vector(self, state: FVCAM) -> np.ndarray:
+        parts = [f.ravel() for f in state.global_fields()]
+        if state.q is not None:
+            parts += [a.ravel() for a in state.q]
+        return np.concatenate(parts)
 
 
 class ParatecApp:
@@ -166,6 +185,13 @@ class ParatecApp:
             "band_energy": state.result.band_energy,
             "potential_change": state.result.potential_change,
         }
+
+    def state_vector(self, state: Paratec) -> np.ndarray:
+        parts = [a.ravel() for band in state.bands for a in band]
+        parts += [s.ravel() for s in state.ham.potential_slabs]
+        if state.result is not None:
+            parts.append(state.result.eigenvalues.astype(complex).ravel())
+        return np.concatenate(parts)
 
 
 #: Registry of harness-runnable applications, keyed by ``app.key``.

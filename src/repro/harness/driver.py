@@ -11,11 +11,19 @@ into this function.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any
 
 from ..machines.catalog import get_machine
 from ..machines.spec import MachineSpec
+from ..resilience.checkpoint import Checkpointable, MemoryCheckpointStore
+from ..resilience.inject import FaultInjector, FaultPlan
+from ..resilience.policy import (
+    RankFailureError,
+    RecoveryStats,
+    RetryPolicy,
+)
 from ..simmpi.comm import Communicator
 from ..simmpi.phases import PhaseLedger
 from .apps import get_application
@@ -33,6 +41,8 @@ class HarnessResult:
     steps: int
     ledger: PhaseLedger | None
     diagnostics: dict[str, float]
+    #: Fault-recovery counters; ``None`` for a non-resilient run.
+    recovery: RecoveryStats | None = None
 
     @property
     def machine_name(self) -> str:
@@ -82,6 +92,11 @@ def run(
     instrument: bool = True,
     loop_registers: float | None = None,
     executor: Any | None = None,
+    fault_plan: FaultPlan | None = None,
+    policy: RetryPolicy | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_store: Any | None = None,
+    max_restarts: int = 8,
 ) -> HarnessResult:
     """Run ``steps`` steps of an application and return the result.
 
@@ -118,6 +133,21 @@ def run(
         across executors.  Only meaningful when the harness builds the
         communicator; combining it with an explicit ``comm`` is an
         error (the communicator already carries its executor).
+    fault_plan, policy:
+        A :class:`~repro.resilience.FaultPlan` to inject at the
+        transport seam, and the :class:`~repro.resilience.RetryPolicy`
+        governing detection/retry/restart costs.  Passing either turns
+        on the resilient run loop; recovery time lands in the ledger's
+        ``recovery`` column and the counters in ``result.recovery``.
+    checkpoint_every, checkpoint_store:
+        Snapshot the solver every N completed steps into the store
+        (an in-memory store by default).  A rank failure from the
+        plan restores the latest snapshot and replays; without a
+        snapshot (solver not Checkpointable) the failure propagates.
+    max_restarts:
+        Abort (re-raise :class:`RankFailureError`) after this many
+        restore-and-replay cycles, so a plan that kills ranks faster
+        than checkpoints advance cannot loop forever.
     """
     adapter = get_application(app) if isinstance(app, str) else app
     if params is None:
@@ -148,10 +178,78 @@ def run(
             "communicator with the executor instead"
         )
 
+    resilient = fault_plan is not None or checkpoint_every is not None
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
+    injector: FaultInjector | None = None
+    if resilient:
+        injector = comm.enable_resilience(
+            fault_plan if fault_plan is not None else FaultPlan(),
+            policy=policy,
+        )
+
     ledger = comm.attach_phase_ledger() if instrument else None
     state = adapter.setup(comm, params, arena=arena)
-    for _ in range(steps):
-        state = adapter.step(state)
+
+    recovery: RecoveryStats | None = None
+    if not resilient:
+        for _ in range(steps):
+            state = adapter.step(state)
+    else:
+        recovery = comm.recovery_stats
+        store = (
+            checkpoint_store
+            if checkpoint_store is not None
+            else MemoryCheckpointStore()
+        )
+        tag = adapter.key
+        last_ckpt = None
+        plan_kills_ranks = (
+            fault_plan is not None and bool(fault_plan.rank_failures)
+        )
+        if isinstance(state, Checkpointable) and plan_kills_ranks:
+            # the step-0 anchor (the job's initial condition) is only
+            # needed when a failure can strike before the first
+            # periodic snapshot; it exists before the run starts and
+            # is not charged.  checkpoint_state hands over fresh
+            # copies, so the store takes ownership (copy=False).
+            last_ckpt = store.save(
+                tag, 0, state.checkpoint_state(), copy=False
+            )
+        completed = 0
+        restarts = 0
+        while completed < steps:
+            injector.begin_step(completed)
+            try:
+                state = adapter.step(state)
+                injector.end_step()
+            except RankFailureError:
+                recovery.rank_failures += 1
+                if last_ckpt is None or restarts >= max_restarts:
+                    raise
+                restarts += 1
+                ckpt = store.load(tag)
+                comm.recover_restart(ckpt.nbytes)
+                state.restore_state(ckpt.payload)
+                recovery.replayed_steps += completed - ckpt.step
+                completed = ckpt.step
+                continue
+            completed += 1
+            if (
+                checkpoint_every is not None
+                and completed % checkpoint_every == 0
+                and completed < steps
+                and isinstance(state, Checkpointable)
+            ):
+                t0 = time.perf_counter()
+                last_ckpt = store.save(
+                    tag, completed, state.checkpoint_state(), copy=False
+                )
+                recovery.checkpoint_host_seconds += (
+                    time.perf_counter() - t0
+                )
+                comm.charge_checkpoint(last_ckpt.nbytes)
+
     diagnostics = adapter.diagnostics(state)
     return HarnessResult(
         app=adapter,
@@ -161,4 +259,5 @@ def run(
         steps=steps,
         ledger=ledger,
         diagnostics=diagnostics,
+        recovery=recovery,
     )

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Any, Protocol, runtime_checkable
 
+import numpy as np
+
 from ..simmpi.comm import Communicator
 
 
@@ -65,4 +67,13 @@ class SPMDApplication(Protocol):
 
     def diagnostics(self, state: Any) -> dict[str, float]:
         """Physics health numbers (conserved quantities, energies...)."""
+        ...
+
+    def state_vector(self, state: Any) -> np.ndarray:
+        """The full physics state flattened to one array.
+
+        Used for bitwise run-to-run comparison (executor equivalence,
+        fault-recovery identity): two runs agree iff their state
+        vectors are ``np.array_equal``.
+        """
         ...

@@ -1,0 +1,68 @@
+"""repro.resilience — faults, self-healing policies, checkpoint/restart.
+
+The subsystem has three layers, mirroring the runtime's layering:
+
+* :mod:`repro.resilience.inject` — deterministic, seedable fault
+  injectors wrapping the byte-moving
+  :class:`~repro.simmpi.transport.Transport` (drops, bit-flips, latency
+  spikes, whole-rank failure), configured by a declarative
+  :class:`FaultPlan`;
+* :mod:`repro.resilience.policy` — CRC detection, retry-with-backoff
+  and restart policies applied by the
+  :class:`~repro.simmpi.comm.Communicator` facade, every second charged
+  to the virtual clock and the phase ledger's ``recovery`` column;
+* :mod:`repro.resilience.checkpoint` — the :class:`Checkpointable`
+  protocol the four solvers implement, plus in-memory and on-disk
+  snapshot stores the harness restarts from.
+
+The contract that makes the whole thing testable: a faulted-but-
+recovered run produces **bitwise-identical physics** to the fault-free
+run with the same seed; only virtual time (and the recovery column)
+differs.
+"""
+
+from .checkpoint import (
+    Checkpoint,
+    Checkpointable,
+    DiskCheckpointStore,
+    MemoryCheckpointStore,
+    snapshot_nbytes,
+)
+from .inject import (
+    BitFlip,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    LatencySpike,
+    MessageDrop,
+    RankFailure,
+)
+from .policy import (
+    RankFailureError,
+    RecoveryStats,
+    ResilienceError,
+    RetryPolicy,
+    UnrecoverableMessageError,
+    payload_crc,
+)
+
+__all__ = [
+    "BitFlip",
+    "Checkpoint",
+    "Checkpointable",
+    "DiskCheckpointStore",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "LatencySpike",
+    "MemoryCheckpointStore",
+    "MessageDrop",
+    "RankFailure",
+    "RankFailureError",
+    "RecoveryStats",
+    "ResilienceError",
+    "RetryPolicy",
+    "UnrecoverableMessageError",
+    "payload_crc",
+    "snapshot_nbytes",
+]

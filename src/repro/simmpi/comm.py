@@ -36,6 +36,12 @@ from ..machines.processor import ProcessorModel, make_model
 from ..machines.spec import MachineSpec
 from ..network.collectives import CollectiveModel
 from ..network.model import NetworkModel
+from ..resilience.policy import (
+    RecoveryStats,
+    RetryPolicy,
+    UnrecoverableMessageError,
+    payload_crc,
+)
 from ..runtime.executors import Executor, get_executor
 from ..workload import Work, WorkloadMeter
 from .clock import VirtualClock
@@ -104,6 +110,25 @@ class _ExecState:
         self.tls = threading.local()
 
 
+class _ResilState:
+    """Shared resilience box of one communicator world.
+
+    Like :class:`PhaseState`: one mutable object referenced by the
+    world and every subgroup, whenever they were split, so a fault plan
+    enabled on the world also governs subgroup traffic.  ``injector``
+    is ``None`` until :meth:`Communicator.enable_resilience`; the
+    policy and stats always exist (checkpoint charging works without a
+    fault plan).
+    """
+
+    __slots__ = ("injector", "policy", "stats")
+
+    def __init__(self) -> None:
+        self.injector = None
+        self.policy = RetryPolicy()
+        self.stats = RecoveryStats()
+
+
 class Communicator:
     """A group of simulated ranks sharing clocks, trace, and cost models.
 
@@ -151,6 +176,7 @@ class Communicator:
         self._world: Communicator = self
         self._phase = PhaseState()
         self._exec = _ExecState(get_executor(executor))
+        self._resil = _ResilState()
         if machine is not None:
             self._proc: ProcessorModel | None = make_model(
                 machine, loop_registers=loop_registers
@@ -181,6 +207,7 @@ class Communicator:
         sub._world = world._world
         sub._phase = world._phase
         sub._exec = world._exec
+        sub._resil = world._resil
         return sub
 
     def split(self, colors: Sequence[int]) -> list["Communicator"]:
@@ -272,6 +299,110 @@ class Communicator:
     @property
     def current_phase(self) -> str | None:
         return self._phase.current
+
+    # -- resilience seam -------------------------------------------------
+
+    def enable_resilience(self, injector, policy: RetryPolicy | None = None):
+        """Install a fault injector (and optionally a retry policy).
+
+        ``injector`` is a :class:`~repro.resilience.inject.FaultInjector`
+        or a :class:`~repro.resilience.inject.FaultPlan` (wrapped around
+        this communicator's transport).  Point-to-point payloads then
+        flow through the injector; drops and CRC-detected corruption
+        are retransmitted with exponential backoff, latency spikes are
+        absorbed — every repair second charged to the virtual clock and
+        the phase ledger's ``recovery`` column.  Shared with all
+        subgroups of this world.  Returns the installed injector.
+        """
+        from ..resilience.inject import FaultInjector, FaultPlan
+
+        if isinstance(injector, FaultPlan):
+            injector = FaultInjector(injector, transport=self._transport)
+        resil = self._resil
+        resil.injector = injector
+        if policy is not None:
+            resil.policy = policy
+        return injector
+
+    def disable_resilience(self) -> None:
+        """Remove the fault injector (policy and stats are kept)."""
+        self._resil.injector = None
+
+    @property
+    def fault_injector(self):
+        return self._resil.injector
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self._resil.policy
+
+    @property
+    def recovery_stats(self) -> RecoveryStats:
+        return self._resil.stats
+
+    def _check_rank_failure(self) -> None:
+        """Fire a scheduled rank death at this communication point."""
+        inj = self._resil.injector
+        if inj is not None:
+            inj.check_rank_failure()
+
+    def _charge_recovery(
+        self, g_ranks, seconds: float, phase: str | None,
+        label: str = "recovery",
+    ) -> None:
+        """Advance clocks and book time in the recovery column."""
+        if seconds <= 0.0:
+            return
+        ledger = self._phase.ledger
+        stats = self._resil.stats
+        for g in g_ranks:
+            t0 = self._clock.time(g)
+            self._clock.advance(g, seconds)
+            if self._timeline is not None:
+                self._timeline.record(g, t0, t0 + seconds, label, "recovery")
+            if ledger is not None:
+                ledger.record_recovery(phase, g, seconds)
+            stats.recovery_rank_seconds += seconds
+
+    def charge_checkpoint(self, nbytes: int) -> float:
+        """Charge every rank the virtual cost of writing one checkpoint.
+
+        The harness calls this when it snapshots a
+        :class:`~repro.resilience.checkpoint.Checkpointable` solver;
+        the per-rank seconds (aggregate ``nbytes`` over the policy's
+        checkpoint bandwidth) land in the recovery column.  Returns the
+        per-rank seconds charged.
+        """
+        stats = self._resil.stats
+        dt = self._resil.policy.checkpoint_time(nbytes, self.nprocs)
+        self._charge_recovery(self._ranks, dt, self._phase.current,
+                              label="checkpoint")
+        stats.checkpoints += 1
+        stats.checkpoint_bytes += float(nbytes)
+        return dt
+
+    def recover_restart(self, nbytes: int) -> float:
+        """Charge a rank-failure recovery: sync, penalty, restore read.
+
+        All ranks synchronize (the failed collective everyone notices),
+        then pay the policy's flat restart penalty plus the restore
+        read of ``nbytes`` checkpoint bytes.  Every second lands in the
+        recovery column.  Returns the per-rank seconds charged after
+        the synchronization.
+        """
+        resil = self._resil
+        phase = self._phase.current
+        _, waits = self._clock.synchronize_with_waits(self._ranks)
+        ledger = self._phase.ledger
+        if ledger is not None:
+            ledger.record_recovery_group(phase, self._ranks, waits)
+        resil.stats.recovery_rank_seconds += float(waits.sum())
+        dt = resil.policy.restart_penalty + resil.policy.restore_time(
+            nbytes, self.nprocs
+        )
+        self._charge_recovery(self._ranks, dt, phase, label="restart")
+        resil.stats.restarts += 1
+        return dt
 
     @property
     def elapsed(self) -> float:
@@ -428,6 +559,8 @@ class Communicator:
         for m in messages:
             if not (0 <= m.src < self.nprocs and 0 <= m.dst < self.nprocs):
                 raise IndexError(f"message rank out of range: {m.src}->{m.dst}")
+        if self._resil.injector is not None:
+            return self._exchange_resilient(list(messages), copy)
         received = self._transport.deliver(messages, copy=copy)
         ledger = self._phase.ledger
         phase = self._phase.current
@@ -440,6 +573,120 @@ class Communicator:
             self._charge_ptp_phase(
                 [(m.src, m.dst, m.nbytes) for m in messages]
             )
+        return received
+
+    def _exchange_resilient(
+        self, messages: list[Message], copy: bool
+    ) -> dict[int, list[np.ndarray]]:
+        """:meth:`exchange` through the fault injector, self-healing.
+
+        The first transmission charges exactly what the fault-free path
+        would (same trace/ledger/clock arithmetic), so an empty fault
+        plan is accounting-neutral.  Every delivered payload is then
+        verified against its sender-side CRC-32; a missing payload
+        (drop) or a mismatch (bit-flip) is retransmitted with
+        exponential backoff until it arrives intact, the extra time
+        booked in the recovery column.  Posting order per destination
+        is preserved across retransmits, so callers that index
+        ``received[dst]`` positionally are unaffected by faults.
+
+        A scheduled rank death fires here at entry, before anything is
+        charged — the same point :meth:`exchange_phase` and the
+        collectives die at — so the clocks a failed step leaves behind
+        do not depend on which communication path a solver variant
+        takes.
+        """
+        self._check_rank_failure()
+        resil = self._resil
+        inj, policy, stats = resil.injector, resil.policy, resil.stats
+        ledger = self._phase.ledger
+        phase = self._phase.current
+        n = len(messages)
+        crcs = [payload_crc(m.payload) for m in messages]
+        granks = [(self._g(m.src), self._g(m.dst)) for m in messages]
+
+        for k, m in enumerate(messages):
+            if self._trace is not None:
+                self._trace.record(granks[k][0], granks[k][1], m.nbytes)
+            if ledger is not None:
+                ledger.record_traffic(phase, granks[k][0], m.nbytes)
+        if self._net is not None:
+            self._charge_ptp_phase(
+                [(m.src, m.dst, m.nbytes) for m in messages]
+            )
+
+        slots: list[np.ndarray | None] = [None] * n
+        attempts = [0] * n
+        pending = list(range(n))
+        while pending:
+            outcomes = inj.deliver_faulty(
+                [messages[i] for i in pending],
+                phase=phase,
+                attempts=[attempts[i] for i in pending],
+                granks=[granks[i] for i in pending],
+                copy=copy,
+            )
+            failed: list[int] = []
+            for j, i in enumerate(pending):
+                out = outcomes[j]
+                g_src, g_dst = granks[i]
+                if out.payload is None:
+                    # drop: the receiver only notices after a timeout
+                    stats.drops_detected += 1
+                    self._charge_recovery(
+                        [g_dst], policy.detect_timeout, phase, "detect"
+                    )
+                    failed.append(i)
+                elif payload_crc(out.payload) != crcs[i]:
+                    # corruption: caught by the checksum on arrival
+                    stats.corruptions_detected += 1
+                    self._charge_recovery(
+                        [g_dst], policy.nack_time, phase, "nack"
+                    )
+                    failed.append(i)
+                else:
+                    if out.extra_s > 0.0:
+                        stats.delays_absorbed += 1
+                        self._charge_recovery(
+                            [g_dst], out.extra_s, phase, "straggler"
+                        )
+                    slots[i] = out.payload
+            if not failed:
+                break
+            for i in failed:
+                attempts[i] += 1
+                if attempts[i] > policy.max_retries:
+                    m = messages[i]
+                    raise UnrecoverableMessageError(
+                        f"message {m.src}->{m.dst} ({m.nbytes} B) still "
+                        f"failing after {policy.max_retries} retransmits"
+                    )
+                g_src, g_dst = granks[i]
+                nb = messages[i].nbytes
+                wire = (
+                    self._net.ptp_time(nb, g_src, g_dst)
+                    if self._net is not None
+                    else 0.0
+                )
+                backoff = policy.backoff(attempts[i])
+                self._charge_recovery(
+                    [g_src], backoff + wire, phase, "resend"
+                )
+                self._charge_recovery(
+                    [g_dst], backoff + wire, phase, "resend-wait"
+                )
+                stats.resends += 1
+                stats.resend_bytes += nb
+                if self._trace is not None:
+                    self._trace.record(g_src, g_dst, nb, "resend")
+                if ledger is not None:
+                    ledger.record_traffic(phase, g_src, nb)
+            pending = failed
+        received: dict[int, list[np.ndarray]] = {}
+        for i, m in enumerate(messages):
+            payload = slots[i]
+            assert payload is not None
+            received.setdefault(m.dst, []).append(payload)
         return received
 
     def exchange_phase(
@@ -491,6 +738,7 @@ class Communicator:
             or max(srcs_a.max(), dsts_a.max()) >= self.nprocs
         ):
             raise IndexError("message rank out of range")
+        self._check_rank_failure()
         ledger = self._phase.ledger
         phase = self._phase.current
         if self._trace is not None or ledger is not None:
@@ -503,14 +751,75 @@ class Communicator:
                 )
             if ledger is not None:
                 ledger.record_traffic_bulk(phase, g_srcs, nbytes_a)
-        if self._net is None:
-            return
-        self._charge_ptp_phase(
-            [
-                (int(s), int(d), int(nb))
-                for s, d, nb in zip(srcs_a, dsts_a, nbytes_a)
-            ]
-        )
+        if self._net is not None:
+            self._charge_ptp_phase(
+                [
+                    (int(s), int(d), int(nb))
+                    for s, d, nb in zip(srcs_a, dsts_a, nbytes_a)
+                ]
+            )
+        if self._resil.injector is not None:
+            self._account_phase_faults(
+                [
+                    (self._g(int(s)), self._g(int(d)))
+                    for s, d in zip(srcs_a, dsts_a)
+                ],
+                nbytes_a,
+            )
+
+    def _account_phase_faults(
+        self, granks: list[tuple[int, int]], nbytes_a: np.ndarray
+    ) -> None:
+        """Accounting-only recovery charges for bulk-moved messages.
+
+        :meth:`exchange_phase` callers moved their bytes out-of-band
+        (one strided block copy), so an injected fault cannot touch the
+        data — but the wire the accounting models still flakes.  Each
+        faulted message charges its detection + one backed-off
+        retransmit (latency spikes charge their delay), mirroring what
+        :meth:`_exchange_resilient` books for a ``repeat=1`` fault.
+        """
+        from ..resilience.inject import LatencySpike, MessageDrop
+
+        resil = self._resil
+        inj, policy, stats = resil.injector, resil.policy, resil.stats
+        ledger = self._phase.ledger
+        phase = self._phase.current
+        for k, spec in inj.judge_phase(
+            phase=phase, granks=granks, nbytes=nbytes_a
+        ):
+            g_src, g_dst = granks[k]
+            nb = int(nbytes_a[k])
+            if isinstance(spec, LatencySpike):
+                stats.delays_absorbed += 1
+                self._charge_recovery(
+                    [g_dst], spec.extra_s, phase, "straggler"
+                )
+                continue
+            if isinstance(spec, MessageDrop):
+                stats.drops_detected += 1
+                detect = policy.detect_timeout
+            else:
+                stats.corruptions_detected += 1
+                detect = policy.nack_time
+            wire = (
+                self._net.ptp_time(nb, g_src, g_dst)
+                if self._net is not None
+                else 0.0
+            )
+            backoff = policy.backoff(1)
+            self._charge_recovery(
+                [g_src], backoff + wire, phase, "resend"
+            )
+            self._charge_recovery(
+                [g_dst], detect + backoff + wire, phase, "resend-wait"
+            )
+            stats.resends += 1
+            stats.resend_bytes += nb
+            if self._trace is not None:
+                self._trace.record(g_src, g_dst, nb, "resend")
+            if ledger is not None:
+                ledger.record_traffic(phase, g_src, nb)
 
     def _charge_ptp_phase(
         self, triples: Sequence[tuple[int, int, int]]
@@ -752,6 +1061,7 @@ class Communicator:
         the per-rank share of the collective's traffic.
         """
         self._require_serial_region(label)
+        self._check_rank_failure()
         ledger = self._phase.ledger
         phase = self._phase.current
         if self._timeline is not None:

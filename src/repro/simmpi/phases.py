@@ -73,26 +73,37 @@ class PhaseScope:
 
 @dataclass
 class PhaseBucket:
-    """Per-rank accumulators of one named phase."""
+    """Per-rank accumulators of one named phase.
+
+    ``recovery_s`` is the resilience column: virtual seconds spent
+    detecting, backing off from, and repairing injected faults
+    (retransmits after drops/corruption, straggler delays, checkpoint
+    writes, and restart/restore after a rank failure) — time a
+    fault-free run would not have charged.
+    """
 
     nprocs: int
     compute_s: np.ndarray = field(init=False)
     comm_s: np.ndarray = field(init=False)
     wait_s: np.ndarray = field(init=False)
+    recovery_s: np.ndarray = field(init=False)
     flops: np.ndarray = field(init=False)
     nbytes: np.ndarray = field(init=False)
     messages: np.ndarray = field(init=False)
 
     def __post_init__(self) -> None:
-        for name in ("compute_s", "comm_s", "wait_s", "flops", "nbytes",
-                     "messages"):
+        for name in ("compute_s", "comm_s", "wait_s", "recovery_s",
+                     "flops", "nbytes", "messages"):
             setattr(self, name, np.zeros(self.nprocs, dtype=np.float64))
 
     @property
     def total_seconds(self) -> float:
-        """Summed rank-seconds (compute + comm + wait) of this phase."""
+        """Summed rank-seconds (compute + comm + wait + recovery)."""
         return float(
-            self.compute_s.sum() + self.comm_s.sum() + self.wait_s.sum()
+            self.compute_s.sum()
+            + self.comm_s.sum()
+            + self.wait_s.sum()
+            + self.recovery_s.sum()
         )
 
     def as_record(self, steps: int = 1) -> dict:
@@ -105,6 +116,8 @@ class PhaseBucket:
             "comm_s_max": float(self.comm_s.max()) / s,
             "wait_s_mean": float(self.wait_s.mean()) / s,
             "wait_s_max": float(self.wait_s.max()) / s,
+            "recovery_s_mean": float(self.recovery_s.mean()) / s,
+            "recovery_s_max": float(self.recovery_s.max()) / s,
             "flops": float(self.flops.sum()) / s,
             "nbytes": float(self.nbytes.sum()) / s,
             "messages": float(self.messages.sum()) / s,
@@ -157,6 +170,23 @@ class PhaseLedger:
         b = self.bucket(phase)
         np.add.at(b.wait_s, list(ranks), seconds)
 
+    def record_recovery(
+        self, phase: str | None, rank: int, seconds: float
+    ) -> None:
+        """Book fault-recovery time (retransmit, backoff, restore...)."""
+        self.bucket(phase).recovery_s[rank] += seconds
+
+    def record_recovery_group(
+        self, phase: str | None, ranks, seconds
+    ) -> None:
+        """Vector counterpart of :meth:`record_recovery`.
+
+        ``seconds`` is a scalar charged to every rank, or one value per
+        rank (``np.add.at`` scatter semantics either way).
+        """
+        b = self.bucket(phase)
+        np.add.at(b.recovery_s, list(ranks), seconds)
+
     def record_traffic(
         self, phase: str | None, rank: int, nbytes: float, messages: int = 1
     ) -> None:
@@ -200,6 +230,7 @@ class PhaseLedger:
             out.compute_s += b.compute_s
             out.comm_s += b.comm_s
             out.wait_s += b.wait_s
+            out.recovery_s += b.recovery_s
             out.flops += b.flops
             out.nbytes += b.nbytes
             out.messages += b.messages
@@ -219,7 +250,7 @@ class PhaseLedger:
             lines.append(title)
         lines.append(
             f"{'phase':<14} {'compute ms':>11} {'comm ms':>9} "
-            f"{'sync ms':>9} {'MB':>9} {'msgs':>8}"
+            f"{'sync ms':>9} {'recov ms':>9} {'MB':>9} {'msgs':>8}"
         )
         total = PhaseBucket(self.nprocs)
         for name in self.phases:
@@ -228,6 +259,7 @@ class PhaseLedger:
                 f"{name:<14} {r['compute_s_mean'] * 1e3:>11.3f} "
                 f"{r['comm_s_mean'] * 1e3:>9.3f} "
                 f"{r['wait_s_mean'] * 1e3:>9.3f} "
+                f"{r['recovery_s_mean'] * 1e3:>9.3f} "
                 f"{r['nbytes'] / 1e6:>9.3f} {r['messages']:>8.0f}"
             )
         t = self.totals().as_record(steps)
@@ -235,6 +267,7 @@ class PhaseLedger:
             f"{'total':<14} {t['compute_s_mean'] * 1e3:>11.3f} "
             f"{t['comm_s_mean'] * 1e3:>9.3f} "
             f"{t['wait_s_mean'] * 1e3:>9.3f} "
+            f"{t['recovery_s_mean'] * 1e3:>9.3f} "
             f"{t['nbytes'] / 1e6:>9.3f} {t['messages']:>8.0f}"
         )
         return "\n".join(lines)

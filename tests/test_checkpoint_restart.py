@@ -1,0 +1,220 @@
+"""Acceptance matrix: faulted runs recover to bitwise-identical physics.
+
+For each of the four applications, a run with injected message drops
+and one mid-run rank failure — recovered by CRC/retry and
+checkpoint/restart — must finish with final physics state bitwise
+identical to the fault-free run with the same seed, and the recovery
+time must be visible in the ledger's recovery column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import harness
+from repro.apps.fvcam.solver import FVCAMParams
+from repro.apps.gtc.solver import GTCParams
+from repro.apps.lbmhd.solver import LBMHDParams
+from repro.apps.paratec.solver import ParatecParams
+from repro.resilience import (
+    DiskCheckpointStore,
+    FaultPlan,
+    MessageDrop,
+    RankFailure,
+    RankFailureError,
+)
+
+APPS = ["lbmhd", "gtc", "fvcam", "paratec"]
+
+
+def _config(app: str, nprocs: int):
+    """(params, steps) sized for the test matrix."""
+    if app == "lbmhd":
+        return LBMHDParams(shape=(8, 8, 8)), 6
+    if app == "gtc":
+        return GTCParams(ntoroidal=nprocs, particles_per_cell=4), 6
+    if app == "fvcam":
+        if nprocs == 4:
+            return FVCAMParams(py=2, pz=2), 6
+        return FVCAMParams(py=4, pz=2), 6
+    if app == "paratec":
+        return ParatecParams(), 4
+    raise AssertionError(app)
+
+
+def _nprocs(app: str, requested: int) -> int:
+    # PARATEC's mini problem distributes its G-sphere over few ranks
+    return 2 if app == "paratec" else requested
+
+
+def _plan(nprocs: int, steps: int) -> FaultPlan:
+    return FaultPlan(
+        faults=(
+            MessageDrop(step=1, rate=0.4),
+            MessageDrop(step=steps - 1, src=0),
+            RankFailure(rank=nprocs - 1, step=steps // 2),
+        ),
+        seed=42,
+    )
+
+
+def _pair(app: str, nprocs: int, **kwargs):
+    params, steps = _config(app, nprocs)
+    clean = harness.run(app, params, steps=steps, nprocs=nprocs)
+    faulted = harness.run(
+        app,
+        params,
+        steps=steps,
+        nprocs=nprocs,
+        fault_plan=_plan(nprocs, steps),
+        checkpoint_every=2,
+        **kwargs,
+    )
+    return clean, faulted
+
+
+class TestFaultedRunsMatchBitwise:
+    @pytest.mark.parametrize(
+        "nprocs", [4, pytest.param(8, marks=pytest.mark.slow)]
+    )
+    @pytest.mark.parametrize("app", APPS)
+    def test_recovered_state_identical(self, app, nprocs):
+        nprocs = _nprocs(app, nprocs)
+        clean, faulted = _pair(app, nprocs)
+
+        assert np.array_equal(
+            clean.app.state_vector(clean.state),
+            faulted.app.state_vector(faulted.state),
+        )
+        stats = faulted.recovery
+        assert stats.rank_failures == 1
+        assert stats.restarts == 1
+        assert stats.checkpoints >= 1
+        # recovery landed in the ledger column, not compute/comm/wait
+        assert faulted.ledger.totals().recovery_s.sum() > 0.0
+        assert clean.ledger.totals().recovery_s.sum() == 0.0
+        # diagnostics agree exactly too
+        assert clean.diagnostics == faulted.diagnostics
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_recovery_survives_threaded_executor(self, app):
+        nprocs = _nprocs(app, 4)
+        clean, faulted = _pair(app, nprocs, executor="threads:4")
+        assert np.array_equal(
+            clean.app.state_vector(clean.state),
+            faulted.app.state_vector(faulted.state),
+        )
+
+
+class TestHarnessRestartMechanics:
+    def test_restart_replays_from_last_checkpoint(self):
+        params, steps = _config("lbmhd", 4)
+        plan = FaultPlan(faults=(RankFailure(rank=1, step=5),))
+        result = harness.run(
+            "lbmhd",
+            params,
+            steps=steps,
+            nprocs=4,
+            fault_plan=plan,
+            checkpoint_every=2,
+        )
+        # failure at step 5 restores the step-4 snapshot: 1 replayed
+        assert result.recovery.replayed_steps == 1
+        assert result.recovery.restarts == 1
+
+    def test_failure_without_checkpointing_uses_step0_anchor(self):
+        params, steps = _config("lbmhd", 4)
+        plan = FaultPlan(faults=(RankFailure(rank=0, step=2),))
+        result = harness.run(
+            "lbmhd", params, steps=steps, nprocs=4, fault_plan=plan
+        )
+        assert result.recovery.restarts == 1
+        assert result.recovery.replayed_steps == 2
+
+    def test_max_restarts_reraises(self):
+        params, steps = _config("lbmhd", 4)
+        plan = FaultPlan(
+            faults=tuple(
+                RankFailure(rank=0, step=s) for s in range(3)
+            )
+        )
+        with pytest.raises(RankFailureError):
+            harness.run(
+                "lbmhd",
+                params,
+                steps=steps,
+                nprocs=4,
+                fault_plan=plan,
+                max_restarts=1,
+            )
+
+    def test_disk_store_backs_restart(self, tmp_path):
+        params, steps = _config("gtc", 4)
+        plan = _plan(4, steps)
+        clean = harness.run("gtc", params, steps=steps, nprocs=4)
+        faulted = harness.run(
+            "gtc",
+            params,
+            steps=steps,
+            nprocs=4,
+            fault_plan=plan,
+            checkpoint_every=2,
+            checkpoint_store=DiskCheckpointStore(tmp_path),
+        )
+        assert np.array_equal(
+            clean.app.state_vector(clean.state),
+            faulted.app.state_vector(faulted.state),
+        )
+        assert (tmp_path / "gtc.npz").exists()
+
+    def test_checkpoint_time_charged_to_recovery_column(self):
+        params, steps = _config("lbmhd", 4)
+        result = harness.run(
+            "lbmhd", params, steps=steps, nprocs=4, checkpoint_every=2
+        )
+        stats = result.recovery
+        assert stats.checkpoints == 2  # steps 2 and 4 (not the end)
+        assert stats.checkpoint_bytes > 0
+        assert result.ledger.totals().recovery_s.sum() > 0.0
+
+    def test_failed_step_accounting_is_path_independent(self):
+        """Rank death aborts before charging, on every comm path.
+
+        The arena fast path (bulk exchange_phase) and the plain path
+        (per-message exchange) must leave identical clocks and ledgers
+        behind a failed-and-replayed step — the death fires at entry of
+        the next communication, never after a partial charge.
+        """
+        from repro.runtime.arena import Arena
+
+        params, steps = _config("lbmhd", 4)
+        plan = FaultPlan(faults=(RankFailure(rank=3, step=3),))
+
+        def run(**kwargs):
+            return harness.run(
+                "lbmhd", params, steps=steps, nprocs=4, machine="X1",
+                fault_plan=plan, checkpoint_every=2, **kwargs,
+            )
+
+        fast, plain = run(arena=Arena()), run()
+        assert np.array_equal(fast.comm.times, plain.comm.times)
+        ta, tb = fast.ledger.totals(), plain.ledger.totals()
+        for k in ("compute_s", "comm_s", "wait_s", "recovery_s",
+                  "nbytes", "messages"):
+            assert np.array_equal(
+                np.asarray(getattr(ta, k)), np.asarray(getattr(tb, k))
+            ), k
+
+    def test_fault_free_resilient_run_matches_plain(self):
+        """fault_plan=FaultPlan() changes nothing but adds the column."""
+        params, steps = _config("fvcam", 4)
+        plain = harness.run("fvcam", params, steps=steps, nprocs=4)
+        resil = harness.run(
+            "fvcam", params, steps=steps, nprocs=4, fault_plan=FaultPlan()
+        )
+        assert np.array_equal(
+            plain.app.state_vector(plain.state),
+            resil.app.state_vector(resil.state),
+        )
+        assert np.array_equal(plain.comm.times, resil.comm.times)

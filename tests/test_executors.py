@@ -263,6 +263,7 @@ def _assert_ledgers_equal(a, b) -> None:
             "compute_s",
             "comm_s",
             "wait_s",
+            "recovery_s",
             "flops",
             "nbytes",
             "messages",
@@ -287,7 +288,9 @@ def _run(app: str, nprocs: int, executor, arena: bool):
 
 
 class TestExecutorEquivalence:
-    @pytest.mark.parametrize("nprocs", [1, 4, 8])
+    @pytest.mark.parametrize(
+        "nprocs", [1, 4, pytest.param(8, marks=pytest.mark.slow)]
+    )
     @pytest.mark.parametrize("app", ["lbmhd", "gtc", "fvcam", "paratec"])
     def test_threaded_matches_serial_bitwise(self, app, nprocs):
         serial = _run(app, nprocs, "serial", arena=False)

@@ -130,7 +130,7 @@ class TestRunnerRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5", "table6",
             "fig2", "fig3", "fig4", "fig8", "whatif", "breakdown", "validate",
-            "figviz", "modelcard", "roofline", "ipm",
+            "figviz", "modelcard", "roofline", "ipm", "chaos",
         }
 
     @pytest.mark.parametrize(

@@ -6,6 +6,12 @@ this campaign is the other half of the story: on a multi-core host the
 release the GIL) and beat the ``SerialExecutor`` on the tracked LBMHD
 32-rank hot path.
 
+Both measurements now run through the campaign engine
+(:func:`repro.campaign.run_campaign`): one spec, the executor axis
+crossed over ``serial`` and ``threads:8``, repeats handled by the
+campaign worker, scheduled serially so the two cells never compete for
+cores.
+
 Run ``python benchmarks/bench_executor.py`` to record the campaign to
 ``BENCH_PR3.json`` at the repository root.  The payload records the
 measured speedup *and* ``os.cpu_count()``: the >= 1.5x acceptance bound
@@ -31,6 +37,8 @@ from numpy.testing import assert_array_equal
 
 from repro import harness
 from repro.apps.lbmhd.solver import LBMHD3D, LBMHDParams
+from repro.campaign import CampaignSpec
+from repro.campaign import run_campaign as run_campaign_engine
 from repro.runtime.arena import Arena
 from repro.runtime.executors import SerialExecutor, ThreadExecutor
 from repro.runtime.perf import Timing, measure, write_results
@@ -49,30 +57,36 @@ THREAD_SPEEDUP_TARGET = 1.5
 MIN_CORES_FOR_TARGET = 4
 
 
-def _lbmhd_stepper(executor):
-    """The tracked hot path: 32-rank arena-backed LBMHD stepping."""
-    solver = LBMHD3D(
-        LBMHDParams(shape=LBMHD_SHAPE),
-        Communicator(LBMHD_RANKS, executor=executor),
-        arena=Arena(),
+def _spec(repeats: int) -> CampaignSpec:
+    """The tracked hot path as a 2-cell campaign: executor axis only."""
+    return CampaignSpec(
+        name="executor-hot-path",
+        apps=("lbmhd",),
+        nprocs=(LBMHD_RANKS,),
+        executors=("serial", f"threads:{THREAD_WORKERS}"),
+        steps=LBMHD_STEPS,
+        repeats=repeats,
+        arena=True,
+        params={"lbmhd": {"shape": list(LBMHD_SHAPE)}},
     )
-    solver.run(1)  # populate arena pools / warm caches
-    return lambda: solver.run(LBMHD_STEPS)
 
 
 def run_campaign(repeats: int = 5) -> dict:
-    """Time serial vs threaded stepping; returns the JSON payload."""
-    serial = measure(
-        _lbmhd_stepper(SerialExecutor()),
-        "lbmhd_step_loop.serial",
-        repeats=repeats,
+    """Time serial vs threaded stepping; returns the JSON payload.
+
+    Delegates to the campaign engine with a *serial* campaign
+    scheduler: the executor axis under test must own the host's cores,
+    so the two cells run one after the other, each repeated
+    ``repeats`` times by the campaign worker.
+    """
+    report = run_campaign_engine(
+        _spec(repeats), cache=None, scheduler="serial"
     )
-    threaded = measure(
-        _lbmhd_stepper(ThreadExecutor(THREAD_WORKERS)),
-        "lbmhd_step_loop.threads",
-        repeats=repeats,
-    )
-    speedup = threaded.speedup_over(serial)
+    assert report.ok, [r.error for r in report.rows if not r.ok]
+    by_exec = {r.config.executor: r.result for r in report.rows}
+    serial = by_exec["serial"]
+    threaded = by_exec[f"threads:{THREAD_WORKERS}"]
+    speedup = serial["wall_s"] / threaded["wall_s"]
     cores = os.cpu_count() or 1
     return {
         "config": {
@@ -80,11 +94,20 @@ def run_campaign(repeats: int = 5) -> dict:
             "ranks": LBMHD_RANKS,
             "steps_per_sample": LBMHD_STEPS,
             "workers": THREAD_WORKERS,
+            "scheduler": report.scheduler,
         },
         "host": {"cpu_count": cores},
         "lbmhd_step_loop": {
-            "serial": serial.to_dict(),
-            "threads": threaded.to_dict(),
+            "serial": {
+                "best_s": serial["wall_s"],
+                "samples_s": serial["wall_samples_s"],
+                "repeats": repeats,
+            },
+            "threads": {
+                "best_s": threaded["wall_s"],
+                "samples_s": threaded["wall_samples_s"],
+                "repeats": repeats,
+            },
             "units_per_sample": LBMHD_STEPS,
             "speedup": speedup,
         },
@@ -138,6 +161,29 @@ def test_campaign_machinery_flows():
     timing = measure(lambda: None, "noop", repeats=2, warmup=0)
     assert isinstance(timing, Timing)
     assert timing.repeats == 2
+
+
+@pytest.mark.bench_smoke
+def test_executor_axis_campaign_produces_both_cells():
+    """A tiny executor-axis campaign through the engine: both cells
+    complete, repeats produce the requested samples, diagnostics agree
+    bitwise across executors."""
+    spec = CampaignSpec(
+        name="executor-smoke",
+        apps=("lbmhd",),
+        nprocs=(8,),
+        executors=("serial", "threads:4"),
+        steps=2,
+        repeats=2,
+        arena=True,
+        params={"lbmhd": {"shape": [8, 8, 8]}},
+    )
+    report = run_campaign_engine(spec, cache=None, scheduler="serial")
+    assert report.ok
+    assert len(report.rows) == 2
+    a, b = (r.result for r in report.rows)
+    assert len(a["wall_samples_s"]) == 2
+    assert a["diagnostics"] == b["diagnostics"]
 
 
 @pytest.mark.bench_smoke

@@ -1,8 +1,59 @@
-"""Figure 2 bench: traced FVCAM communication + the volume matrices."""
+"""Figure 2 bench: traced FVCAM communication + the volume matrices.
+
+The decomposition comparison now delegates to the campaign engine: the
+two traced runs (1-D latitude vs 2-D with vertical subdomains) are two
+:class:`~repro.campaign.RunConfig` cells of one trace campaign, and the
+volume matrices come back in each row's marshalled ``trace_volume``.
+"""
 
 from __future__ import annotations
 
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignSpec, RunConfig, run_campaign
 from repro.experiments import fig2
+from repro.experiments.fig2 import Fig2Result
+
+#: Reduced mesh for the smoke campaign (same aspect ratios as MINI_GRID).
+SMOKE_GRID = {"im": 24, "jm": 48, "km": 8}
+SMOKE_RANKS = 16
+SMOKE_STEPS = 4
+
+
+def _decomposition_config(py: int, pz: int) -> RunConfig:
+    """One traced FVCAM cell of the Figure 2 campaign."""
+    return RunConfig(
+        app="fvcam",
+        nprocs=SMOKE_RANKS,
+        steps=SMOKE_STEPS,
+        trace=True,
+        params={
+            "grid": SMOKE_GRID,
+            "py": py,
+            "pz": pz,
+            "dt": 30.0,
+            "remap_interval": 4,
+        },
+    )
+
+
+def campaign_result() -> Fig2Result:
+    """Both decompositions through the campaign engine, uncached."""
+    configs = [
+        _decomposition_config(py=SMOKE_RANKS, pz=1),
+        _decomposition_config(py=SMOKE_RANKS // 4, pz=4),
+    ]
+    spec = CampaignSpec(name="fig2-decompositions", apps=("fvcam",))
+    report = run_campaign(
+        spec, configs=configs, cache=None, scheduler="serial"
+    )
+    assert report.ok, [r.error for r in report.rows if not r.ok]
+    by_key = {r.key: r for r in report.rows}
+    matrices = [
+        np.asarray(by_key[c.key()].result["trace_volume"]) for c in configs
+    ]
+    return Fig2Result(volume_1d=matrices[0], volume_2d=matrices[1])
 
 
 def test_fig2_traced_decompositions(benchmark, report):
@@ -18,3 +69,16 @@ def test_fig2_volume_claims(benchmark):
     result = benchmark.pedantic(fig2.run, rounds=1, iterations=1)
     assert result.reduction > 1.0
     assert result.offdiagonal_offsets("1d") == [1]
+
+
+@pytest.mark.bench_smoke
+def test_fig2_campaign_port_preserves_the_structure():
+    """The campaign-scheduled runs reproduce Figure 2's structure: pure
+    nearest-neighbor diagonals in 1-D, and a significantly lower total
+    volume for the 2-D decomposition."""
+    result = campaign_result()
+    assert result.volume_1d.shape == (SMOKE_RANKS, SMOKE_RANKS)
+    assert result.offdiagonal_offsets("1d") == [1]
+    assert result.reduction > 1.0
+    # the 2-D layout talks to more distinct partners (transpose grid)
+    assert result.nonzero_pairs("2d") > result.nonzero_pairs("1d")

@@ -1,0 +1,105 @@
+"""Content-addressed on-disk store of completed campaign runs.
+
+One JSON file per result, addressed by :meth:`RunConfig.key` — the
+SHA-256 of the canonical config plus the package version.  Identical
+configs therefore share one entry across campaigns, and bumping the
+package version invalidates everything at once (stale physics is worse
+than a cold cache).
+
+Entries are written atomically (temp file + rename in the same
+directory), so a campaign killed mid-write never leaves a torn entry —
+the resume path either sees a complete result or a miss.  Workers in
+different processes may race to publish the same key; last rename wins
+and both wrote identical content, so the race is benign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+from .. import __version__
+from .spec import RunConfig
+
+
+class ResultCache:
+    """Directory of ``<key[:2]>/<key>.json`` result entries."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, config: RunConfig) -> dict[str, Any] | None:
+        """The cached result dict for ``config``, or ``None`` on a miss."""
+        path = self._path(config.key())
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # unreadable entry == miss; the rerun will overwrite it
+            return None
+        return entry.get("result")
+
+    def put(self, config: RunConfig, result: dict[str, Any]) -> Path:
+        """Atomically publish one completed run."""
+        key = config.key()
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": key,
+            "version": __version__,
+            "config": config.to_dict(),
+            "result": result,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+        return path
+
+    def entries(self) -> Iterator[dict[str, Any]]:
+        """Every readable entry (config + result + version)."""
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                yield json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError):
+                continue
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __contains__(self, config: RunConfig) -> bool:
+        return self._path(config.key()).exists()
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.root.glob("*/*.json")):
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+        for sub in list(self.root.iterdir()):
+            if sub.is_dir():
+                try:
+                    sub.rmdir()
+                except OSError:
+                    pass
+        return removed

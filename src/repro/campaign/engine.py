@@ -1,0 +1,208 @@
+"""The campaign scheduler: cache-check, fan out, journal, aggregate.
+
+:func:`run_campaign` expands a spec, serves every config it can from
+the :class:`~repro.campaign.cache.ResultCache`, schedules the misses
+concurrently on an executor (worker *processes* by default), journals
+every completion to the JSONL manifest, and returns a
+:class:`~repro.campaign.report.CampaignReport`.
+
+Resume comes for free: workers publish each result to the
+content-addressed cache the moment it completes, so re-invoking an
+interrupted campaign finds the finished configs as cache hits and only
+executes the remainder.  A failing config is isolated — it is reported
+(journal + report row) and the rest of the sweep still runs.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from ..runtime.executors import Executor, get_executor
+from . import worker
+from .cache import ResultCache
+from .manifest import Manifest, NullManifest
+from .report import CampaignReport, ConfigResult
+from .spec import CampaignSpec, RunConfig, unique_configs
+
+#: Called after every config completes: (done_so_far, total, row).
+ProgressFn = Callable[[int, int, ConfigResult], None]
+
+
+def default_manifest_path(
+    cache_root: str | Path, name: str
+) -> Path:
+    """Where ``repro-campaign run`` journals campaign ``name``."""
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+    return Path(cache_root) / f"{safe}.manifest.jsonl"
+
+
+def _scheduler(spec: "str | Executor") -> Executor:
+    executor = spec if isinstance(spec, Executor) else get_executor(spec)
+    return executor
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    configs: "Iterable[RunConfig] | None" = None,
+    cache: "ResultCache | str | Path | None" = None,
+    manifest: "Manifest | str | Path | None" = None,
+    scheduler: "str | Executor" = "processes",
+    rerun: bool = False,
+    progress: ProgressFn | None = None,
+) -> CampaignReport:
+    """Execute (or resume) a campaign and aggregate the results.
+
+    Parameters
+    ----------
+    configs:
+        Explicit :class:`RunConfig` list to schedule instead of
+        ``spec.expand()`` — for sweeps whose cells vary in ways the
+        spec axes cannot express (e.g. per-config parameter overrides,
+        as in the Figure 2 decomposition comparison).  The spec still
+        names the campaign and is journaled as its identity.
+    cache:
+        A :class:`ResultCache`, a directory for one, or ``None`` to run
+        uncached (every config executes; benchmarks do this).
+    manifest:
+        A :class:`Manifest`, a path for one, or ``None`` for no journal.
+    scheduler:
+        How configs are fanned out: an executor spec string
+        (``"processes"``, ``"processes:N"``, ``"serial"``,
+        ``"threads:N"``) or an :class:`Executor`.  This is the
+        *campaign-level* scheduler; each config's ``executor`` field
+        governs rank stepping inside its own run.
+    rerun:
+        Ignore cache hits and re-execute everything (entries are
+        overwritten with the fresh results).
+    progress:
+        Callback invoked after every config resolves (hit, miss, or
+        failure) with ``(done, total, row)`` — the CLI's live line.
+    """
+    t0 = time.perf_counter()
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+    journal: "Manifest | NullManifest"
+    if manifest is None:
+        journal = NullManifest()
+    elif isinstance(manifest, Manifest):
+        journal = manifest
+    else:
+        journal = Manifest(manifest)
+
+    configs = unique_configs(
+        spec.expand() if configs is None else configs
+    )
+    executor = _scheduler(scheduler)
+    journal.append(
+        {
+            "event": "campaign-start",
+            "name": spec.name,
+            "total": len(configs),
+            "scheduler": executor.name,
+            "spec": spec.to_dict(),
+        }
+    )
+
+    rows: dict[int, ConfigResult] = {}
+    pending: list[int] = []
+    done = 0
+
+    def finish(i: int, row: ConfigResult) -> None:
+        nonlocal done
+        done += 1
+        rows[i] = row
+        if row.ok:
+            journal.append(
+                {
+                    "event": "run-done",
+                    "key": row.key,
+                    "label": row.config.label,
+                    "cached": row.cached,
+                    "wall_s": row.wall_s,
+                    "gflops": row.gflops,
+                }
+            )
+        else:
+            journal.append(
+                {
+                    "event": "run-failed",
+                    "key": row.key,
+                    "label": row.config.label,
+                    "error": row.error,
+                }
+            )
+        if progress is not None:
+            progress(done, len(configs), row)
+
+    for i, cfg in enumerate(configs):
+        hit = cache.get(cfg) if (cache is not None and not rerun) else None
+        if hit is not None:
+            finish(
+                i,
+                ConfigResult(
+                    config=cfg,
+                    key=cfg.key(),
+                    cached=True,
+                    wall_s=float(hit.get("wall_s", 0.0)),
+                    gflops=float(hit.get("gflops", 0.0)),
+                    result=hit,
+                ),
+            )
+        else:
+            pending.append(i)
+
+    if pending:
+        cache_root = str(cache.root) if cache is not None else None
+        jobs: list[tuple[dict[str, Any], str | None]] = []
+        for i in pending:
+            cfg = configs[i]
+            journal.append(
+                {
+                    "event": "run-start",
+                    "key": cfg.key(),
+                    "label": cfg.label,
+                }
+            )
+            jobs.append((cfg.to_dict(), cache_root))
+        for j, payload, exc in executor.imap_unordered(
+            worker.run_and_cache, jobs
+        ):
+            cfg = configs[pending[j]]
+            if exc is not None:
+                row = ConfigResult(
+                    config=cfg,
+                    key=cfg.key(),
+                    ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            else:
+                result = payload["result"]
+                row = ConfigResult(
+                    config=cfg,
+                    key=payload["key"],
+                    cached=False,
+                    wall_s=float(result.get("wall_s", 0.0)),
+                    gflops=float(result.get("gflops", 0.0)),
+                    result=result,
+                )
+            finish(pending[j], row)
+
+    report = CampaignReport(
+        spec=spec,
+        rows=[rows[i] for i in sorted(rows)],
+        wall_s=time.perf_counter() - t0,
+        scheduler=executor.name,
+    )
+    journal.append(
+        {
+            "event": "campaign-end",
+            "hits": report.hits,
+            "misses": report.misses,
+            "failures": report.failures,
+            "wall_s": report.wall_s,
+        }
+    )
+    return report

@@ -1,0 +1,105 @@
+"""JSONL progress journal of one campaign invocation.
+
+Every event is one JSON object per line, appended and flushed as it
+happens, so a campaign killed mid-flight leaves a readable journal up
+to the kill point.  The journal is *descriptive* — resume correctness
+comes from the content-addressed cache (a completed run's entry was
+published before its ``run-done`` event was journaled) — but it is what
+``repro-campaign status`` renders and what post-hoc tooling reads.
+
+Events::
+
+    {"event": "campaign-start", "name": ..., "total": N, "spec": {...}}
+    {"event": "run-start",  "key": ..., "label": ...}
+    {"event": "run-done",   "key": ..., "label": ..., "cached": bool,
+     "wall_s": ..., "gflops": ...}
+    {"event": "run-failed", "key": ..., "label": ..., "error": "..."}
+    {"event": "campaign-end", "hits": H, "misses": M, "failures": F,
+     "wall_s": ...}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+
+class Manifest:
+    """Append-only JSONL journal (opened lazily, flushed per event)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, event: dict[str, Any]) -> None:
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+            fh.flush()
+
+
+class NullManifest:
+    """No-op stand-in when journaling is disabled."""
+
+    path = None
+
+    def append(self, event: dict[str, Any]) -> None:  # pragma: no cover
+        pass
+
+
+def read_events(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Parse a journal, skipping a torn trailing line if the writer died
+    mid-append."""
+    p = Path(path)
+    if not p.exists():
+        return
+    with p.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+def summarize(path: str | Path) -> dict[str, Any]:
+    """Aggregate a journal into the ``status`` view.
+
+    Returns name/total plus per-state counts and the latest event per
+    run key, so an interrupted campaign shows exactly which configs
+    completed, failed, or never started.
+    """
+    name = None
+    total = 0
+    runs: dict[str, dict[str, Any]] = {}
+    ended = False
+    for event in read_events(path):
+        kind = event.get("event")
+        if kind == "campaign-start":
+            name = event.get("name")
+            total = int(event.get("total", 0))
+            runs.clear()
+            ended = False
+        elif kind in ("run-start", "run-done", "run-failed"):
+            key = str(event.get("key"))
+            runs[key] = event
+        elif kind == "campaign-end":
+            ended = True
+    done = [e for e in runs.values() if e.get("event") == "run-done"]
+    failed = [e for e in runs.values() if e.get("event") == "run-failed"]
+    running = [e for e in runs.values() if e.get("event") == "run-start"]
+    hits = sum(1 for e in done if e.get("cached"))
+    return {
+        "name": name,
+        "total": total,
+        "complete": ended,
+        "done": len(done),
+        "hits": hits,
+        "misses": len(done) - hits,
+        "failed": len(failed),
+        "in_flight": len(running),
+        "pending": max(total - len(runs), 0),
+        "runs": runs,
+    }

@@ -4,9 +4,15 @@ Usage::
 
     repro-experiments                # everything
     repro-experiments table5 fig8    # a selection
+    repro-experiments --jobs 4       # batch across worker processes
     repro-experiments --list         # what's available
     repro-experiments --json table3  # machine-readable output
     python -m repro.experiments table3
+
+Batch semantics: one failing experiment never aborts the rest — the
+failure is reported on stderr, every other requested experiment still
+runs, and the exit status is nonzero.  ``--json`` always emits one
+complete, well-formed object for the experiments that succeeded.
 """
 
 from __future__ import annotations
@@ -76,14 +82,45 @@ def validate_args(args) -> list[str]:
         try:
             # constructs (without installing) the executor; raises on a
             # malformed spec like "threads:0" or "fibers"
-            get_executor(args.executor)
+            executor = get_executor(args.executor)
         except ValueError as exc:
             errors.append(f"--executor: {exc}")
+        else:
+            if not executor.in_process:
+                errors.append(
+                    "--executor: process executors schedule whole "
+                    "campaigns, not rank segments; use --jobs N to "
+                    "batch experiments across processes"
+                )
     if args.seed is not None and not 0 <= args.seed <= _MAX_SEED:
         errors.append(
             f"--seed: must be in [0, 2**32 - 1], got {args.seed}"
         )
+    if getattr(args, "jobs", 1) is not None and args.jobs < 1:
+        errors.append(f"--jobs: must be >= 1, got {args.jobs}")
     return errors
+
+
+def _render_one(job: tuple[str, bool, "str | None", "int | None"]) -> str:
+    """Render one experiment (module-level so worker processes can run
+    it): apply the executor/seed knobs locally — a spawned worker does
+    not inherit the parent's process-wide defaults — then render."""
+    name, quick, executor, seed = job
+    if executor is not None:
+        from ..runtime.executors import set_default_executor
+
+        set_default_executor(executor)
+    if seed is not None:
+        import numpy as np
+
+        np.random.seed(seed)
+    import inspect
+
+    module = EXPERIMENTS[name]
+    render_params = inspect.signature(module.render).parameters
+    if quick and "quick" in render_params:
+        return module.render(quick=True)
+    return module.render()
 
 
 def list_experiments() -> str:
@@ -143,8 +180,9 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         metavar="N",
         help=(
-            "seed NumPy's legacy global RNG before running, so any "
-            "experiment replays deterministically on either backend"
+            "seed NumPy's legacy global RNG before running *each* "
+            "experiment, so every experiment replays deterministically "
+            "regardless of batch order or --jobs fan-out"
         ),
     )
     parser.add_argument(
@@ -153,6 +191,17 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "reduced-size variant for experiments that support it "
             "(currently: chaos); others run at full size"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "render the requested experiments concurrently across N "
+            "worker processes (campaign-style batch; default: 1, "
+            "in-process)"
         ),
     )
     args = parser.parse_args(argv)
@@ -195,25 +244,62 @@ def main(argv: list[str] | None = None) -> int:
         save_dir = pathlib.Path(args.save)
         save_dir.mkdir(parents=True, exist_ok=True)
 
-    import inspect
-
+    jobs = [(name, args.quick, args.executor, args.seed) for name in names]
     outputs: dict[str, str] = {}
-    for name in names:
-        module = EXPERIMENTS[name]
-        render_params = inspect.signature(module.render).parameters
-        if args.quick and "quick" in render_params:
-            outputs[name] = module.render(quick=True)
+    failures: dict[str, str] = {}
+    if args.jobs > 1 and len(names) > 1:
+        # campaign-style batch: fan the renders out across worker
+        # processes; per-job error isolation comes with the seam.
+        from ..runtime.executors import ProcessExecutor
+
+        executor = ProcessExecutor(min(args.jobs, len(names)))
+        completed = executor.imap_unordered(_render_one, jobs)
+    else:
+        def _serial():
+            for i, job in enumerate(jobs):
+                try:
+                    yield i, _render_one(job), None
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - isolate
+                    yield i, None, exc
+
+        completed = _serial()
+    for i, text, exc in completed:
+        name = names[i]
+        if exc is not None:
+            failures[name] = f"{type(exc).__name__}: {exc}"
+            print(
+                f"repro-experiments: {name} failed: {failures[name]}",
+                file=sys.stderr,
+            )
         else:
-            outputs[name] = module.render()
-        if save_dir is not None:
-            (save_dir / f"{name}.txt").write_text(outputs[name] + "\n")
+            outputs[name] = text
+            if save_dir is not None:
+                (save_dir / f"{name}.txt").write_text(text + "\n")
 
     if args.json:
         import json
 
-        print(json.dumps(outputs, indent=2))
+        # complete, well-formed JSON of the successes only — never a
+        # partial object truncated by a mid-batch exception
+        print(json.dumps(
+            {name: outputs[name] for name in names if name in outputs},
+            indent=2,
+        ))
     else:
-        print(("\n\n" + "=" * 78 + "\n\n").join(outputs.values()))
+        print(
+            ("\n\n" + "=" * 78 + "\n\n").join(
+                outputs[name] for name in names if name in outputs
+            )
+        )
+    if failures:
+        print(
+            f"repro-experiments: {len(failures)} of {len(names)} "
+            f"experiment(s) failed: {', '.join(sorted(failures))}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

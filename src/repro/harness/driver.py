@@ -229,6 +229,17 @@ def run(
                     raise
                 restarts += 1
                 ckpt = store.load(tag)
+                if ckpt is None:
+                    # The anchor was saved, so a vanished checkpoint is
+                    # store corruption (deleted npz, evicted entry...) —
+                    # name it instead of surfacing whatever attribute
+                    # error the restore path would hit downstream.
+                    raise RuntimeError(
+                        f"restart of {tag!r} at step {completed} needs "
+                        f"the checkpoint saved at step {last_ckpt.step}, "
+                        f"but {type(store).__name__}.load({tag!r}) "
+                        "returned None — the checkpoint store lost it"
+                    ) from None
                 comm.recover_restart(ckpt.nbytes)
                 state.restore_state(ckpt.payload)
                 recovery.replayed_steps += completed - ckpt.step

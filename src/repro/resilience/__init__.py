@@ -26,6 +26,7 @@ from .checkpoint import (
     Checkpointable,
     DiskCheckpointStore,
     MemoryCheckpointStore,
+    own_tree,
     snapshot_nbytes,
 )
 from .inject import (
@@ -63,6 +64,7 @@ __all__ = [
     "ResilienceError",
     "RetryPolicy",
     "UnrecoverableMessageError",
+    "own_tree",
     "payload_crc",
     "snapshot_nbytes",
 ]

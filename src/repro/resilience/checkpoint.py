@@ -65,17 +65,62 @@ def copy_tree(tree: Any) -> Any:
     return tree
 
 
+def own_tree(tree: Any) -> Any:
+    """Take ownership of a payload without copying what is already owned.
+
+    The ``copy=False`` fast path hands the store the caller's tree.
+    That is only safe for leaves nothing else can reach — an array that
+    *owns* its buffer.  A view (sliced, transposed, or broadcast from a
+    live solver array) still shares memory with whatever it was taken
+    from, so the caller's next step would silently rewrite the snapshot.
+    Views are therefore copied (which also bakes non-contiguous and
+    zero-size ``(0, n)`` views down to clean owned arrays of the same
+    shape); owned arrays pass through untouched, keeping the transfer
+    zero-copy for ``Checkpointable.checkpoint_state`` payloads, which
+    are fresh copies by contract.
+    """
+    if isinstance(tree, np.ndarray):
+        if tree.base is not None or not tree.flags.owndata:
+            return tree.copy()
+        return tree
+    if isinstance(tree, dict):
+        return {k: own_tree(v) for k, v in tree.items()}
+    if isinstance(tree, list):
+        return [own_tree(v) for v in tree]
+    if isinstance(tree, tuple):
+        return tuple(own_tree(v) for v in tree)
+    return tree
+
+
+#: Container markers used by the flat form.  ``()`` keeps tuples apart
+#: from lists so a round trip is type-faithful.
+_MARKERS = {"{}", "[]", "()"}
+
+
 def flatten_tree(tree: Any, prefix: str = "") -> dict[str, Any]:
-    """Flatten a nested payload to ``{"a/0/b": leaf}`` (npz keys)."""
+    """Flatten a nested payload to ``{"a/0/b": leaf}`` (npz keys).
+
+    Dict keys must be strings without ``/`` (the path separator) and
+    must not collide with the container markers — otherwise two
+    distinct leaves would flatten onto one key and the round trip would
+    silently drop data, so both raise ``ValueError`` instead.
+    """
     out: dict[str, Any] = {}
     if isinstance(tree, dict):
-        items = tree.items()
+        for k in tree:
+            if not isinstance(k, str) or "/" in k or k in _MARKERS:
+                raise ValueError(
+                    f"checkpoint dict keys must be strings without '/' "
+                    f"and not {sorted(_MARKERS)}; got {k!r}"
+                )
+        items: Any = tree.items()
+        marker = "{}"
     elif isinstance(tree, (list, tuple)):
         items = ((str(i), v) for i, v in enumerate(tree))
+        marker = "[]" if isinstance(tree, list) else "()"
     else:
         out[prefix] = tree
         return out
-    marker = "{}" if isinstance(tree, dict) else "[]"
     out[f"{prefix}/{marker}" if prefix else marker] = len(
         tree
     )  # container shape marker
@@ -89,27 +134,28 @@ def unflatten_tree(flat: dict[str, Any]) -> Any:
     """Inverse of :func:`flatten_tree`."""
 
     def build(prefix: str) -> Any:
-        for marker, seq in (("{}", False), ("[]", True)):
+        for marker, seq in (("{}", False), ("[]", True), ("()", True)):
             key = f"{prefix}/{marker}" if prefix else marker
             if key in flat:
                 if seq:
                     n = int(flat[key])
-                    return [
+                    children = [
                         build(f"{prefix}/{i}" if prefix else str(i))
                         for i in range(n)
                     ]
-                children = sorted(
+                    return tuple(children) if marker == "()" else children
+                names = sorted(
                     {
                         k[len(prefix) + 1 if prefix else 0 :].split("/", 1)[0]
                         for k in flat
                         if (k.startswith(prefix + "/") if prefix else True)
                         and k not in (key,)
                     }
-                    - {"{}", "[]"}
+                    - _MARKERS
                 )
                 return {
                     c: build(f"{prefix}/{c}" if prefix else c)
-                    for c in children
+                    for c in names
                 }
         return flat[prefix]
 
@@ -141,13 +187,16 @@ class MemoryCheckpointStore:
         copy: bool = True,
     ) -> Checkpoint:
         """Store a snapshot; with ``copy=False`` the store takes
-        ownership of ``payload`` instead of deep-copying it — only safe
-        for payloads nothing else mutates, which is exactly what
-        ``Checkpointable.checkpoint_state`` returns (fresh copies)."""
+        ownership of ``payload`` instead of deep-copying it — cheap for
+        payloads of freshly-owned arrays, which is exactly what
+        ``Checkpointable.checkpoint_state`` returns.  Leaves that are
+        *views* of someone else's memory are still copied (see
+        :func:`own_tree`): a caller mutating the viewed array after the
+        save must not rewrite the stored snapshot."""
         t0 = time.perf_counter()
         ckpt = Checkpoint(
             step=step,
-            payload=copy_tree(payload) if copy else payload,
+            payload=copy_tree(payload) if copy else own_tree(payload),
             nbytes=snapshot_nbytes(payload),
         )
         self._latest[tag] = ckpt
@@ -187,8 +236,14 @@ class DiskCheckpointStore:
         payload: dict[str, Any],
         copy: bool = True,
     ) -> Checkpoint:
-        """Serialize a snapshot to ``<tag>.npz`` (``copy`` is accepted
-        for interface parity; serialization never aliases)."""
+        """Serialize a snapshot to ``<tag>.npz``.
+
+        The canonical copy is the file, so serialization itself never
+        aliases; ``copy`` governs the *returned* ``Checkpoint.payload``,
+        which must not stay entangled with the caller's live arrays
+        either way — ``copy=True`` hands back a deep copy (the caller
+        keeps ownership of what it passed in), ``copy=False`` transfers
+        ownership, detaching any view leaves (see :func:`own_tree`)."""
         t0 = time.perf_counter()
         flat = flatten_tree(payload)
         arrays = {
@@ -202,8 +257,9 @@ class DiskCheckpointStore:
             **arrays,
         )
         nbytes = snapshot_nbytes(payload)
+        owned = copy_tree(payload) if copy else own_tree(payload)
         self.save_seconds += time.perf_counter() - t0
-        return Checkpoint(step=step, payload=payload, nbytes=nbytes)
+        return Checkpoint(step=step, payload=owned, nbytes=nbytes)
 
     def load(self, tag: str) -> Checkpoint | None:
         path = self._path(tag)

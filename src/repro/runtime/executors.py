@@ -11,6 +11,12 @@ range(nprocs)`` loop.  The executor seam makes that loop pluggable:
   The rank kernels are NumPy-heavy and release the GIL inside array
   arithmetic, so independent rank segments genuinely overlap on a
   multi-core host.
+* :class:`ProcessExecutor` — dispatch jobs to a pool of worker
+  *processes*.  This one is **not** for rank segments (closures over
+  shared solver state cannot cross a process boundary); it schedules
+  coarse campaign-level jobs — whole ``harness.run`` invocations whose
+  arguments and results are plain picklable dicts (see
+  :mod:`repro.campaign`).  Communicators refuse it.
 
 Executors schedule **compute only**.  Communication stays serialized
 between parallel regions (see ``Communicator.map_ranks``), and the
@@ -28,15 +34,17 @@ Resolution order for "which executor should this run use":
 4. ``"serial"``.
 
 Spec strings are ``"serial"``, ``"threads"`` (worker count picked from
-the host), or ``"threads:N"``.
+the host), ``"threads:N"``, ``"processes"``, or ``"processes:N"``.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Iterator, Sequence, TypeVar
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -62,11 +70,36 @@ class Executor:
     #: True when segments may run concurrently (drives deferred
     #: accounting and the parallel-region communication guard)
     parallel: bool = False
+    #: True when jobs run in the calling process, sharing its memory.
+    #: Process executors set this False; communicators require True
+    #: (rank segments are closures over shared solver state).
+    in_process: bool = True
 
     def map(
         self, fn: Callable[[_T], _R], items: Sequence[_T]
     ) -> list[_R]:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def imap_unordered(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> Iterator[tuple[int, _R | None, BaseException | None]]:
+        """Yield ``(index, result, error)`` as each job *completes*.
+
+        Exactly one of ``result``/``error`` is non-None per item; the
+        order is completion order, not item order (serial executors
+        complete in item order by construction).  Unlike :meth:`map`, a
+        failing job does not poison the batch — the exception is
+        yielded, and every other item still runs.  This is the campaign
+        engine's seam: it needs per-completion progress/journaling and
+        per-job error isolation, which a barrier ``map`` cannot give.
+        """
+        for i, item in enumerate(items):
+            try:
+                yield i, fn(item), None
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:  # noqa: BLE001 - isolation seam
+                yield i, None, exc
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(workers={self.workers})"
@@ -130,6 +163,108 @@ class ThreadExecutor(Executor):
         # failing item's exception (not an arbitrary thread's).
         return [f.result() for f in futures]
 
+    def imap_unordered(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> Iterator[tuple[int, _R | None, BaseException | None]]:
+        pool = _shared_pool(self.workers)
+        yield from _drain_as_completed(pool, fn, items)
+
+
+def _drain_as_completed(pool, fn, items):
+    """Submit all items and yield ``(index, result, error)`` triples as
+    futures finish; on generator teardown (e.g. a KeyboardInterrupt in
+    the consumer) the not-yet-started futures are cancelled."""
+    futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
+    try:
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for f in done:
+                i = futures[f]
+                exc = f.exception()
+                if exc is not None:
+                    yield i, None, exc
+                else:
+                    yield i, f.result(), None
+    finally:
+        for f in futures:
+            f.cancel()
+
+
+# Process pools are shared per worker count like thread pools: campaign
+# invocations come in bursts (cold sweep, then warm rerun) and re-forking
+# a pool for each would dominate small sweeps.  ``shutdown_pools`` exists
+# for tests and for __main__ benchmarks that want a cold-start measure.
+_PROC_POOLS: dict[int, _ProcessPool] = {}
+_PROC_POOLS_LOCK = threading.Lock()
+
+
+def _shared_process_pool(workers: int) -> _ProcessPool:
+    with _PROC_POOLS_LOCK:
+        pool = _PROC_POOLS.get(workers)
+        if pool is None:
+            import multiprocessing
+
+            # fork keeps worker start cheap (no re-import of NumPy/SciPy)
+            # where available; spawn elsewhere.
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            pool = _ProcessPool(max_workers=workers, mp_context=ctx)
+            _PROC_POOLS[workers] = pool
+        return pool
+
+
+def shutdown_process_pools() -> None:
+    """Tear down the shared worker-process pools (tests/benchmarks)."""
+    with _PROC_POOLS_LOCK:
+        pools = list(_PROC_POOLS.values())
+        _PROC_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+class ProcessExecutor(Executor):
+    """Run jobs on a pool of worker processes.
+
+    For campaign-level scheduling only: ``fn`` must be a module-level
+    callable and items/results must pickle (plain dicts in practice —
+    see ``repro.campaign.worker``).  Communicators reject this executor
+    (``in_process`` is False): per-rank segments close over shared
+    solver state that cannot cross a process boundary.
+
+    ``workers=None`` uses every core — campaign jobs are whole
+    application runs, so the pool is sized to the host, not to the
+    eight-way segment sweet spot the thread pool targets.
+    """
+
+    name = "processes"
+    parallel = True
+    in_process = False
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        items = list(items)
+        if not items:
+            return []
+        pool = _shared_process_pool(self.workers)
+        futures = [pool.submit(fn, item) for item in items]
+        return [f.result() for f in futures]
+
+    def imap_unordered(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> Iterator[tuple[int, _R | None, BaseException | None]]:
+        pool = _shared_process_pool(self.workers)
+        yield from _drain_as_completed(pool, fn, items)
+
 
 _DEFAULT_LOCK = threading.Lock()
 _default_spec: "str | Executor | None" = None
@@ -172,22 +307,23 @@ def _parse(spec: "str | Executor") -> Executor:
         if arg:
             raise ValueError(f"serial executor takes no argument: {spec!r}")
         return SerialExecutor()
-    if base == "threads":
+    if base in ("threads", "processes"):
+        cls = ThreadExecutor if base == "threads" else ProcessExecutor
         if not arg:
-            return ThreadExecutor()
+            return cls()
         try:
             workers = int(arg)
         except ValueError:
             raise ValueError(
                 f"bad worker count in executor spec {spec!r}"
             ) from None
-        return ThreadExecutor(workers)
+        return cls(workers)
     raise ValueError(
-        f"unknown executor {spec!r}; expected 'serial', 'threads', or "
-        "'threads:N'"
+        f"unknown executor {spec!r}; expected 'serial', 'threads', "
+        "'threads:N', 'processes', or 'processes:N'"
     )
 
 
 def available_executors() -> list[str]:
     """Spec names accepted by :func:`get_executor` (for CLI help)."""
-    return ["serial", "threads", "threads:N"]
+    return ["serial", "threads", "threads:N", "processes", "processes:N"]

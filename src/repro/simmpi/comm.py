@@ -175,7 +175,16 @@ class Communicator:
         self._pending: list[Request] = []
         self._world: Communicator = self
         self._phase = PhaseState()
-        self._exec = _ExecState(get_executor(executor))
+        resolved = get_executor(executor)
+        if not resolved.in_process:
+            raise ValueError(
+                f"{resolved.name!r} executors run jobs in worker "
+                "processes and cannot schedule per-rank compute segments "
+                "(they close over shared solver state); use 'serial' or "
+                "'threads[:N]' here — process executors schedule whole "
+                "runs (see repro.campaign)"
+            )
+        self._exec = _ExecState(resolved)
         self._resil = _ResilState()
         if machine is not None:
             self._proc: ProcessorModel | None = make_model(

@@ -1,0 +1,290 @@
+"""Campaign engine: expansion, hashing, caching, journaling, resume."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultCache,
+    RunConfig,
+    run_campaign,
+    summarize,
+)
+from repro.campaign import worker
+from repro.campaign.manifest import read_events
+from repro.runtime.executors import ProcessExecutor, get_executor
+
+TINY = CampaignSpec(
+    name="tiny",
+    apps=("lbmhd", "fvcam"),
+    nprocs=(4,),
+    seeds=(0, 1),
+    steps=2,
+    params={
+        "lbmhd": {"shape": [8, 8, 8]},
+        "fvcam": {"py": 2, "pz": 2},
+    },
+)
+
+
+class TestSpec:
+    def test_expand_crosses_the_axes(self):
+        spec = CampaignSpec(
+            name="x",
+            apps=("lbmhd", "gtc"),
+            machines=(None, "ES"),
+            nprocs=(4, 8),
+            seeds=(0,),
+        )
+        configs = spec.expand()
+        assert len(configs) == 2 * 2 * 2
+        assert len({c.key() for c in configs}) == len(configs)
+        assert len(set(configs)) == len(configs)  # hashable + distinct
+
+    def test_key_is_stable_and_version_scoped(self):
+        a = RunConfig(app="lbmhd", nprocs=4, steps=2,
+                      params={"shape": [8, 8, 8]})
+        b = RunConfig(app="lbmhd", nprocs=4, steps=2,
+                      params={"shape": (8, 8, 8)})
+        assert a == b
+        assert a.key() == b.key()
+        assert a.key(version="other") != a.key()
+        c = RunConfig(app="lbmhd", nprocs=4, steps=3,
+                      params={"shape": [8, 8, 8]})
+        assert c.key() != a.key()
+
+    def test_json_round_trip(self):
+        spec = CampaignSpec.from_json(json.dumps(TINY.to_dict()))
+        assert spec == TINY
+        assert [c.key() for c in spec.expand()] == [
+            c.key() for c in TINY.expand()
+        ]
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown CampaignSpec"):
+            CampaignSpec.from_dict({"name": "x", "apps": ["lbmhd"],
+                                    "stepz": 3})
+        with pytest.raises(ValueError, match="unknown RunConfig"):
+            RunConfig.from_dict({"app": "lbmhd", "color": "red"})
+
+    def test_non_json_param_values_rejected(self):
+        with pytest.raises(TypeError, match="JSON-plain"):
+            RunConfig(app="lbmhd", params={"shape": np.zeros(3)})
+
+
+class TestWorker:
+    def test_execute_config_returns_plain_dict(self):
+        cfg = RunConfig(
+            app="lbmhd", nprocs=4, steps=2, seed=0,
+            params={"shape": [8, 8, 8]},
+        )
+        result = worker.execute_config(cfg)
+        assert json.dumps(result)  # marshallable as-is
+        assert result["wall_s"] > 0
+        assert result["gflops"] > 0
+        assert result["nprocs"] == 4
+        assert "mass" in result["diagnostics"]
+        assert {p["phase"] for p in result["phases"]} >= {
+            "collision", "stream",
+        }
+
+    def test_params_coercion_handles_nested_dataclasses(self):
+        params = worker.build_params(
+            "fvcam",
+            {"py": 2, "pz": 2, "grid": {"im": 24, "jm": 18, "km": 4}},
+        )
+        assert params.py == 2 and params.pz == 2
+        assert (params.grid.im, params.grid.jm, params.grid.km) == (
+            24, 18, 4,
+        )
+        lb = worker.build_params("lbmhd", {"shape": [8, 8, 8]})
+        assert lb.shape == (8, 8, 8)
+
+    def test_unknown_param_named_in_error(self):
+        with pytest.raises(ValueError, match="bogus"):
+            worker.build_params("lbmhd", {"bogus": 1})
+
+    def test_seeded_config_is_deterministic(self):
+        cfg = RunConfig(app="gtc", nprocs=4, steps=1, seed=3,
+                        params={"particles_per_cell": 4})
+        a = worker.execute_config(cfg)
+        b = worker.execute_config(cfg)
+        assert a["diagnostics"] == b["diagnostics"]
+
+
+class TestCacheAndResume:
+    def test_cold_then_warm(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        manifest = tmp_path / "tiny.manifest.jsonl"
+        cold = run_campaign(
+            TINY, cache=cache, manifest=manifest, scheduler="serial"
+        )
+        assert (cold.hits, cold.misses, cold.failures) == (0, 4, 0)
+        warm = run_campaign(
+            TINY, cache=cache, manifest=manifest, scheduler="serial"
+        )
+        assert (warm.hits, warm.misses, warm.failures) == (4, 0, 0)
+        # warm rows carry the cached measurements
+        assert all(r.wall_s > 0 for r in warm.rows)
+        status = summarize(manifest)
+        assert status["complete"] and status["hits"] == 4
+
+    def test_rerun_ignores_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_campaign(TINY, cache=cache, scheduler="serial")
+        again = run_campaign(
+            TINY, cache=cache, scheduler="serial", rerun=True
+        )
+        assert again.misses == 4 and again.hits == 0
+
+    def test_failed_config_is_isolated(self, tmp_path):
+        spec = CampaignSpec(
+            name="mixed",
+            apps=("lbmhd", "no-such-app"),
+            nprocs=(4,),
+            steps=1,
+            params={"lbmhd": {"shape": [8, 8, 8]}},
+        )
+        report = run_campaign(spec, cache=tmp_path, scheduler="serial")
+        assert report.failures == 1 and report.misses == 1
+        assert not report.ok
+        failed = [r for r in report.rows if not r.ok]
+        assert "no-such-app" in (failed[0].error or "")
+        # the good config is cached; the bad one is retried next time
+        again = run_campaign(spec, cache=tmp_path, scheduler="serial")
+        assert again.hits == 1 and again.failures == 1
+
+    def test_killed_campaign_resumes_without_reexecution(
+        self, tmp_path, monkeypatch
+    ):
+        """Acceptance: kill mid-flight, re-invoke, completed configs are
+        served from the cache and never re-executed."""
+        from repro.campaign import engine
+
+        real = worker.run_and_cache
+        executed: list[str] = []
+
+        def dies_after_two(job):
+            if len(executed) >= 2:
+                raise KeyboardInterrupt  # the operator's Ctrl-C
+            executed.append(job[0]["app"] + str(job[0]["seed"]))
+            return real(job)
+
+        monkeypatch.setattr(engine.worker, "run_and_cache", dies_after_two)
+        manifest = tmp_path / "killed.manifest.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                TINY, cache=tmp_path / "cache", manifest=manifest,
+                scheduler="serial",
+            )
+        assert len(executed) == 2
+        # the journal recorded the completions that happened
+        partial = summarize(manifest)
+        assert partial["done"] == 2 and not partial["complete"]
+
+        monkeypatch.setattr(engine.worker, "run_and_cache", real)
+        resumed = run_campaign(
+            TINY, cache=tmp_path / "cache", manifest=manifest,
+            scheduler="serial",
+        )
+        assert (resumed.hits, resumed.misses) == (2, 2)
+        assert resumed.failures == 0
+        final = summarize(manifest)
+        assert final["complete"] and final["done"] == 4
+
+    def test_cached_result_matches_fresh_execution(self, tmp_path):
+        cfg = RunConfig(app="lbmhd", nprocs=4, steps=2, seed=0,
+                        params={"shape": [8, 8, 8]})
+        spec = CampaignSpec(
+            name="one", apps=("lbmhd",), nprocs=(4,), seeds=(0,),
+            steps=2, params={"lbmhd": {"shape": [8, 8, 8]}},
+        )
+        run_campaign(spec, cache=tmp_path, scheduler="serial")
+        cached = ResultCache(tmp_path).get(cfg)
+        fresh = worker.execute_config(cfg)
+        assert cached is not None
+        assert cached["diagnostics"] == fresh["diagnostics"]
+
+    def test_version_bump_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = RunConfig(app="lbmhd", nprocs=4, steps=1,
+                        params={"shape": [8, 8, 8]})
+        cache.put(cfg, {"wall_s": 1.0})
+        assert cache.get(cfg) is not None
+        # a different version hashes to a different key -> miss
+        other_key = cfg.key(version="999.0.0")
+        assert other_key != cfg.key()
+        assert not (cache.root / other_key[:2] / f"{other_key}.json").exists()
+
+    def test_torn_cache_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = RunConfig(app="lbmhd", nprocs=4, steps=1)
+        path = cache.put(cfg, {"wall_s": 1.0})
+        path.write_text('{"key": "truncat')  # torn write
+        assert cache.get(cfg) is None
+
+
+class TestManifest:
+    def test_journal_records_every_event(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        run_campaign(
+            TINY, cache=tmp_path / "c", manifest=manifest,
+            scheduler="serial",
+        )
+        kinds = [e["event"] for e in read_events(manifest)]
+        assert kinds[0] == "campaign-start"
+        assert kinds[-1] == "campaign-end"
+        assert kinds.count("run-done") == 4
+        assert kinds.count("run-start") == 4
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        manifest.write_text(
+            '{"event": "campaign-start", "name": "x", "total": 2}\n'
+            '{"event": "run-done", "key": "k1", "cached": false}\n'
+            '{"event": "run-sta'  # killed mid-append
+        )
+        s = summarize(manifest)
+        assert s["done"] == 1 and s["total"] == 2
+        assert not s["complete"]
+
+
+class TestProcessScheduler:
+    def test_processes_match_serial_results(self, tmp_path):
+        serial = run_campaign(TINY, cache=None, scheduler="serial")
+        procs = run_campaign(
+            TINY, cache=None, scheduler=ProcessExecutor(2)
+        )
+        assert procs.failures == 0
+        by_key_s = {r.key: r for r in serial.rows}
+        by_key_p = {r.key: r for r in procs.rows}
+        assert set(by_key_s) == set(by_key_p)
+        for key, row in by_key_s.items():
+            assert (
+                row.result["diagnostics"]
+                == by_key_p[key].result["diagnostics"]
+            )
+
+    def test_process_workers_publish_to_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        report = run_campaign(
+            TINY, cache=cache, scheduler="processes:2"
+        )
+        assert report.misses == 4
+        assert len(cache) == 4
+
+    def test_communicator_rejects_process_executor(self):
+        from repro.simmpi.comm import Communicator
+
+        with pytest.raises(ValueError, match="campaign"):
+            Communicator(4, executor="processes:2")
+
+    def test_get_executor_parses_process_specs(self):
+        assert get_executor("processes").name == "processes"
+        assert get_executor("processes:3").workers == 3
+        with pytest.raises(ValueError):
+            get_executor("processes:zero")

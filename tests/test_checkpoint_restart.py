@@ -20,10 +20,13 @@ from repro.apps.paratec.solver import ParatecParams
 from repro.resilience import (
     DiskCheckpointStore,
     FaultPlan,
+    MemoryCheckpointStore,
     MessageDrop,
     RankFailure,
     RankFailureError,
+    own_tree,
 )
+from repro.resilience.checkpoint import flatten_tree, unflatten_tree
 
 APPS = ["lbmhd", "gtc", "fvcam", "paratec"]
 
@@ -206,6 +209,28 @@ class TestHarnessRestartMechanics:
                 np.asarray(getattr(ta, k)), np.asarray(getattr(tb, k))
             ), k
 
+    def test_restart_fails_loudly_when_store_loses_checkpoint(self):
+        """A restart whose expected checkpoint vanished must raise a
+        RuntimeError naming the tag and step — not a downstream
+        AttributeError on ``None``."""
+
+        class AmnesiacStore(MemoryCheckpointStore):
+            def load(self, tag):
+                return None
+
+        params, steps = _config("lbmhd", 4)
+        plan = FaultPlan(faults=(RankFailure(rank=0, step=3),))
+        with pytest.raises(RuntimeError, match=r"'lbmhd'.*step 3"):
+            harness.run(
+                "lbmhd",
+                params,
+                steps=steps,
+                nprocs=4,
+                fault_plan=plan,
+                checkpoint_every=2,
+                checkpoint_store=AmnesiacStore(),
+            )
+
     def test_fault_free_resilient_run_matches_plain(self):
         """fault_plan=FaultPlan() changes nothing but adds the column."""
         params, steps = _config("fvcam", 4)
@@ -218,3 +243,102 @@ class TestHarnessRestartMechanics:
             resil.app.state_vector(resil.state),
         )
         assert np.array_equal(plain.comm.times, resil.comm.times)
+
+
+class TestStoreOwnershipTransfer:
+    """Regression tests: ``save(copy=False)`` with view/zero-size leaves."""
+
+    def test_memory_store_detaches_view_leaves(self):
+        base = np.arange(10.0)
+        store = MemoryCheckpointStore()
+        store.save("t", 0, {"x": base[::2]}, copy=False)
+        snapshot = np.array(store.load("t").payload["x"])
+        base[:] = -1.0  # caller keeps stepping the live array
+        assert np.array_equal(store.load("t").payload["x"], snapshot)
+        assert np.array_equal(snapshot, [0.0, 2.0, 4.0, 6.0, 8.0])
+
+    def test_memory_store_owned_arrays_transfer_without_copy(self):
+        owned = np.arange(4.0)
+        store = MemoryCheckpointStore()
+        store.save("t", 0, {"x": owned}, copy=False)
+        # zero-copy ownership transfer: the store holds the very array
+        assert store._latest["t"].payload["x"] is owned
+
+    def test_disk_store_returned_checkpoint_is_detached(self, tmp_path):
+        base = np.arange(12.0).reshape(3, 4)
+        payload = {"view": base[:, 1:3], "owned": np.ones(3)}
+        store = DiskCheckpointStore(tmp_path)
+        ckpt = store.save("t", 2, payload, copy=False)
+        before = np.array(ckpt.payload["view"])
+        base[:] = 99.0
+        assert np.array_equal(ckpt.payload["view"], before)
+        # and copy=True leaves the caller's arrays entirely alone
+        owned = np.zeros(3)
+        ckpt2 = store.save("u", 0, {"x": owned}, copy=True)
+        assert ckpt2.payload["x"] is not owned
+
+    def test_zero_size_arrays_keep_shape_and_dtype(self, tmp_path):
+        payload = {
+            "empty_rows": np.zeros((0, 4), dtype=np.float32),
+            "empty_flat": np.zeros(0),
+            "parts": [np.zeros((0, 7)), np.arange(3)],
+        }
+        store = DiskCheckpointStore(tmp_path)
+        store.save("z", 1, payload, copy=False)
+        back = store.load("z").payload
+        assert back["empty_rows"].shape == (0, 4)
+        assert back["empty_rows"].dtype == np.float32
+        assert back["empty_flat"].shape == (0,)
+        assert back["parts"][0].shape == (0, 7)
+        assert np.array_equal(back["parts"][1], [0, 1, 2])
+
+    def test_own_tree_copies_views_only(self):
+        base = np.arange(6.0)
+        owned = np.ones(2)
+        tree = {"v": base[1:], "o": owned, "nest": [base.reshape(2, 3)]}
+        result = own_tree(tree)
+        assert result["o"] is owned
+        assert result["v"].base is None
+        assert result["nest"][0].base is None
+
+
+class TestFlattenRoundTrip:
+    """Regression tests: the npz flat form must never lose structure."""
+
+    def test_slash_in_dict_key_raises_instead_of_colliding(self):
+        # "a/b" leaf and nested a -> b used to flatten onto ONE key,
+        # silently dropping data on the round trip
+        with pytest.raises(ValueError, match="without '/'"):
+            flatten_tree({"a/b": np.arange(2), "a": {"b": np.arange(3)}})
+
+    def test_marker_dict_keys_raise(self):
+        with pytest.raises(ValueError):
+            flatten_tree({"{}": 1})
+        with pytest.raises(ValueError):
+            flatten_tree({"[]": 1})
+
+    def test_non_string_dict_keys_raise(self):
+        with pytest.raises(ValueError):
+            flatten_tree({0: np.arange(2)})
+
+    def test_tuples_round_trip_as_tuples(self, tmp_path):
+        payload = {"t": (np.arange(2), 5.0), "l": [np.arange(2)]}
+        back = unflatten_tree(flatten_tree(payload))
+        assert isinstance(back["t"], tuple)
+        assert isinstance(back["l"], list)
+        store = DiskCheckpointStore(tmp_path)
+        store.save("t", 0, payload)
+        disk = store.load("t").payload
+        assert isinstance(disk["t"], tuple)
+        assert isinstance(disk["l"], list)
+        assert np.array_equal(disk["t"][0], [0, 1])
+
+    def test_empty_containers_round_trip(self, tmp_path):
+        payload = {"d": {}, "l": [], "t": (), "x": 3}
+        store = DiskCheckpointStore(tmp_path)
+        store.save("e", 0, payload)
+        back = store.load("e").payload
+        assert back["d"] == {}
+        assert back["l"] == []
+        assert back["t"] == ()
+        assert int(back["x"]) == 3

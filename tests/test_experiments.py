@@ -174,6 +174,68 @@ class TestRunnerRegistry:
         assert "unknown experiment" in err
         assert "no-such-experiment" in err
 
+    def test_cli_failing_experiment_does_not_abort_batch(
+        self, capsys, monkeypatch
+    ):
+        """One raising experiment: the rest still run, the failure goes
+        to stderr, and the exit status is nonzero."""
+        import types
+
+        from repro.experiments import runner
+
+        def boom():
+            raise RuntimeError("synthetic mid-batch failure")
+
+        broken = types.SimpleNamespace(render=boom, __doc__="broken stub")
+        monkeypatch.setitem(runner.EXPERIMENTS, "broken", broken)
+
+        assert runner.main(["table2", "broken", "table1"]) == 1
+        captured = capsys.readouterr()
+        assert "LBMHD3D" in captured.out          # table2 ran
+        assert "Power3" in captured.out           # table1 ran after it
+        assert "broken failed" in captured.err
+        assert "synthetic mid-batch failure" in captured.err
+        assert "1 of 3 experiment(s) failed" in captured.err
+
+    def test_cli_json_failure_emits_complete_object(
+        self, capsys, monkeypatch
+    ):
+        """--json with a mid-batch failure still prints one well-formed
+        object containing every successful experiment."""
+        import json
+        import types
+
+        from repro.experiments import runner
+
+        def boom():
+            raise ValueError("nope")
+
+        broken = types.SimpleNamespace(render=boom, __doc__="broken stub")
+        monkeypatch.setitem(runner.EXPERIMENTS, "broken", broken)
+
+        assert runner.main(["--json", "table2", "broken", "table1"]) == 1
+        captured = capsys.readouterr()
+        out = json.loads(captured.out)  # parses: complete, not partial
+        assert set(out) == {"table2", "table1"}
+        assert "nope" in captured.err
+
+    def test_cli_rejects_process_executor_for_rank_stepping(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--executor", "processes", "table2"]) == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+
+    def test_cli_jobs_batches_across_processes(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--jobs", "2", "--json", "table2", "table1"]) == 0
+        import json
+
+        out = json.loads(capsys.readouterr().out)
+        assert set(out) == {"table1", "table2"}
+        assert "LBMHD3D" in out["table2"]
+
 
 class TestMeanAbsDeviation:
     def test_empty_cells_is_nan(self):

@@ -1,0 +1,124 @@
+"""Recovery-second accounting under nested ``comm.phase()`` scopes.
+
+The ledger contract: fault-recovery time (checkpoint writes, restart
+restores, retransmits) lands in the ``recovery_s`` column of the
+*innermost* phase active when it is charged — never in an enclosing
+phase's bucket, and never double-booked into compute/comm/wait.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import harness
+from repro.apps.lbmhd.solver import LBMHDParams
+from repro.resilience import FaultPlan, MessageDrop
+from repro.simmpi.comm import Communicator
+from repro.simmpi.phases import UNPHASED
+
+
+def _zeros(bucket, *columns) -> bool:
+    return all(
+        float(np.sum(getattr(bucket, col))) == 0.0 for col in columns
+    )
+
+
+class TestNestedPhaseRecoveryAccounting:
+    def _comm(self) -> Communicator:
+        comm = Communicator(4)
+        comm.attach_phase_ledger()
+        return comm
+
+    def test_checkpoint_charge_lands_in_innermost_phase(self):
+        comm = self._comm()
+        ledger = comm.phase_ledger
+        with comm.phase("outer"):
+            with comm.phase("inner"):
+                dt = comm.charge_checkpoint(8_000_000)
+        assert dt > 0.0
+        inner = ledger["inner"]
+        assert np.all(inner.recovery_s > 0.0)
+        assert np.allclose(inner.recovery_s, dt)
+        # nothing leaked into the enclosing scope...
+        assert "outer" not in ledger or _zeros(
+            ledger["outer"], "recovery_s"
+        )
+        # ...or into the other columns of the charged bucket
+        assert _zeros(inner, "compute_s", "comm_s", "wait_s")
+
+    def test_sibling_scopes_charge_independently(self):
+        comm = self._comm()
+        ledger = comm.phase_ledger
+        with comm.phase("outer"):
+            with comm.phase("inner"):
+                comm.charge_checkpoint(4_000_000)
+            # back in the enclosing scope: charges go to "outer" now
+            comm.charge_checkpoint(4_000_000)
+        comm.charge_checkpoint(4_000_000)  # no scope at all
+        same = ledger["inner"].recovery_s
+        assert np.array_equal(same, ledger["outer"].recovery_s)
+        assert np.array_equal(same, ledger[UNPHASED].recovery_s)
+        for name in ("inner", "outer", UNPHASED):
+            assert _zeros(ledger[name], "compute_s", "comm_s", "wait_s")
+
+    def test_restart_charge_lands_in_innermost_phase(self):
+        comm = self._comm()
+        ledger = comm.phase_ledger
+        with comm.phase("outer"):
+            with comm.phase("inner"):
+                dt = comm.recover_restart(1_000_000)
+        assert dt > 0.0
+        assert np.all(ledger["inner"].recovery_s >= dt)
+        assert "outer" not in ledger or _zeros(
+            ledger["outer"], "recovery_s"
+        )
+        assert _zeros(ledger["inner"], "compute_s", "comm_s", "wait_s")
+
+    def test_recovery_clock_advance_matches_column(self):
+        """The virtual clocks advance by exactly what the column books —
+        recovery time is real time, just separately attributed."""
+        comm = self._comm()
+        before = comm.times.copy()
+        with comm.phase("outer"):
+            with comm.phase("inner"):
+                comm.charge_checkpoint(2_000_000)
+        advanced = comm.times - before
+        assert np.allclose(
+            advanced, comm.phase_ledger["inner"].recovery_s
+        )
+
+
+class TestSolverPhaseRecoveryAttribution:
+    @pytest.mark.parametrize("executor", ["serial", "threads:2"])
+    def test_faulted_lbmhd_recovery_lands_in_solver_phases(self, executor):
+        """Retransmission recovery from in-phase exchanges must be
+        attributed to the solver's own phases (collision/stream), and
+        the fault-free twin books zero recovery anywhere."""
+        params = LBMHDParams(shape=(8, 8, 8))
+        plan = FaultPlan(
+            faults=(MessageDrop(step=1, rate=0.5),), seed=7
+        )
+        faulted = harness.run(
+            "lbmhd", params, steps=3, nprocs=4,
+            fault_plan=plan, executor=executor,
+        )
+        clean = harness.run(
+            "lbmhd", params, steps=3, nprocs=4, executor=executor
+        )
+        ledger = faulted.ledger
+        recovery_total = float(ledger.totals().recovery_s.sum())
+        assert recovery_total > 0.0
+        in_solver_phases = sum(
+            float(ledger[name].recovery_s.sum())
+            for name in ledger.phases
+            if name != UNPHASED
+        )
+        # every recovered second is attributed to a named solver phase
+        assert in_solver_phases == pytest.approx(recovery_total)
+        assert float(clean.ledger.totals().recovery_s.sum()) == 0.0
+        # attribution never rewrites physics
+        assert np.array_equal(
+            clean.app.state_vector(clean.state),
+            faulted.app.state_vector(faulted.state),
+        )

@@ -16,6 +16,8 @@ Each simulated rank owns a (levels, latitudes, longitudes) block of the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
+from types import SimpleNamespace
 
 import numpy as np
 
@@ -85,6 +87,198 @@ def initial_tracer(grid: LatLonGrid) -> np.ndarray:
     return np.repeat(blob[None, :, :], grid.km, axis=0)
 
 
+# -- rank segments -----------------------------------------------------
+#
+# Module-level ``(rank, shm, args)`` callables (docs/executors.md),
+# bound per region with ``functools.partial``.  FVCAM keeps no arena,
+# so ``shm`` is always None; what matters for process executors is
+# that every segment *returns* its rank's updated blocks — the parent
+# applies them after the region — instead of writing ``self.h[rank]``
+# and friends in place, which a forked worker cannot do.
+
+
+def _padded_coslat(grid: LatLonGrid, decomp, rank: int) -> np.ndarray:
+    """cos(lat) for the padded rows (clamped at the walls)."""
+    ls = decomp.lat_slice(rank)
+    idx = np.arange(ls.start - HALO, ls.stop + HALO)
+    idx = np.clip(idx, 0, grid.jm - 1)
+    return grid.coslat[idx]
+
+
+def _filtered_rows_local(grid: LatLonGrid, decomp, rank: int) -> np.ndarray:
+    ls = decomp.lat_slice(rank)
+    rows = grid.filtered_rows
+    return rows[(rows >= ls.start) & (rows < ls.stop)] - ls.start
+
+
+def _apply_filter(
+    grid: LatLonGrid,
+    decomp,
+    filter_coefs: np.ndarray,
+    rank: int,
+    targets: list[np.ndarray],
+) -> None:
+    """Polar FFT filter, in place on the segment-local target arrays."""
+    ls = decomp.lat_slice(rank)
+    rows_global = grid.filtered_rows
+    sel = (rows_global >= ls.start) & (rows_global < ls.stop)
+    if not sel.any():
+        return
+    rows_local = rows_global[sel] - ls.start
+    coefs = filter_coefs[sel]
+    for arr in targets:
+        spectrum = np.fft.rfft(arr[:, rows_local, :], axis=-1)
+        spectrum *= coefs
+        arr[:, rows_local, :] = np.fft.irfft(
+            spectrum, n=grid.im, axis=-1
+        )
+
+
+def _pack_segment(rank: int, shm, args) -> np.ndarray:
+    """Stack one rank's fields into a ghost-padded halo block."""
+    km_l, jm_l, im = args.decomp.local_shape(rank)
+    nf = len(args.fields)
+    block = np.empty((nf, km_l, jm_l + 2 * HALO, im))
+    for f, arr in enumerate(args.fields):
+        block[f, :, HALO:-HALO, :] = arr[rank]
+        # replicate edges; overwritten by halo data when a neighbor
+        # exists (walls keep the replication)
+        block[f, :, :HALO, :] = arr[rank][:, :1, :]
+        block[f, :, -HALO:, :] = arr[rank][:, -1:, :]
+    return block
+
+
+def _suffix_segment(rank: int, shm, args) -> np.ndarray:
+    """Whole-column geopotential by vertical suffix sum (pz == 1)."""
+    h_pad = args.padded[rank][0]
+    return args.gravity * np.cumsum(h_pad[::-1], axis=0)[::-1]
+
+
+def _colsum_segment(rank: int, shm, args) -> np.ndarray:
+    """One rank's level-block column sum (the pz > 1 partial)."""
+    return args.padded[rank][0].sum(axis=0)
+
+
+def _combine_segment(rank: int, shm, args) -> np.ndarray:
+    """Combine a rank's suffix sum with the planes from lower layers."""
+    h_pad = args.padded[rank][0]
+    suffix = np.cumsum(h_pad[::-1], axis=0)[::-1]
+    below = np.zeros_like(args.block_sums[rank])
+    for plane in args.received.get(rank, []):
+        below += plane
+    return args.gravity * (suffix + below[None, :, :])
+
+
+def _sweep_segment(rank: int, shm, args):
+    """Transport + pressure gradient + polar filter for one rank.
+
+    Returns the rank's updated ``(h, u, v, q)`` blocks (``q`` is None
+    without a tracer).
+    """
+    grid, decomp, dt = args.grid, args.decomp, args.dt
+    km_l, jm_l, im = decomp.local_shape(rank)
+    coslat_pad = _padded_coslat(grid, decomp, rank)
+    h_pad, u_pad, v_pad = args.padded[rank][:3]
+    q_pad = args.padded[rank][3] if args.has_tracer else None
+    cu = courant_lon(grid, u_pad, coslat_pad, dt)
+    cv = courant_lat(grid, v_pad, dt)
+
+    # wall faces carry no meridional flux
+    y, _ = decomp.coords(rank)
+    if y == 0:
+        cv[:, : HALO + 1, :] = 0.0
+    if y == decomp.py - 1:
+        cv[:, jm_l + HALO :, :] = 0.0
+
+    H = h_pad * coslat_pad[None, :, None]
+    H_new = transport_2d(grid, H, cu, cv)
+    u_new = transport_2d(grid, u_pad, cu, cv)
+    v_new = transport_2d(grid, v_pad, cu, cv)
+    if q_pad is not None:
+        # tracer mass QH advected with the same fluxes keeps a
+        # constant concentration exactly constant
+        QH_new = transport_2d(grid, q_pad * H, cu, cv)
+
+    du, dv = pressure_gradient(grid, args.phis[rank], coslat_pad, dt)
+    u_new += du
+    v_new += dv
+
+    crop = slice(HALO, HALO + jm_l)
+    h = H_new[:, crop, :] / coslat_pad[None, crop, None]
+    q = (
+        QH_new[:, crop, :] / H_new[:, crop, :]
+        if q_pad is not None
+        else None
+    )
+    u = u_new[:, crop, :] * (1.0 - dt * args.drag)
+    v = v_new[:, crop, :] * (1.0 - dt * args.drag)
+
+    # tracer *mass* rides through the filter (which smooths air and
+    # tracer consistently); the column physics afterwards moves air at
+    # the local concentration, i.e. it preserves the mixing ratio q
+    # rather than the tracer mass.
+    q_mass = q * h if q is not None else None
+    targets = [h, u, v] + ([q_mass] if q_mass is not None else [])
+    _apply_filter(grid, decomp, args.filter_coefs, rank, targets)
+    if q_mass is not None:
+        q = q_mass / h
+
+    points = km_l * jm_l * im
+    args.comm.compute(rank, dynamics_work(grid, points))
+    rows = _filtered_rows_local(grid, decomp, rank)
+    args.comm.compute(
+        rank, filter_work(grid, max(len(rows), 0) * km_l or 1)
+    )
+    return h, u, v, q
+
+
+def _physics_raw_segment(rank: int, shm, args) -> np.ndarray:
+    return (args.h_ref[rank] - args.h[rank]) * args.scale
+
+
+def _physics_mean_segment(rank: int, shm, args) -> np.ndarray:
+    return args.raw[rank].mean(axis=0, keepdims=True)
+
+
+def _physics_update_segment(rank: int, shm, args):
+    """Apply the mass-neutral thermal increment + drag; returns
+    the rank's updated ``(h, u, v)``."""
+    h = args.h[rank] + args.raw[rank] - args.means[rank]
+    u = args.u[rank] * args.damp
+    v = args.v[rank] * args.damp
+    km_l, jm_l, im = args.decomp.local_shape(rank)
+    args.comm.compute(rank, physics_work(args.grid, km_l * jm_l * im))
+    return h, u, v
+
+
+def _remap_segment(rank: int, shm, args):
+    """Whole-column vertical remap (pz == 1); returns (h, u, v, q)."""
+    fields = [args.u[rank], args.v[rank]]
+    if args.q is not None:
+        fields.append(args.q[rank])
+    h, out = remap_column(args.h[rank], fields)
+    _, jm_l, im = args.decomp.local_shape(rank)
+    args.comm.compute(rank, remap_work(args.grid, jm_l * im))
+    return h, out[0], out[1], (out[2] if args.q is not None else None)
+
+
+def _remap_member_segment(local: int, shm, args) -> list[np.ndarray]:
+    """Remap one level-group member's transposed columns; returns the
+    per-member blocks for the backward transpose."""
+    grank = args.granks[local]
+    stacked = np.concatenate(args.recv[local], axis=1)  # full km
+    h, out = remap_column(stacked[0], list(stacked[1:]))
+    ncols = h.shape[1] * h.shape[2]
+    args.comm.compute(grank, remap_work(args.grid, ncols))
+    # backward transpose: split km again
+    km_l = args.grid.km // args.gsize
+    all_fields = [h, *out]
+    return [
+        np.stack([f[j * km_l : (j + 1) * km_l] for f in all_fields])
+        for j in range(args.gsize)
+    ]
+
+
 class FVCAM:
     """Parallel FVCAM mini-app over a simulated communicator."""
 
@@ -129,21 +323,10 @@ class FVCAM:
 
     def _padded(self) -> list[np.ndarray]:
         """Stacked (nf, km_local, jm_local + 2 HALO, im) padded fields."""
-        fields = self._fields()
-        nf = len(fields)
-
-        def pack_rank(rank: int) -> np.ndarray:
-            km_l, jm_l, im = self.decomp.local_shape(rank)
-            block = np.empty((nf, km_l, jm_l + 2 * HALO, im))
-            for f, arr in enumerate(fields):
-                block[f, :, HALO:-HALO, :] = arr[rank]
-                # replicate edges; overwritten by halo data when a
-                # neighbor exists (walls keep the replication)
-                block[f, :, :HALO, :] = arr[rank][:, :1, :]
-                block[f, :, -HALO:, :] = arr[rank][:, -1:, :]
-            return block
-
-        padded = self.comm.map_ranks(pack_rank)
+        args = SimpleNamespace(decomp=self.decomp, fields=self._fields())
+        padded = self.comm.map_ranks(
+            partial(_pack_segment, shm=None, args=args)
+        )
 
         messages = []
         for rank in range(self.comm.nprocs):
@@ -170,11 +353,8 @@ class FVCAM:
         return padded
 
     def _padded_coslat(self, rank: int) -> np.ndarray:
-        """cos(lat) for the padded rows (clamped at the walls)."""
-        ls = self.decomp.lat_slice(rank)
-        idx = np.arange(ls.start - HALO, ls.stop + HALO)
-        idx = np.clip(idx, 0, self.grid.jm - 1)
-        return self.grid.coslat[idx]
+        """Back-compat shim over the module-level helper."""
+        return _padded_coslat(self.grid, self.decomp, rank)
 
     # -- vertical geopotential ----------------------------------------------
 
@@ -186,19 +366,15 @@ class FVCAM:
         the low-volume vertical communication that shows up as the
         ``Pz - 1`` lines parallel to the diagonal in Figure 2(b).
         """
-        g = self.grid.gravity
-        pz = self.decomp.pz
-        phis: list[np.ndarray | None] = [None] * self.comm.nprocs
-        if pz == 1:
+        args = SimpleNamespace(padded=padded, gravity=self.grid.gravity)
+        if self.decomp.pz == 1:
+            return self.comm.map_ranks(
+                partial(_suffix_segment, shm=None, args=args)
+            )
 
-            def suffix_rank(rank: int) -> None:
-                h_pad = padded[rank][0]
-                phis[rank] = g * np.cumsum(h_pad[::-1], axis=0)[::-1]
-
-            self.comm.map_ranks(suffix_rank)
-            return phis  # type: ignore[return-value]
-
-        sums = self.comm.map_ranks(lambda r: padded[r][0].sum(axis=0))
+        sums = self.comm.map_ranks(
+            partial(_colsum_segment, shm=None, args=args)
+        )
         block_sums = dict(enumerate(sums))
         messages = []
         for rank in range(self.comm.nprocs):
@@ -213,17 +389,11 @@ class FVCAM:
                     )
                 )
         received = self.comm.exchange(messages)
-
-        def combine_rank(rank: int) -> None:
-            h_pad = padded[rank][0]
-            suffix = np.cumsum(h_pad[::-1], axis=0)[::-1]
-            below = np.zeros_like(block_sums[rank])
-            for plane in received.get(rank, []):
-                below += plane
-            phis[rank] = g * (suffix + below[None, :, :])
-
-        self.comm.map_ranks(combine_rank)
-        return phis  # type: ignore[return-value]
+        args.block_sums = block_sums
+        args.received = received
+        return self.comm.map_ranks(
+            partial(_combine_segment, shm=None, args=args)
+        )
 
     # -- time stepping ---------------------------------------------------------
 
@@ -255,90 +425,39 @@ class FVCAM:
         self, padded: list[np.ndarray], phis: list[np.ndarray]
     ) -> None:
         """Transport + pressure gradient + polar filter on every rank."""
-        grid = self.grid
-        dt = self.params.dt
-
-        def sweep_rank(rank: int) -> None:
-            km_l, jm_l, im = self.decomp.local_shape(rank)
-            coslat_pad = self._padded_coslat(rank)
-            h_pad, u_pad, v_pad = padded[rank][:3]
-            q_pad = padded[rank][3] if self.q is not None else None
-            cu = courant_lon(grid, u_pad, coslat_pad, dt)
-            cv = courant_lat(grid, v_pad, dt)
-
-            # wall faces carry no meridional flux
-            y, _ = self.decomp.coords(rank)
-            if y == 0:
-                cv[:, : HALO + 1, :] = 0.0
-            if y == self.decomp.py - 1:
-                cv[:, jm_l + HALO :, :] = 0.0
-
-            H = h_pad * coslat_pad[None, :, None]
-            H_new = transport_2d(grid, H, cu, cv)
-            u_new = transport_2d(grid, u_pad, cu, cv)
-            v_new = transport_2d(grid, v_pad, cu, cv)
-            if q_pad is not None:
-                # tracer mass QH advected with the same fluxes keeps a
-                # constant concentration exactly constant
-                QH_new = transport_2d(grid, q_pad * H, cu, cv)
-
-            du, dv = pressure_gradient(grid, phis[rank], coslat_pad, dt)
-            u_new += du
-            v_new += dv
-
-            crop = slice(HALO, HALO + jm_l)
-            self.h[rank] = (
-                H_new[:, crop, :] / coslat_pad[None, crop, None]
-            )
-            if q_pad is not None:
-                self.q[rank] = QH_new[:, crop, :] / H_new[:, crop, :]
-            self.u[rank] = u_new[:, crop, :] * (1.0 - dt * self.dyn.drag)
-            self.v[rank] = v_new[:, crop, :] * (1.0 - dt * self.dyn.drag)
-
-            # tracer *mass* rides through the filter (which smooths air
-            # and tracer consistently); the column physics afterwards
-            # moves air at the local concentration, i.e. it preserves
-            # the mixing ratio q rather than the tracer mass.
-            q_mass = (
-                self.q[rank] * self.h[rank] if self.q is not None else None
-            )
-            self._apply_local_filter(rank, q_mass)
-            if q_mass is not None:
-                self.q[rank] = q_mass / self.h[rank]
-
-            points = km_l * jm_l * im
-            self.comm.compute(rank, dynamics_work(grid, points))
-            rows = self._filtered_rows_local(rank)
-            self.comm.compute(
-                rank, filter_work(grid, max(len(rows), 0) * km_l or 1)
-            )
-
-        self.comm.map_ranks(sweep_rank)
+        args = SimpleNamespace(
+            comm=self.comm,
+            grid=self.grid,
+            decomp=self.decomp,
+            dt=self.params.dt,
+            padded=padded,
+            phis=phis,
+            has_tracer=self.q is not None,
+            drag=self.dyn.drag,
+            filter_coefs=self._filter_coefs,
+        )
+        swept = self.comm.map_ranks(
+            partial(_sweep_segment, shm=None, args=args)
+        )
+        for rank, (h, u, v, q) in enumerate(swept):
+            self.h[rank], self.u[rank], self.v[rank] = h, u, v
+            if self.q is not None:
+                self.q[rank] = q
 
     def _filtered_rows_local(self, rank: int) -> np.ndarray:
-        ls = self.decomp.lat_slice(rank)
-        rows = self.grid.filtered_rows
-        return rows[(rows >= ls.start) & (rows < ls.stop)] - ls.start
+        """Back-compat shim over the module-level helper."""
+        return _filtered_rows_local(self.grid, self.decomp, rank)
 
     def _apply_local_filter(
         self, rank: int, q_mass: np.ndarray | None = None
     ) -> None:
-        ls = self.decomp.lat_slice(rank)
-        rows_global = self.grid.filtered_rows
-        sel = (rows_global >= ls.start) & (rows_global < ls.stop)
-        if not sel.any():
-            return
-        rows_local = rows_global[sel] - ls.start
-        coefs = self._filter_coefs[sel]
+        """Back-compat shim: filters this rank's live fields in place."""
         targets = [self.h[rank], self.u[rank], self.v[rank]]
         if q_mass is not None:
             targets.append(q_mass)
-        for arr in targets:
-            spectrum = np.fft.rfft(arr[:, rows_local, :], axis=-1)
-            spectrum *= coefs
-            arr[:, rows_local, :] = np.fft.irfft(
-                spectrum, n=self.grid.im, axis=-1
-            )
+        _apply_filter(
+            self.grid, self.decomp, self._filter_coefs, rank, targets
+        )
 
     # -- physics phase ---------------------------------------------------
 
@@ -351,13 +470,23 @@ class FVCAM:
         physics in a whole-column decomposition.
         """
         km = self.grid.km
-        raw = self.comm.map_ranks(
-            lambda rank: (self.h_ref[rank] - self.h[rank])
-            * (dt / self.phys.tau_thermal)
+        args = SimpleNamespace(
+            comm=self.comm,
+            grid=self.grid,
+            decomp=self.decomp,
+            h=self.h,
+            u=self.u,
+            v=self.v,
+            h_ref=self.h_ref,
+            scale=dt / self.phys.tau_thermal,
         )
+        raw = self.comm.map_ranks(
+            partial(_physics_raw_segment, shm=None, args=args)
+        )
+        args.raw = raw
         if self.decomp.pz == 1:
             means = self.comm.map_ranks(
-                lambda rank: raw[rank].mean(axis=0, keepdims=True)
+                partial(_physics_mean_segment, shm=None, args=args)
             )
         else:
             means = [None] * self.comm.nprocs
@@ -368,18 +497,13 @@ class FVCAM:
                 summed = group.allreduce(contribs)
                 for local, grank in enumerate(group.ranks):
                     means[grank] = (summed[local] / km)[None, :, :]
-        damp = 1.0 - dt / self.phys.tau_drag
-
-        def update_rank(rank: int) -> None:
-            self.h[rank] = self.h[rank] + raw[rank] - means[rank]
-            self.u[rank] = self.u[rank] * damp
-            self.v[rank] = self.v[rank] * damp
-            km_l, jm_l, im = self.decomp.local_shape(rank)
-            self.comm.compute(
-                rank, physics_work(self.grid, km_l * jm_l * im)
-            )
-
-        self.comm.map_ranks(update_rank)
+        args.means = means
+        args.damp = 1.0 - dt / self.phys.tau_drag
+        updated = self.comm.map_ranks(
+            partial(_physics_update_segment, shm=None, args=args)
+        )
+        for rank, (h, u, v) in enumerate(updated):
+            self.h[rank], self.u[rank], self.v[rank] = h, u, v
 
     # -- remap phase ---------------------------------------------------------
 
@@ -388,19 +512,22 @@ class FVCAM:
         pz = self.decomp.pz
         grid = self.grid
         if pz == 1:
-
-            def remap_rank(rank: int) -> None:
-                fields = [self.u[rank], self.v[rank]]
+            args = SimpleNamespace(
+                comm=self.comm,
+                grid=grid,
+                decomp=self.decomp,
+                h=self.h,
+                u=self.u,
+                v=self.v,
+                q=self.q,
+            )
+            remapped = self.comm.map_ranks(
+                partial(_remap_segment, shm=None, args=args)
+            )
+            for rank, (h, u, v, q) in enumerate(remapped):
+                self.h[rank], self.u[rank], self.v[rank] = h, u, v
                 if self.q is not None:
-                    fields.append(self.q[rank])
-                h, out = remap_column(self.h[rank], fields)
-                self.h[rank], self.u[rank], self.v[rank] = h, out[0], out[1]
-                if self.q is not None:
-                    self.q[rank] = out[2]
-                _, jm_l, im = self.decomp.local_shape(rank)
-                self.comm.compute(rank, remap_work(grid, jm_l * im))
-
-            self.comm.map_ranks(remap_rank)
+                    self.q[rank] = q
             return
 
         for group in self.level_groups:
@@ -423,29 +550,18 @@ class FVCAM:
                 for grank in group.ranks
             ]
             recv = group.alltoallv(send)
-            granks = group.ranks
-
-            def remap_member(local: int) -> None:
-                grank = granks[local]
-                stacked = np.concatenate(recv[local], axis=1)  # full km
-                h, out = remap_column(stacked[0], list(stacked[1:]))
-                ncols = h.shape[1] * h.shape[2]
-                self.comm.compute(grank, remap_work(grid, ncols))
-                # backward transpose: split km again
-                km_l = grid.km // gsize
-                all_fields = [h, *out]
-                send_back = [
-                    np.stack(
-                        [f[j * km_l : (j + 1) * km_l] for f in all_fields]
-                    )
-                    for j in range(gsize)
-                ]
-                recv[local] = send_back  # reuse container
-
-            self.comm.map_ranks(remap_member, indices=range(gsize))
-            back = group.alltoallv(
-                [recv[local] for local in range(gsize)]
+            args = SimpleNamespace(
+                comm=self.comm,
+                grid=grid,
+                granks=group.ranks,
+                gsize=gsize,
+                recv=recv,
             )
+            sent_back = self.comm.map_ranks(
+                partial(_remap_member_segment, shm=None, args=args),
+                indices=range(gsize),
+            )
+            back = group.alltoallv(sent_back)
             for local, grank in enumerate(group.ranks):
                 blocks = back[local]  # from each member: its lon chunk
                 restored = np.concatenate(blocks, axis=3)

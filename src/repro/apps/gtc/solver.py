@@ -14,6 +14,8 @@ One time step, per rank (SPMD over the simulated communicator):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+from types import SimpleNamespace
 
 import numpy as np
 
@@ -69,6 +71,98 @@ class GTCParams:
     @property
     def particles_per_domain(self) -> int:
         return self.particles_per_cell * self.mpsi * self.mtheta
+
+
+# -- rank segments -----------------------------------------------------
+#
+# Module-level ``(rank, shm, args)`` callables (docs/executors.md):
+# bound per region with ``functools.partial``; every segment returns
+# its result so forked workers marshal effects home instead of
+# mutating parent memory they cannot reach.
+
+
+def _deposit_segment(rank: int, shm, args) -> np.ndarray:
+    """Deposit one rank's particles; returns the unreduced partial.
+
+    The accumulation buffer is drawn from the rank's child arena so
+    concurrent segments never alias — the partials must all survive
+    until the subgroup Allreduce that follows the region.
+    """
+    p = args.particles[rank]
+    dest = (
+        shm.for_rank(rank).scratch("gtc.charge.partial", args.grid.shape)
+        if shm is not None
+        else None
+    )
+    if args.vectorized:
+        rho = deposit_work_vector(args.grid, p, args.copies, out=dest)
+    else:
+        rho = deposit_scalar(args.grid, p, out=dest)
+    args.comm.compute(rank, deposit_work(len(p), args.vectorized))
+    return rho
+
+
+def _field_segment(domain: int, shm, args) -> list:
+    """Poisson solve + E-field for one toroidal domain's ranks.
+
+    One segment per domain, not per rank: in arena mode the ranks of a
+    domain share the solve result (their reduced charges are bitwise
+    equal), so the domain is the independent unit of work.  Ranks are
+    walked in ascending order, so the deferred compute charges replay
+    exactly as the serial per-rank loop charged them.  Returns one
+    ``(phi, (e_r, e_theta))`` entry per rank.
+    """
+    lo = domain * args.npe
+    out: list[tuple[np.ndarray, tuple]] = []
+    fields: tuple[np.ndarray, tuple] | None = None
+    for rank in range(lo, lo + args.npe):
+        if not args.share or fields is None:
+            rho = args.charge[rank]
+            phi = solve_poisson(args.grid, rho - rho.mean())
+            fields = (phi, electric_field(args.grid, phi))
+        out.append(fields)
+        args.comm.compute(rank, args.work)
+    return out
+
+
+def _push_out(shm, rank: int, n: int, parity: int) -> ParticleArray | None:
+    """Arena-backed destination particles for the push ping-pong.
+
+    Keys alternate on step parity so the buffers being written never
+    alias the (previous step's) particles being read.
+    """
+    if shm is None:
+        return None
+    tag = f"gtc.push.{parity}"
+    sc = shm.for_rank(rank).scratch
+    return ParticleArray(
+        r=sc(tag + ".r", (n,)),
+        theta=sc(tag + ".theta", (n,)),
+        zeta=sc(tag + ".zeta", (n,)),
+        vpar=sc(tag + ".vpar", (n,)),
+        weight=sc(tag + ".weight", (n,)),
+        species=sc(tag + ".species", (n,)),
+    )
+
+
+def _push_segment(rank: int, shm, args) -> ParticleArray:
+    """Gather E at one rank's particles and advance them; returns the
+    pushed particles."""
+    p = args.particles[rank]
+    # e_fields may be shared between the ranks of a domain in arena
+    # mode — segments only read them.
+    e_r, e_theta = args.e_fields[rank]
+    er_p, et_p = gather_field(args.grid, e_r, e_theta, p)
+    new = push_particles(
+        args.torus,
+        p,
+        er_p,
+        et_p,
+        args.push_params,
+        out=_push_out(shm, rank, len(p), args.parity),
+    )
+    args.comm.compute(rank, push_work(len(p), args.vectorized))
+    return new
 
 
 class GTC:
@@ -132,32 +226,16 @@ class GTC:
 
     def _deposit(self) -> list[np.ndarray]:
         """Per-rank charge deposition; returns the unreduced partials."""
-        grid = self.torus.plane
-        vectorized = self.params.use_work_vector
-
-        def deposit_rank(rank: int) -> np.ndarray:
-            p = self.particles[rank]
-            # Per-rank persistent accumulation buffers (drawn from the
-            # rank's child arena so concurrent segments never alias):
-            # the partials must all survive until the subgroup
-            # Allreduce below.
-            dest = (
-                self.arena.for_rank(rank).scratch(
-                    "gtc.charge.partial", grid.shape
-                )
-                if self.arena is not None
-                else None
-            )
-            if vectorized:
-                rho = deposit_work_vector(
-                    grid, p, self.params.work_vector_copies, out=dest
-                )
-            else:
-                rho = deposit_scalar(grid, p, out=dest)
-            self.comm.compute(rank, deposit_work(len(p), vectorized))
-            return rho
-
-        return self.comm.map_ranks(deposit_rank)
+        args = SimpleNamespace(
+            comm=self.comm,
+            grid=self.torus.plane,
+            particles=self.particles,
+            vectorized=self.params.use_work_vector,
+            copies=self.params.work_vector_copies,
+        )
+        return self.comm.map_ranks(
+            partial(_deposit_segment, shm=self.arena, args=args)
+        )
 
     def _reduce_charge(self, partial: list[np.ndarray]) -> None:
         """Subgroup Allreduce of the deposited partials."""
@@ -180,80 +258,44 @@ class GTC:
         """
         grid = self.torus.plane
         npe = self.decomp.npe_per_domain
-        work = poisson_work(grid)
-        results: list[tuple[np.ndarray, tuple] | None] = [
-            None
-        ] * self.comm.nprocs
-
-        def field_domain(domain: int) -> None:
-            # One segment per toroidal domain, not per rank: in arena
-            # mode the ranks of a domain share the solve result, so the
-            # domain is the independent unit of work.  Ranks within a
-            # domain are contiguous and walked in ascending order, so
-            # the deferred compute charges replay exactly as the serial
-            # per-rank loop charged them.
-            lo = domain * npe
-            fields: tuple[np.ndarray, tuple] | None = None
-            for rank in range(lo, lo + npe):
-                if self.arena is None or fields is None:
-                    rho = self.charge[rank]
-                    phi = solve_poisson(grid, rho - rho.mean())
-                    fields = (phi, electric_field(grid, phi))
-                results[rank] = fields
-                self.comm.compute(rank, work)
-
-        self.comm.map_ranks(
-            field_domain, indices=range(self.decomp.ntoroidal)
+        args = SimpleNamespace(
+            comm=self.comm,
+            grid=grid,
+            npe=npe,
+            work=poisson_work(grid),
+            charge=self.charge,
+            share=self.arena is not None,
+        )
+        per_domain = self.comm.map_ranks(
+            partial(_field_segment, shm=self.arena, args=args),
+            indices=range(self.decomp.ntoroidal),
         )
         self.e_fields = []
-        for rank in range(self.comm.nprocs):
-            fields = results[rank]
-            assert fields is not None
-            self.phi[rank] = fields[0]
-            self.e_fields.append(fields[1])
+        for domain, fields_list in enumerate(per_domain):
+            lo = domain * npe
+            for k, fields in enumerate(fields_list):
+                self.phi[lo + k] = fields[0]
+                self.e_fields.append(fields[1])
 
     def push_phase(self) -> None:
         """Gather + guiding-center advance (phase 4)."""
-        grid = self.torus.plane
-        vectorized = self.params.use_work_vector
-
-        def push_rank(rank: int) -> ParticleArray:
-            p = self.particles[rank]
-            # e_fields may be shared between the ranks of a domain in
-            # arena mode — segments only read them.
-            e_r, e_theta = self.e_fields[rank]
-            er_p, et_p = gather_field(grid, e_r, e_theta, p)
-            new = push_particles(
-                self.torus,
-                p,
-                er_p,
-                et_p,
-                self.push_params,
-                out=self._push_buffers(rank, len(p)),
-            )
-            self.comm.compute(rank, push_work(len(p), vectorized))
-            return new
-
-        self.particles = self.comm.map_ranks(push_rank)
+        args = SimpleNamespace(
+            comm=self.comm,
+            grid=self.torus.plane,
+            torus=self.torus,
+            particles=self.particles,
+            e_fields=self.e_fields,
+            push_params=self.push_params,
+            parity=self.step_count % 2,
+            vectorized=self.params.use_work_vector,
+        )
+        self.particles = self.comm.map_ranks(
+            partial(_push_segment, shm=self.arena, args=args)
+        )
 
     def _push_buffers(self, rank: int, n: int) -> ParticleArray | None:
-        """Arena-backed destination particles for the push ping-pong.
-
-        Keys alternate on step parity so the buffers being written
-        never alias the (previous step's) particles being read.
-        """
-        if self.arena is None:
-            return None
-        tag = f"gtc.push.{self.step_count % 2}"
-        sc = self.arena.for_rank(rank).scratch
-        return ParticleArray(
-            r=sc(tag + ".r", (n,)),
-            theta=sc(tag + ".theta", (n,)),
-            zeta=sc(tag + ".zeta", (n,)),
-            vpar=sc(tag + ".vpar", (n,)),
-            weight=sc(tag + ".weight", (n,)),
-            species=sc(tag + ".species", (n,)),
-        )
+        """Back-compat shim over :func:`_push_out` (same ping-pong)."""
+        return _push_out(self.arena, rank, n, self.step_count % 2)
 
     def shift_phase(self) -> None:
         """Toroidal particle exchange (phase 5)."""

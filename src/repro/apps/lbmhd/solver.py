@@ -16,6 +16,8 @@ virtual timings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
+from types import SimpleNamespace
 
 import numpy as np
 
@@ -137,6 +139,65 @@ def equilibrium_state(
     return state
 
 
+# -- rank segments -----------------------------------------------------
+#
+# Module-level callables with the ``(rank, shm, args)`` signature the
+# executor seam requires (docs/executors.md): ``shm`` is the run's
+# arena (shared-memory-backed under a process executor, or None) and
+# ``args`` a namespace of region inputs bound once per region with
+# ``functools.partial``.  Segments either return their effects (the
+# allocating path) or write through shared arena views (the batched
+# fast path) — never through private parent memory, which a forked
+# worker cannot mutate.
+
+
+def _collide_segment(rank: int, shm, args) -> np.ndarray:
+    """Collide one rank's state; returns the post-collision state."""
+    if args.mrt is not None:
+        from .mrt import collide_mrt
+
+        new = collide_mrt(args.states[rank], args.mrt)
+    else:
+        new = collide(
+            args.states[rank],
+            args.collision,
+            arena=None if shm is None else shm.for_rank(rank),
+        )
+    args.comm.compute(rank, args.work)
+    return new
+
+
+def _pad_segment(rank: int, shm, args) -> np.ndarray:
+    """Ghost-pad one rank's post-collision state for the halo phase."""
+    return pad_state(args.post[rank])
+
+
+def _stream_segment(rank: int, shm, args) -> np.ndarray:
+    """Stream one rank from its halo-complete padded state."""
+    return stream_from_padded(args.padded[rank])
+
+
+def _collide_block_segment(rank: int, shm, args) -> None:
+    """Batched-block collide: writes the rank's padded-core slice.
+
+    Effectful through arena views (``args.block``/``args.core`` live in
+    the run arena), so under a process executor this segment is only
+    scheduled when that arena is shared memory.
+    """
+    collide(
+        args.block[:, rank],
+        args.collision,
+        out=args.core[:, rank],
+        arena=shm.for_rank(rank),
+    )
+    args.comm.compute(rank, args.work)
+
+
+def _stream_block_segment(rank: int, shm, args) -> None:
+    """Batched-block stream: padded slice back into the state block."""
+    stream_from_padded(args.padded[:, rank], out=args.block[:, rank])
+
+
 @dataclass
 class Diagnostics:
     """Global conserved/monitored quantities at one step."""
@@ -180,9 +241,23 @@ class LBMHD3D:
         global_state = equilibrium_state(rho, u, B)
         self.states: list[np.ndarray] = self.decomp.scatter(global_state)
         self._state_block: np.ndarray | None = None
-        if arena is not None and comm.nprocs > 1 and not params.use_mrt:
+        # The batched fast path mutates the state block in place from
+        # rank segments; a forked worker's writes only reach the parent
+        # when the block lives in shared memory, so on a process
+        # executor the fast path requires a shared arena (the harness
+        # provisions one) and otherwise the allocating path — whose
+        # segments return their results — carries the run.
+        fast_ok = (
+            arena is not None
+            and comm.nprocs > 1
+            and not params.use_mrt
+            and (comm.executor.in_process or arena.shared)
+        )
+        if fast_ok:
             lx, ly, lz = self.decomp.local_shape
-            block = np.empty((NSLOTS, comm.nprocs, lx, ly, lz))
+            block = arena.scratch(
+                "lbmhd.state_block", (NSLOTS, comm.nprocs, lx, ly, lz)
+            )
             for r, s in enumerate(self.states):
                 block[:, r] = s
             self._state_block = block
@@ -198,35 +273,31 @@ class LBMHD3D:
             self.step_count += 1
             return
         local_points = int(np.prod(self.decomp.local_shape))
-        if self.params.use_mrt:
-            from .mrt import collide_mrt
-
-            mrt_params = self.params.mrt
-        work = collision_work(local_points)
-
-        def collide_rank(rank: int) -> np.ndarray:
-            if self.params.use_mrt:
-                new = collide_mrt(self.states[rank], mrt_params)
-            else:
-                new = collide(
-                    self.states[rank],
-                    self.params.collision,
-                    arena=None if self.arena is None else self.arena.for_rank(rank),
-                )
-            self.comm.compute(rank, work)
-            return new
+        args = SimpleNamespace(
+            comm=self.comm,
+            states=self.states,
+            collision=self.params.collision,
+            mrt=self.params.mrt if self.params.use_mrt else None,
+            work=collision_work(local_points),
+        )
 
         with self.comm.phase("collision"):
-            post = self.comm.map_ranks(collide_rank)
+            post = self.comm.map_ranks(
+                partial(_collide_segment, shm=self.arena, args=args)
+            )
 
         with self.comm.phase("stream"):
             if self.comm.nprocs == 1:
                 self.states = [stream_periodic(post[0])]
             else:
-                padded = self.comm.map_ranks(lambda r: pad_state(post[r]))
+                args.post = post
+                padded = self.comm.map_ranks(
+                    partial(_pad_segment, shm=self.arena, args=args)
+                )
                 exchange_halos(self.comm, self.decomp, padded)
+                args.padded = padded
                 self.states = self.comm.map_ranks(
-                    lambda r: stream_from_padded(padded[r])
+                    partial(_stream_segment, shm=self.arena, args=args)
                 )
         self.step_count += 1
 
@@ -267,21 +338,19 @@ class LBMHD3D:
                     stream_from_padded_batch(padded_block, out=block)
 
         else:
-
-            def collide_rank(rank: int) -> None:
-                # Each segment writes a disjoint [:, rank] slice and
-                # scratches from its own per-rank child arena, so
-                # segments are independent.
-                collide(
-                    block[:, rank],
-                    self.params.collision,
-                    out=core[:, rank],
-                    arena=arena.for_rank(rank),
-                )
-                self.comm.compute(rank, work)
-
-            def stream_rank(rank: int) -> None:
-                stream_from_padded(padded_block[:, rank], out=block[:, rank])
+            # Each segment writes a disjoint [:, rank] slice and
+            # scratches from its own per-rank child arena, so segments
+            # are independent (across threads or forked workers alike).
+            args = SimpleNamespace(
+                comm=self.comm,
+                block=block,
+                core=core,
+                padded=padded_block,
+                collision=self.params.collision,
+                work=work,
+            )
+            collide_rank = partial(_collide_block_segment, shm=arena, args=args)
+            stream_rank = partial(_stream_block_segment, shm=arena, args=args)
 
         with self.comm.phase("collision"):
             self.comm.map_ranks(collide_rank)

@@ -23,6 +23,8 @@ The transforms are exact inverses of each other and match the dense
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+from types import SimpleNamespace
 
 import numpy as np
 
@@ -30,6 +32,119 @@ from ...runtime.arena import Arena
 from ...simmpi.comm import Communicator
 from ...workload import Work
 from .gvectors import GSphere, SphereDistribution, _wrap_index
+
+# -- rank segments -----------------------------------------------------
+#
+# Module-level ``(rank, shm, args)`` callables (docs/executors.md).
+# ``args.plan`` is the ParallelFFT3D engine itself: its column/slab
+# tables are built once in ``__post_init__`` and immutable afterwards
+# (partition-and-build-once), so segments only read it.  Every segment
+# returns a fresh array — arena staging buffers are scratch, never the
+# result — which keeps the transforms correct under forked workers.
+
+
+def _line_segment(rank: int, shm, args) -> np.ndarray:
+    """Scatter one rank's sphere points into columns; inverse-FFT in z."""
+    plan = args.plan
+    ncol = len(plan._col_keys[rank])
+    n3 = plan.grid_shape[2]
+    if shm is not None:
+        line = shm.for_rank(rank).scratch(
+            "paratec.line", (ncol, n3), np.complex128
+        )
+        line.fill(0.0)
+    else:
+        line = np.zeros((ncol, n3), dtype=complex)
+    line[plan._col_of_point[rank], plan._gz_of_point[rank]] = args.coeffs[
+        rank
+    ]
+    return np.fft.ifft(line, axis=1)
+
+
+def _ifft2_segment(rank: int, shm, args) -> np.ndarray:
+    return np.fft.ifft2(args.slabs[rank], axes=(0, 1))
+
+
+def _fft2_segment(rank: int, shm, args) -> np.ndarray:
+    return np.fft.fft2(args.slabs[rank], axes=(0, 1))
+
+
+def _pack_columns_segment(i: int, shm, args) -> list[np.ndarray]:
+    """Allocating-path pack: one contiguous z-window per destination."""
+    plan = args.plan
+    return [
+        np.ascontiguousarray(
+            args.lines[i][
+                :, plan._slab_bounds[j] : plan._slab_bounds[j + 1]
+            ]
+        )
+        for j in range(args.p)
+    ]
+
+
+def _unpack_slab_segment(j: int, shm, args) -> np.ndarray:
+    """Place every rank's delivered columns into rank j's slab."""
+    plan = args.plan
+    n1, n2, _ = plan.grid_shape
+    nz = plan.slab_shape(j)[2]
+    if shm is not None:
+        rank_arena = shm.for_rank(j)
+        slab = rank_arena.scratch(
+            "paratec.slab", (n1, n2, nz), np.complex128
+        )
+        slab.fill(0.0)
+        off = plan._col_offsets
+        rows = rank_arena.scratch(
+            "paratec.rows", (int(off[-1]), nz), np.complex128
+        )
+        for i in range(args.p):
+            rows[off[i] : off[i + 1]] = args.recv[j][i]
+        slab[plan._all_keys[:, 0], plan._all_keys[:, 1], :] = rows
+    else:
+        slab = np.zeros((n1, n2, nz), dtype=complex)
+        for i in range(args.p):
+            keys = plan._col_keys[i]
+            slab[keys[:, 0], keys[:, 1], :] = args.recv[j][i]
+    return slab
+
+
+def _zline_segment(i: int, shm, args) -> np.ndarray:
+    """Reassemble full z-lines, forward-FFT, pull the sphere points."""
+    plan = args.plan
+    n3 = plan.grid_shape[2]
+    ncol = len(plan._col_keys[i])
+    if shm is not None:
+        line = shm.for_rank(i).scratch(
+            "paratec.zline", (ncol, n3), np.complex128
+        )
+    else:
+        line = np.empty((ncol, n3), dtype=complex)
+    for j in range(args.p):
+        lo, hi = plan.slab_range(j)
+        line[:, lo:hi] = args.recv[i][j]
+    fz = np.fft.fft(line, axis=1)
+    return fz[plan._col_of_point[i], plan._gz_of_point[i]]
+
+
+def _pack_slab_segment(j: int, shm, args) -> list[np.ndarray]:
+    """Allocating-path pack: gather each destination's columns."""
+    plan = args.plan
+    return [
+        np.ascontiguousarray(
+            args.f2s[j][
+                plan._col_keys[i][:, 0], plan._col_keys[i][:, 1], :
+            ]
+        )
+        for i in range(args.p)
+    ]
+
+
+def _pack_slab_stacked_segment(j: int, shm, args) -> list[np.ndarray]:
+    """Arena-path pack: one stacked gather, row-range views per rank."""
+    plan = args.plan
+    off = plan._col_offsets
+    allcols = args.f2s[j][plan._all_keys[:, 0], plan._all_keys[:, 1], :]
+    return [allcols[off[i] : off[i + 1]] for i in range(args.p)]
 
 
 @dataclass
@@ -125,30 +240,23 @@ class ParallelFFT3D:
         Uses the ``numpy.fft.ifftn`` normalization (1/N on the inverse),
         so the composition with :meth:`real_to_sphere` is the identity.
         """
-        n1, n2, n3 = self.grid_shape
-        p = self.comm.nprocs
-
         # 1. scatter points into columns; 1-D inverse FFT along z.
-        def line_rank(rank: int) -> np.ndarray:
-            ncol = len(self._col_keys[rank])
-            if self.arena is not None:
-                line = self.arena.for_rank(rank).scratch(
-                    "paratec.line", (ncol, n3), np.complex128
-                )
-                line.fill(0.0)
-            else:
-                line = np.zeros((ncol, n3), dtype=complex)
-            line[self._col_of_point[rank], self._gz_of_point[rank]] = coeffs[
-                rank
-            ]
-            return np.fft.ifft(line, axis=1)
-
-        lines = self.comm.map_ranks(line_rank)
+        lines = self.comm.map_ranks(
+            partial(
+                _line_segment,
+                shm=self.arena,
+                args=SimpleNamespace(plan=self, coeffs=coeffs),
+            )
+        )
 
         # 2 + 3. global transpose, then 2-D inverse FFT per plane.
         slabs = self.transpose_columns_to_slabs(lines)
         return self.comm.map_ranks(
-            lambda r: np.fft.ifft2(slabs[r], axes=(0, 1))
+            partial(
+                _ifft2_segment,
+                shm=self.arena,
+                args=SimpleNamespace(slabs=slabs),
+            )
         )
 
     def transpose_columns_to_slabs(
@@ -165,17 +273,13 @@ class ParallelFFT3D:
         single stacked scatter per rank.
         """
         p = self.comm.nprocs
-        n1, n2, _ = self.grid_shape
         if self.arena is None:
             send = self.comm.map_ranks(
-                lambda i: [
-                    np.ascontiguousarray(
-                        lines[i][
-                            :, self._slab_bounds[j] : self._slab_bounds[j + 1]
-                        ]
-                    )
-                    for j in range(p)
-                ]
+                partial(
+                    _pack_columns_segment,
+                    shm=None,
+                    args=SimpleNamespace(plan=self, lines=lines, p=p),
+                )
             )
             with self.comm.phase("fft"):
                 recv = self.comm.alltoallv(send)
@@ -192,31 +296,13 @@ class ParallelFFT3D:
             with self.comm.phase("fft"):
                 recv = self.comm.alltoallv(send, copy=False)
 
-        off = self._col_offsets
-        total = int(off[-1])
-
-        def unpack_rank(j: int) -> np.ndarray:
-            nz = self.slab_shape(j)[2]
-            if self.arena is not None:
-                rank_arena = self.arena.for_rank(j)
-                slab = rank_arena.scratch(
-                    "paratec.slab", (n1, n2, nz), np.complex128
-                )
-                slab.fill(0.0)
-                rows = rank_arena.scratch(
-                    "paratec.rows", (total, nz), np.complex128
-                )
-                for i in range(p):
-                    rows[off[i] : off[i + 1]] = recv[j][i]
-                slab[self._all_keys[:, 0], self._all_keys[:, 1], :] = rows
-            else:
-                slab = np.zeros((n1, n2, nz), dtype=complex)
-                for i in range(p):
-                    keys = self._col_keys[i]
-                    slab[keys[:, 0], keys[:, 1], :] = recv[j][i]
-            return slab
-
-        return self.comm.map_ranks(unpack_rank)
+        return self.comm.map_ranks(
+            partial(
+                _unpack_slab_segment,
+                shm=self.arena,
+                args=SimpleNamespace(plan=self, recv=recv, p=p),
+            )
+        )
 
     def real_to_sphere(self, slabs: list[np.ndarray]) -> list[np.ndarray]:
         """psi(r) (per-rank z-slabs) -> psi(G) (per-rank sphere slices).
@@ -224,33 +310,28 @@ class ParallelFFT3D:
         High-frequency grid content outside the sphere is discarded —
         exactly PARATEC's cutoff projection.
         """
-        n3 = self.grid_shape[2]
         p = self.comm.nprocs
 
         # 1. 2-D forward FFT per plane.
         f2s = self.comm.map_ranks(
-            lambda r: np.fft.fft2(slabs[r], axes=(0, 1))
+            partial(
+                _fft2_segment,
+                shm=self.arena,
+                args=SimpleNamespace(slabs=slabs),
+            )
         )
 
         # 2. global transpose slabs -> columns.
         recv = self.transpose_slabs_to_columns(f2s)
 
         # 3. reassemble full z-lines; forward FFT along z; pull points.
-        def zline_rank(i: int) -> np.ndarray:
-            ncol = len(self._col_keys[i])
-            if self.arena is not None:
-                line = self.arena.for_rank(i).scratch(
-                    "paratec.zline", (ncol, n3), np.complex128
-                )
-            else:
-                line = np.empty((ncol, n3), dtype=complex)
-            for j in range(p):
-                lo, hi = self.slab_range(j)
-                line[:, lo:hi] = recv[i][j]
-            fz = np.fft.fft(line, axis=1)
-            return fz[self._col_of_point[i], self._gz_of_point[i]]
-
-        return self.comm.map_ranks(zline_rank)
+        return self.comm.map_ranks(
+            partial(
+                _zline_segment,
+                shm=self.arena,
+                args=SimpleNamespace(plan=self, recv=recv, p=p),
+            )
+        )
 
     def transpose_slabs_to_columns(
         self, f2s: list[np.ndarray]
@@ -268,26 +349,24 @@ class ParallelFFT3D:
         p = self.comm.nprocs
         if self.arena is None:
             send = self.comm.map_ranks(
-                lambda j: [
-                    np.ascontiguousarray(
-                        f2s[j][
-                            self._col_keys[i][:, 0], self._col_keys[i][:, 1], :
-                        ]
-                    )
-                    for i in range(p)
-                ]
+                partial(
+                    _pack_slab_segment,
+                    shm=None,
+                    args=SimpleNamespace(plan=self, f2s=f2s, p=p),
+                )
             )
             with self.comm.phase("fft"):
                 return self.comm.alltoallv(send)
-        off = self._col_offsets
 
-        def pack_rank(j: int) -> list[np.ndarray]:
-            # One gather for every destination at once; the per-rank
-            # blocks are row ranges (views) of the stacked result.
-            allcols = f2s[j][self._all_keys[:, 0], self._all_keys[:, 1], :]
-            return [allcols[off[i] : off[i + 1]] for i in range(p)]
-
-        send = self.comm.map_ranks(pack_rank)
+        # One gather for every destination at once; the per-rank blocks
+        # are row ranges (views) of the stacked result.
+        send = self.comm.map_ranks(
+            partial(
+                _pack_slab_stacked_segment,
+                shm=self.arena,
+                args=SimpleNamespace(plan=self, f2s=f2s, p=p),
+            )
+        )
         with self.comm.phase("fft"):
             return self.comm.alltoallv(send, copy=False)
 

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
+from types import SimpleNamespace
 
 import numpy as np
 
@@ -33,6 +35,18 @@ class ParatecParams:
     def __post_init__(self) -> None:
         if self.nbands < 1:
             raise ValueError("need at least one band")
+
+
+def _sweep_segment(rank: int, shm, args) -> None:
+    """One rank's CG-sweep compute charges (band loops + BLAS3).
+
+    Module-level ``(rank, shm, args)`` segment (docs/executors.md):
+    pure accounting, so it marshals home from forked workers as
+    deferred charges with no state to return.
+    """
+    for _ in range(args.nbands):
+        args.comm.compute(rank, args.per_band)
+    args.comm.compute(rank, args.blas3)
 
 
 class Paratec:
@@ -68,11 +82,7 @@ class Paratec:
         """Run the SCF cycle, charging compute work as it goes."""
         # charge per-sweep work: per band, ~2 H-applications per CG
         # iteration (each 2 FFTs) + the BLAS3 subspace work.
-        ng_local = self.sphere.num_g / self.comm.nprocs
-        per_band = self.ham.apply_work().scaled(
-            2.0 * self.params.cg_iterations
-        )
-        self.comm.map_ranks(lambda rank: self._charge_sweep(rank, per_band, ng_local))
+        self.comm.map_ranks(self._sweep_partial())
         self.result = self.driver.run(
             self.bands,
             max_iterations=self.params.scf_iterations,
@@ -88,14 +98,8 @@ class Paratec:
         ``solve_bands`` / ``update_potential`` round.  ``run()`` above
         keeps its original all-at-once behavior for direct users.
         """
-        ng_local = self.sphere.num_g / self.comm.nprocs
-        per_band = self.ham.apply_work().scaled(
-            2.0 * self.params.cg_iterations
-        )
         with self.comm.phase("cg"):
-            self.comm.map_ranks(
-                lambda rank: self._charge_sweep(rank, per_band, ng_local)
-            )
+            self.comm.map_ranks(self._sweep_partial())
         eigenvalues = self.driver.solve_bands(self.bands)
         dv = (
             self.driver.update_potential(self.bands)
@@ -110,6 +114,23 @@ class Paratec:
             iterations=1,
         )
         return self.result
+
+    def _sweep_partial(self):
+        """The bound per-rank sweep segment for one charging region."""
+        ng_local = self.sphere.num_g / self.comm.nprocs
+        per_band = self.ham.apply_work().scaled(
+            2.0 * self.params.cg_iterations
+        )
+        return partial(
+            _sweep_segment,
+            shm=None,
+            args=SimpleNamespace(
+                comm=self.comm,
+                nbands=self.params.nbands,
+                per_band=per_band,
+                blas3=blas3_work(self.params.nbands, ng_local),
+            ),
+        )
 
     def _charge_sweep(self, rank: int, per_band, ng_local: float) -> None:
         """One rank's CG-sweep compute charges (band loops + BLAS3)."""

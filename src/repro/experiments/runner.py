@@ -87,11 +87,14 @@ def validate_args(args) -> list[str]:
             errors.append(f"--executor: {exc}")
         else:
             if not executor.in_process:
-                errors.append(
-                    "--executor: process executors schedule whole "
-                    "campaigns, not rank segments; use --jobs N to "
-                    "batch experiments across processes"
-                )
+                support = executor.segment_support()
+                if not support.ok:
+                    errors.append(
+                        f"--executor: {args.executor!r} cannot schedule "
+                        f"rank segments on this host ({support.reason}); "
+                        "use 'serial' or 'threads[:N]', or --jobs N to "
+                        "batch experiments across processes"
+                    )
     if args.seed is not None and not 0 <= args.seed <= _MAX_SEED:
         errors.append(
             f"--seed: must be in [0, 2**32 - 1], got {args.seed}"
@@ -170,9 +173,10 @@ def main(argv: list[str] | None = None) -> int:
         "--executor",
         metavar="SPEC",
         help=(
-            "executor for per-rank compute segments: 'serial', 'threads', "
-            "or 'threads:N' (results are identical either way — only "
-            "wall-clock differs)"
+            "executor for per-rank compute segments: 'serial', "
+            "'threads[:N]', or 'processes[:N]' (results are identical "
+            "either way — only wall-clock differs; processes needs fork "
+            "+ POSIX shared memory)"
         ),
     )
     parser.add_argument(

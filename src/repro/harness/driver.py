@@ -12,11 +12,13 @@ into this function.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Any
 
 from ..machines.catalog import get_machine
 from ..machines.spec import MachineSpec
+from ..runtime.executors import Executor, SerialExecutor, get_executor
 from ..resilience.checkpoint import Checkpointable, MemoryCheckpointStore
 from ..resilience.inject import FaultInjector, FaultPlan
 from ..resilience.policy import (
@@ -78,6 +80,30 @@ class HarnessResult:
         return self.ledger.render(title=title, steps=self.steps)
 
 
+def _resolve_executor(executor: Any | None) -> Executor:
+    """Resolve a run's executor, degrading gracefully when needed.
+
+    An out-of-process executor that cannot schedule rank segments on
+    this host (no fork start method, no usable POSIX shared memory, or
+    ``REPRO_SHM_DISABLE``) falls back to serial with a warning — the
+    harness promises a completed run, not a particular schedule, and
+    results are executor-independent by construction.
+    """
+    resolved = get_executor(executor)
+    if resolved.in_process:
+        return resolved
+    support = resolved.segment_support()
+    if support.ok:
+        return resolved
+    warnings.warn(
+        f"executor {resolved.name!r} cannot run rank segments here "
+        f"({support.reason}); running serial instead",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return SerialExecutor()
+
+
 def run(
     app: str | SPMDApplication,
     params: Any | None = None,
@@ -127,10 +153,16 @@ def run(
     executor:
         How per-rank compute segments are scheduled: an
         :class:`~repro.runtime.executors.Executor`, a spec string
-        (``"serial"``, ``"threads"``, ``"threads:N"``), or ``None`` to
-        resolve the process default / ``REPRO_EXECUTOR``.  Changes
-        wall-clock only — states, traces, and ledgers are identical
-        across executors.  Only meaningful when the harness builds the
+        (``"serial"``, ``"threads[:N]"``, ``"processes[:N]"``), or
+        ``None`` to resolve the process default / ``REPRO_EXECUTOR``.
+        Changes wall-clock only — states, traces, and ledgers are
+        identical across executors.  A process executor needs fork +
+        POSIX shared memory; when the host can't provide them the
+        harness warns and runs serial.  With a process executor and an
+        ``arena``, the harness provisions a shared-memory arena pool
+        for the run (so the solvers' in-place fast paths stay legal in
+        forked workers) and unlinks its segments deterministically at
+        the end.  Only meaningful when the harness builds the
         communicator; combining it with an explicit ``comm`` is an
         error (the communicator already carries its executor).
     fault_plan, policy:
@@ -165,7 +197,7 @@ def run(
             trace=trace,
             timeline=timeline,
             loop_registers=loop_registers,
-            executor=executor,
+            executor=_resolve_executor(executor),
         )
     elif nprocs is not None and nprocs != comm.nprocs:
         raise ValueError(
@@ -189,79 +221,102 @@ def run(
         )
 
     ledger = comm.attach_phase_ledger() if instrument else None
-    state = adapter.setup(comm, params, arena=arena)
 
-    recovery: RecoveryStats | None = None
-    if not resilient:
-        for _ in range(steps):
-            state = adapter.step(state)
-    else:
-        recovery = comm.recovery_stats
-        store = (
-            checkpoint_store
-            if checkpoint_store is not None
-            else MemoryCheckpointStore()
-        )
-        tag = adapter.key
-        last_ckpt = None
-        plan_kills_ranks = (
-            fault_plan is not None and bool(fault_plan.rank_failures)
-        )
-        if isinstance(state, Checkpointable) and plan_kills_ranks:
-            # the step-0 anchor (the job's initial condition) is only
-            # needed when a failure can strike before the first
-            # periodic snapshot; it exists before the run starts and
-            # is not charged.  checkpoint_state hands over fresh
-            # copies, so the store takes ownership (copy=False).
-            last_ckpt = store.save(
-                tag, 0, state.checkpoint_state(), copy=False
-            )
-        completed = 0
-        restarts = 0
-        while completed < steps:
-            injector.begin_step(completed)
-            try:
+    # A process executor runs segments in forked workers, which can
+    # only mutate arena buffers the parent also sees — so a private
+    # arena is upgraded to a shared-memory one for the duration of the
+    # run.  The pool is closed (segments unlinked) deterministically
+    # on the way out; live views in the returned state keep their
+    # mappings until they are garbage collected.
+    owned_pool = None
+    if (
+        arena is not None
+        and not comm.executor.in_process
+        and not getattr(arena, "shared", False)
+    ):
+        from ..runtime.shm import SharedArenaPool, shm_available
+
+        if shm_available():
+            owned_pool = SharedArenaPool(name=f"repro-{adapter.key}")
+            arena = owned_pool.arena(getattr(arena, "name", "arena"))
+
+    try:
+        state = adapter.setup(comm, params, arena=arena)
+
+        recovery: RecoveryStats | None = None
+        if not resilient:
+            for _ in range(steps):
                 state = adapter.step(state)
-                injector.end_step()
-            except RankFailureError:
-                recovery.rank_failures += 1
-                if last_ckpt is None or restarts >= max_restarts:
-                    raise
-                restarts += 1
-                ckpt = store.load(tag)
-                if ckpt is None:
-                    # The anchor was saved, so a vanished checkpoint is
-                    # store corruption (deleted npz, evicted entry...) —
-                    # name it instead of surfacing whatever attribute
-                    # error the restore path would hit downstream.
-                    raise RuntimeError(
-                        f"restart of {tag!r} at step {completed} needs "
-                        f"the checkpoint saved at step {last_ckpt.step}, "
-                        f"but {type(store).__name__}.load({tag!r}) "
-                        "returned None — the checkpoint store lost it"
-                    ) from None
-                comm.recover_restart(ckpt.nbytes)
-                state.restore_state(ckpt.payload)
-                recovery.replayed_steps += completed - ckpt.step
-                completed = ckpt.step
-                continue
-            completed += 1
-            if (
-                checkpoint_every is not None
-                and completed % checkpoint_every == 0
-                and completed < steps
-                and isinstance(state, Checkpointable)
-            ):
-                t0 = time.perf_counter()
+        else:
+            recovery = comm.recovery_stats
+            store = (
+                checkpoint_store
+                if checkpoint_store is not None
+                else MemoryCheckpointStore()
+            )
+            tag = adapter.key
+            last_ckpt = None
+            plan_kills_ranks = (
+                fault_plan is not None and bool(fault_plan.rank_failures)
+            )
+            if isinstance(state, Checkpointable) and plan_kills_ranks:
+                # the step-0 anchor (the job's initial condition) is only
+                # needed when a failure can strike before the first
+                # periodic snapshot; it exists before the run starts and
+                # is not charged.  checkpoint_state hands over fresh
+                # copies, so the store takes ownership (copy=False).
                 last_ckpt = store.save(
-                    tag, completed, state.checkpoint_state(), copy=False
+                    tag, 0, state.checkpoint_state(), copy=False
                 )
-                recovery.checkpoint_host_seconds += (
-                    time.perf_counter() - t0
-                )
-                comm.charge_checkpoint(last_ckpt.nbytes)
+            completed = 0
+            restarts = 0
+            while completed < steps:
+                injector.begin_step(completed)
+                try:
+                    state = adapter.step(state)
+                    injector.end_step()
+                except RankFailureError:
+                    recovery.rank_failures += 1
+                    if last_ckpt is None or restarts >= max_restarts:
+                        raise
+                    restarts += 1
+                    ckpt = store.load(tag)
+                    if ckpt is None:
+                        # The anchor was saved, so a vanished checkpoint is
+                        # store corruption (deleted npz, evicted entry...) —
+                        # name it instead of surfacing whatever attribute
+                        # error the restore path would hit downstream.
+                        raise RuntimeError(
+                            f"restart of {tag!r} at step {completed} needs "
+                            f"the checkpoint saved at step {last_ckpt.step}, "
+                            f"but {type(store).__name__}.load({tag!r}) "
+                            "returned None — the checkpoint store lost it"
+                        ) from None
+                    comm.recover_restart(ckpt.nbytes)
+                    state.restore_state(ckpt.payload)
+                    recovery.replayed_steps += completed - ckpt.step
+                    completed = ckpt.step
+                    continue
+                completed += 1
+                if (
+                    checkpoint_every is not None
+                    and completed % checkpoint_every == 0
+                    and completed < steps
+                    and isinstance(state, Checkpointable)
+                ):
+                    t0 = time.perf_counter()
+                    last_ckpt = store.save(
+                        tag, completed, state.checkpoint_state(), copy=False
+                    )
+                    recovery.checkpoint_host_seconds += (
+                        time.perf_counter() - t0
+                    )
+                    comm.charge_checkpoint(last_ckpt.nbytes)
 
-    diagnostics = adapter.diagnostics(state)
+        diagnostics = adapter.diagnostics(state)
+    finally:
+        if owned_pool is not None:
+            owned_pool.close()
     return HarnessResult(
         app=adapter,
         params=params,

@@ -5,9 +5,14 @@
   transposes) reuse workspaces across time steps instead of
   reallocating them; per-rank child arenas keep concurrent rank
   segments from aliasing a workspace;
-* :mod:`repro.runtime.executors` — the executor seam: serial lockstep
-  or a thread pool for per-rank compute segments, resolved from an
-  explicit spec, :func:`set_default_executor`, or ``REPRO_EXECUTOR``;
+* :mod:`repro.runtime.shm` — the shared-memory backing for arenas:
+  :class:`SharedArenaPool` owns POSIX shared-memory slabs and serves
+  :class:`ShmArena` buffers as views into them, so forked process
+  workers mutate rank state the parent can see (zero-copy exchange);
+* :mod:`repro.runtime.executors` — the executor seam: serial lockstep,
+  a thread pool, or forked worker processes for per-rank compute
+  segments, resolved from an explicit spec,
+  :func:`set_default_executor`, or ``REPRO_EXECUTOR``;
 * :mod:`repro.runtime.perf` — small wall-clock timing helpers backing
   ``benchmarks/bench_hotpath.py`` and the ``BENCH_*.json`` perf
   trajectory.
@@ -16,6 +21,7 @@
 from .arena import Arena
 from .executors import (
     Executor,
+    ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
     available_executors,
@@ -23,16 +29,22 @@ from .executors import (
     set_default_executor,
 )
 from .perf import Timing, measure, write_results
+from .shm import SharedArenaPool, ShmArena, ShmHandles, shm_available
 
 __all__ = [
     "Arena",
     "Executor",
+    "ProcessExecutor",
     "SerialExecutor",
-    "ThreadExecutor",
+    "SharedArenaPool",
+    "ShmArena",
+    "ShmHandles",
     "Timing",
+    "ThreadExecutor",
     "available_executors",
     "get_executor",
     "measure",
     "set_default_executor",
+    "shm_available",
     "write_results",
 ]

@@ -78,12 +78,35 @@ class Arena:
         with self._lock:
             buf = self._pool.get(k)
             if buf is None:
-                buf = np.zeros(k[1], dtype=np.dtype(dtype))
+                buf = self._new_buffer(key, k[1], np.dtype(dtype))
                 self._pool[k] = buf
                 self.misses += 1
             else:
                 self.hits += 1
         return buf
+
+    def _new_buffer(
+        self, key: str, shape: tuple[int, ...], dtype: np.dtype
+    ) -> np.ndarray:
+        """Allocation hook: where a first-request buffer comes from.
+
+        Must return zero-filled memory of exactly ``shape``/``dtype``
+        (the contract callers rely on).  The base arena uses private
+        process memory; :class:`~repro.runtime.shm.ShmArena` overrides
+        this to place buffers in shared-memory segments.
+        """
+        return np.zeros(shape, dtype=dtype)
+
+    @property
+    def shared(self) -> bool:
+        """True when buffers are visible to forked worker processes.
+
+        Private-memory arenas answer ``False``; solvers use this to
+        gate in-place fast paths that require cross-process visibility
+        (e.g. the LBMHD batched state block) when segments run on a
+        process executor.
+        """
+        return False
 
     def scratch_like(self, key: str, ref: np.ndarray) -> np.ndarray:
         """Workspace with the shape and dtype of a reference array."""
@@ -104,9 +127,13 @@ class Arena:
         with self._lock:
             child = self._children.get(rank)
             if child is None:
-                child = Arena(name=f"{self.name}[{rank}]")
+                child = self._make_child(rank)
                 self._children[rank] = child
         return child
+
+    def _make_child(self, rank: int) -> "Arena":
+        """Construction hook for per-rank children (same arena kind)."""
+        return Arena(name=f"{self.name}[{rank}]")
 
     # -- introspection -------------------------------------------------
 

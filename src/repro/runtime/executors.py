@@ -11,17 +11,25 @@ range(nprocs)`` loop.  The executor seam makes that loop pluggable:
   The rank kernels are NumPy-heavy and release the GIL inside array
   arithmetic, so independent rank segments genuinely overlap on a
   multi-core host.
-* :class:`ProcessExecutor` — dispatch jobs to a pool of worker
-  *processes*.  This one is **not** for rank segments (closures over
-  shared solver state cannot cross a process boundary); it schedules
-  coarse campaign-level jobs — whole ``harness.run`` invocations whose
-  arguments and results are plain picklable dicts (see
-  :mod:`repro.campaign`).  Communicators refuse it.
+* :class:`ProcessExecutor` — run jobs in worker *processes*, two ways.
+  Coarse campaign-level jobs (whole ``harness.run`` invocations with
+  picklable dict arguments/results, see :mod:`repro.campaign`) go
+  through the long-lived shared pool (:meth:`~Executor.map` /
+  :meth:`~Executor.imap_unordered`).  Per-rank compute segments go
+  through :meth:`ProcessExecutor.map_segments`: each parallel region
+  forks fresh children that inherit the caller's live memory
+  copy-on-write, so segment callables need not pickle — only their
+  results (and deferred accounting charges) ride back over a pipe.
+  Segment scheduling needs ``fork`` plus POSIX shared memory (for the
+  solvers' in-place state blocks); :meth:`~Executor.segment_support`
+  reports whether this host qualifies and why not, and communicators
+  refuse the executor — or fall back to serial, if it was ambient —
+  only when it doesn't.
 
 Executors schedule **compute only**.  Communication stays serialized
 between parallel regions (see ``Communicator.map_ranks``), and the
-deferred-accounting replay in the communicator guarantees that both
-executors produce bitwise-identical solver states and identical
+deferred-accounting replay in the communicator guarantees that every
+executor produces bitwise-identical solver states and identical
 clock/trace/ledger instrumentation — only real wall-clock differs.
 
 Resolution order for "which executor should this run use":
@@ -52,6 +60,28 @@ _R = TypeVar("_R")
 _ENV_VAR = "REPRO_EXECUTOR"
 
 
+class SegmentSupport:
+    """Whether an executor can run rank segments here — and why not.
+
+    Truthy exactly when segments are supported; ``reason`` carries the
+    human-readable explanation either way (capability on success, the
+    missing prerequisite on failure) so rejection errors and fallback
+    warnings can name the actual cause.
+    """
+
+    __slots__ = ("ok", "reason")
+
+    def __init__(self, ok: bool, reason: str) -> None:
+        self.ok = ok
+        self.reason = reason
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SegmentSupport(ok={self.ok}, reason={self.reason!r})"
+
+
 class Executor:
     """Schedules a batch of independent segments and collects results.
 
@@ -71,14 +101,36 @@ class Executor:
     #: accounting and the parallel-region communication guard)
     parallel: bool = False
     #: True when jobs run in the calling process, sharing its memory.
-    #: Process executors set this False; communicators require True
-    #: (rank segments are closures over shared solver state).
+    #: Process executors set this False; their rank segments run in
+    #: forked workers (see :meth:`map_segments`) and must route effects
+    #: through return values or shared-memory buffers.
     in_process: bool = True
 
     def map(
         self, fn: Callable[[_T], _R], items: Sequence[_T]
     ) -> list[_R]:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def segment_support(self) -> SegmentSupport:
+        """Can this executor schedule ``map_ranks`` segments here?
+
+        In-process executors always can; :class:`ProcessExecutor`
+        checks the host for ``fork`` and POSIX shared memory.  The
+        communicator consults this instead of hard-rejecting by class.
+        """
+        return SegmentSupport(True, "segments run in the calling process")
+
+    def map_segments(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> list[_R]:
+        """Like :meth:`map`, for rank segments specifically.
+
+        In-process executors have no distinction to make.  Process
+        executors override this with the fork-per-region path, which is
+        what lets segment callables stay unpicklable closures over the
+        caller's live memory.
+        """
+        return self.map(fn, items)
 
     def imap_unordered(
         self, fn: Callable[[_T], _R], items: Sequence[_T]
@@ -225,18 +277,64 @@ def shutdown_process_pools() -> None:
         pool.shutdown(wait=True, cancel_futures=True)
 
 
+def _segment_shard_main(conn, fn, shard) -> None:
+    """Forked-child entry: run a shard of ``(index, item)`` segments.
+
+    Collects ``(index, ok, value-or-exception)`` triples and ships the
+    whole shard's outcomes in one pipe message.  A result that refuses
+    to pickle is downgraded to a per-item error (retrying the send
+    is safe: ``Connection.send`` pickles fully before writing any
+    bytes, so a failed send leaves the stream clean).
+    """
+    out = []
+    for i, item in shard:
+        try:
+            out.append((i, True, fn(item)))
+        except BaseException as exc:  # noqa: BLE001 - marshalled to parent
+            out.append((i, False, exc))
+    try:
+        conn.send(out)
+    except Exception:
+        import pickle
+
+        safe = []
+        for i, ok, value in out:
+            try:
+                pickle.dumps(value)
+            except Exception as exc:
+                ok, value = False, RuntimeError(
+                    f"segment {i} produced a result that cannot be "
+                    f"pickled back to the parent: {exc!r}"
+                )
+            safe.append((i, ok, value))
+        conn.send(safe)
+    finally:
+        conn.close()
+
+
 class ProcessExecutor(Executor):
-    """Run jobs on a pool of worker processes.
+    """Run jobs on worker processes — pooled jobs or forked segments.
 
-    For campaign-level scheduling only: ``fn`` must be a module-level
+    Campaign-level scheduling (:meth:`map` / :meth:`imap_unordered`)
+    uses the long-lived shared pool: ``fn`` must be a module-level
     callable and items/results must pickle (plain dicts in practice —
-    see ``repro.campaign.worker``).  Communicators reject this executor
-    (``in_process`` is False): per-rank segments close over shared
-    solver state that cannot cross a process boundary.
+    see ``repro.campaign.worker``).
 
-    ``workers=None`` uses every core — campaign jobs are whole
-    application runs, so the pool is sized to the host, not to the
-    eight-way segment sweet spot the thread pool targets.
+    Rank segments (:meth:`map_segments`) cannot use a long-lived pool:
+    they are closures over the caller's *live* solver state, which a
+    worker forked at pool-construction time would see stale.  Each
+    parallel region therefore forks fresh children (copy-on-write, no
+    pickling of the callable), shards the segments contiguously across
+    them, and pipes only results and deferred accounting charges back.
+    In-place writes to ordinary memory die with the child — segments
+    scheduled here must return their effects or write through
+    shared-memory buffers (:class:`~repro.runtime.shm.ShmArena`);
+    :meth:`segment_support` gates the whole mode on ``fork`` + POSIX
+    shared memory being available.
+
+    ``workers=None`` uses every core — both whole-run campaign jobs
+    and forked rank segments scale to the host, unlike the eight-way
+    segment sweet spot the thread pool targets.
     """
 
     name = "processes"
@@ -250,6 +348,108 @@ class ProcessExecutor(Executor):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+
+    def segment_support(self) -> SegmentSupport:
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return SegmentSupport(
+                False,
+                "the host has no fork start method (segment callables "
+                "close over live solver state and cannot be pickled to "
+                "spawned workers)",
+            )
+        from .shm import shm_available
+
+        if not shm_available():
+            if os.environ.get("REPRO_SHM_DISABLE"):
+                return SegmentSupport(
+                    False, "REPRO_SHM_DISABLE is set in the environment"
+                )
+            return SegmentSupport(
+                False,
+                "POSIX shared memory is unavailable (no usable /dev/shm)",
+            )
+        return SegmentSupport(
+            True, "fork + POSIX shared memory are available"
+        )
+
+    def map_segments(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> list[_R]:
+        items = list(items)
+        if len(items) <= 1 or self.workers == 1:
+            # nothing to overlap: run inline, skip the fork entirely
+            return [fn(item) for item in items]
+        support = self.segment_support()
+        if not support.ok:
+            raise RuntimeError(
+                f"process executor cannot run rank segments here: "
+                f"{support.reason}"
+            )
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        nworkers = min(self.workers, len(items))
+        shards: list[list[tuple[int, _T]]] = []
+        base, extra = divmod(len(items), nworkers)
+        lo = 0
+        for w in range(nworkers):
+            hi = lo + base + (1 if w < extra else 0)
+            shards.append([(i, items[i]) for i in range(lo, hi)])
+            lo = hi
+
+        procs, conns = [], []
+        for shard in shards:
+            recv_end, send_end = ctx.Pipe(duplex=False)
+            p = ctx.Process(
+                target=_segment_shard_main,
+                args=(send_end, fn, shard),
+                daemon=True,
+            )
+            p.start()
+            send_end.close()  # parent keeps only the receiving end
+            procs.append(p)
+            conns.append(recv_end)
+
+        outcomes: list = [None] * len(items)
+        errors: list[tuple[int, BaseException]] = []
+        try:
+            for shard, conn, p in zip(shards, conns, procs):
+                try:
+                    payload = conn.recv()
+                except EOFError:
+                    payload = None
+                p.join()
+                if payload is None:
+                    errors.append(
+                        (
+                            shard[0][0],
+                            RuntimeError(
+                                f"segment worker (pid {p.pid}) died with "
+                                f"exit code {p.exitcode} before returning "
+                                "results"
+                            ),
+                        )
+                    )
+                    continue
+                for i, ok, value in payload:
+                    if ok:
+                        outcomes[i] = value
+                    else:
+                        errors.append((i, value))
+        finally:
+            for conn in conns:
+                conn.close()
+            for p in procs:
+                if p.is_alive():  # pragma: no cover - error unwind only
+                    p.terminate()
+                p.join()
+        if errors:
+            # first failure in item order, matching map()'s contract
+            errors.sort(key=lambda e: e[0])
+            raise errors[0][1]
+        return outcomes
 
     def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
         items = list(items)

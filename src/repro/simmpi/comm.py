@@ -16,8 +16,9 @@ The :class:`Communicator` itself is a facade over four composed layers:
 * :class:`~repro.simmpi.tracing.CommTrace` /
   :class:`~repro.simmpi.phases.PhaseLedger` — IPM-style instrumentation;
 * :class:`~repro.runtime.executors.Executor` — how per-rank compute
-  segments are scheduled (serial lockstep or a thread pool), reached
-  through :meth:`Communicator.map_ranks`.
+  segments are scheduled (serial lockstep, a thread pool, or forked
+  worker processes over shared-memory arenas), reached through
+  :meth:`Communicator.map_ranks`.
 
 Passing ``machine=None`` yields an *ideal* communicator: data still
 moves and traces still record, but no time is charged — this is the mode
@@ -27,6 +28,7 @@ the correctness tests run in.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -42,7 +44,7 @@ from ..resilience.policy import (
     UnrecoverableMessageError,
     payload_crc,
 )
-from ..runtime.executors import Executor, get_executor
+from ..runtime.executors import Executor, SerialExecutor, get_executor
 from ..workload import Work, WorkloadMeter
 from .clock import VirtualClock
 from .phases import PhaseLedger, PhaseScope, PhaseState
@@ -54,6 +56,23 @@ _R = TypeVar("_R")
 
 # Back-compat alias: the reducer table now lives with the transport.
 _REDUCERS = REDUCERS
+
+# One warning per (executor, reason): an ambient REPRO_EXECUTOR=processes
+# on an incapable host should not drown a test suite in repeats.
+_FALLBACK_WARNED: set[str] = set()
+
+
+def _warn_segment_fallback(name: str, reason: str) -> None:
+    key = f"{name}:{reason}"
+    if key in _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED.add(key)
+    warnings.warn(
+        f"executor {name!r} cannot run rank segments here ({reason}); "
+        "this communicator falls back to serial segment scheduling",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -148,10 +167,14 @@ class Communicator:
     executor:
         How :meth:`map_ranks` schedules per-rank compute segments: an
         :class:`~repro.runtime.executors.Executor`, a spec string
-        (``"serial"``, ``"threads"``, ``"threads:N"``), or ``None`` to
-        resolve via :func:`~repro.runtime.executors.get_executor`
-        (process default, then ``REPRO_EXECUTOR``, then serial).
-        Executor choice never changes results — only wall-clock.
+        (``"serial"``, ``"threads[:N]"``, ``"processes[:N]"``), or
+        ``None`` to resolve via
+        :func:`~repro.runtime.executors.get_executor` (process default,
+        then ``REPRO_EXECUTOR``, then serial).  Process executors need
+        fork + POSIX shared memory (``segment_support``): an explicit
+        incapable spec raises; an ambient one falls back to serial with
+        a warning.  Executor choice never changes results — only
+        wall-clock.
     """
 
     def __init__(
@@ -177,13 +200,21 @@ class Communicator:
         self._phase = PhaseState()
         resolved = get_executor(executor)
         if not resolved.in_process:
-            raise ValueError(
-                f"{resolved.name!r} executors run jobs in worker "
-                "processes and cannot schedule per-rank compute segments "
-                "(they close over shared solver state); use 'serial' or "
-                "'threads[:N]' here — process executors schedule whole "
-                "runs (see repro.campaign)"
-            )
+            support = resolved.segment_support()
+            if not support.ok:
+                if executor is None:
+                    # ambient choice (process default or REPRO_EXECUTOR):
+                    # degrade to serial rather than break the caller
+                    _warn_segment_fallback(resolved.name, support.reason)
+                    resolved = SerialExecutor()
+                else:
+                    raise ValueError(
+                        f"{resolved.name!r} cannot schedule per-rank "
+                        f"compute segments on this host: {support.reason}. "
+                        "Use 'serial' or 'threads[:N]' here — campaign-"
+                        "level scheduling with process workers still "
+                        "works (see repro.campaign)"
+                    )
         self._exec = _ExecState(resolved)
         self._resil = _ResilState()
         if machine is not None:
@@ -452,10 +483,18 @@ class Communicator:
         charge is deferred into the calling segment's buffer instead of
         touching the meter/clock/ledger; when all segments finish, the
         charges are replayed in segment order — exactly the order a
-        serial ``for`` loop would have produced.  Serial and threaded
-        executors therefore yield bitwise-identical clocks, traces,
-        ledgers and meters; only real wall-clock differs.  A region
-        that raises charges nothing.
+        serial ``for`` loop would have produced.  Serial, threaded and
+        process executors therefore yield bitwise-identical clocks,
+        traces, ledgers and meters; only real wall-clock differs.  A
+        region that raises charges nothing.
+
+        Out-of-process executors run segments in forked workers; their
+        deferred charges are marshalled back over a pipe and replayed
+        in the same serialized order (see
+        :meth:`_map_ranks_marshalled`).  Segments scheduled that way
+        must return their effects (or write through shared-memory
+        arenas) — in-place mutation of ordinary parent memory dies with
+        the child.
         """
         exec_state = self._exec
         if exec_state.active:
@@ -463,6 +502,8 @@ class Communicator:
         idx = list(range(self.nprocs)) if indices is None else list(indices)
         if not idx:
             return []
+        if not exec_state.executor.in_process:
+            return self._map_ranks_marshalled(fn, idx)
         buffers: list[list[tuple[int, Work]]] = [[] for _ in idx]
         tls = exec_state.tls
 
@@ -481,6 +522,46 @@ class Communicator:
             exec_state.active = False
             tls.buffer = None
         for buf in buffers:
+            for g, work in buf:
+                self._charge_compute(g, work)
+        return results
+
+    def _map_ranks_marshalled(
+        self, fn: Callable[[int], _R], idx: list[int]
+    ) -> list[_R]:
+        """Out-of-process region: forked segments, charges replayed home.
+
+        In-process executors append deferred charges straight into
+        parent-owned buffers; a forked segment's appends die with the
+        child.  Here each segment runs with a fresh private buffer and
+        returns ``(result, buffer)`` through the worker pipe; the
+        parent then replays the charges in segment order — the same
+        serialized posting order the in-process path uses — so
+        meters/clocks/ledgers/traces stay bitwise-identical to serial.
+        """
+        exec_state = self._exec
+        tls = exec_state.tls
+
+        def segment(job: tuple[int, int]) -> tuple[_R, list]:
+            i, index = job
+            buf: list[tuple[int, Work]] = []
+            tls.buffer = buf
+            try:
+                return fn(index), buf
+            finally:
+                tls.buffer = None
+
+        exec_state.active = True
+        try:
+            outcomes = exec_state.executor.map_segments(
+                segment, list(enumerate(idx))
+            )
+        finally:
+            exec_state.active = False
+            tls.buffer = None
+        results: list[_R] = []
+        for result, buf in outcomes:
+            results.append(result)
             for g, work in buf:
                 self._charge_compute(g, work)
         return results

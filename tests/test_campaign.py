@@ -277,10 +277,27 @@ class TestProcessScheduler:
         assert report.misses == 4
         assert len(cache) == 4
 
-    def test_communicator_rejects_process_executor(self):
+    def test_communicator_accepts_capable_process_executor(self):
+        """Since the shared-memory transport landed, a process executor
+        is a first-class rank scheduler wherever the host supports it;
+        only an incapable host still rejects the explicit spec."""
+        from repro.runtime.executors import ProcessExecutor
         from repro.simmpi.comm import Communicator
 
-        with pytest.raises(ValueError, match="campaign"):
+        if ProcessExecutor(2).segment_support().ok:
+            comm = Communicator(4, executor="processes:2")
+            assert comm.executor.name == "processes"
+        else:
+            with pytest.raises(ValueError, match="cannot schedule"):
+                Communicator(4, executor="processes:2")
+
+    def test_communicator_rejects_process_executor_without_shm(
+        self, monkeypatch
+    ):
+        from repro.simmpi.comm import Communicator
+
+        monkeypatch.setenv("REPRO_SHM_DISABLE", "1")
+        with pytest.raises(ValueError, match="REPRO_SHM_DISABLE"):
             Communicator(4, executor="processes:2")
 
     def test_get_executor_parses_process_specs(self):

@@ -1,8 +1,9 @@
 """The executor seam: resolution, ``map_ranks`` semantics, and the
 determinism contract.
 
-The contract is the heart of PR 3: serial and threaded execution of
-the same run must produce *bitwise-identical* solver states, identical
+The contract is the heart of PR 3 (extended to worker processes in
+PR 6): serial, threaded, and forked-process execution of the same run
+must produce *bitwise-identical* solver states, identical
 ``CommTrace`` byte/message matrices, identical per-phase ledger
 buckets, and identical virtual clocks — only host wall-clock may
 differ.  The equivalence matrix below checks every application at
@@ -11,6 +12,7 @@ P in {1, 4, 8}.
 
 from __future__ import annotations
 
+import os
 import threading
 
 import numpy as np
@@ -19,6 +21,7 @@ import pytest
 from repro import harness
 from repro.runtime import Arena
 from repro.runtime.executors import (
+    ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
     available_executors,
@@ -27,6 +30,11 @@ from repro.runtime.executors import (
 )
 from repro.simmpi import Communicator
 from repro.workload import Work
+
+_process_capable = ProcessExecutor(2).segment_support()
+needs_process_segments = pytest.mark.skipif(
+    not _process_capable.ok, reason=_process_capable.reason
+)
 
 
 @pytest.fixture(autouse=True)
@@ -54,6 +62,8 @@ class TestResolution:
         assert isinstance(get_executor("serial"), SerialExecutor)
         assert isinstance(get_executor("threads"), ThreadExecutor)
         assert get_executor("threads:3").workers == 3
+        assert isinstance(get_executor("processes"), ProcessExecutor)
+        assert get_executor("processes:3").workers == 3
 
     def test_instance_passthrough(self):
         ex = ThreadExecutor(2)
@@ -83,7 +93,8 @@ class TestResolution:
         assert isinstance(get_executor(), SerialExecutor)
 
     @pytest.mark.parametrize(
-        "bad", ["bogus", "serial:2", "threads:0", "threads:x", ""]
+        "bad",
+        ["bogus", "serial:2", "threads:0", "threads:x", "processes:0", ""],
     )
     def test_bad_specs(self, bad):
         with pytest.raises(ValueError):
@@ -102,6 +113,19 @@ class TestResolution:
     def test_available_executors(self):
         names = available_executors()
         assert "serial" in names and "threads" in names
+        assert "processes" in names
+
+    def test_segment_support_reports(self):
+        assert SerialExecutor().segment_support().ok
+        assert ThreadExecutor(2).segment_support().ok
+        support = ProcessExecutor(2).segment_support()
+        assert isinstance(support.reason, str) and support.reason
+
+    def test_segment_support_denied_without_shm(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_DISABLE", "1")
+        support = ProcessExecutor(2).segment_support()
+        assert not support.ok
+        assert "REPRO_SHM_DISABLE" in support.reason
 
 
 # ---------------------------------------------------------------------------
@@ -113,13 +137,22 @@ def _work(flops: float = 1e6) -> Work:
     return Work(name="seg", flops=flops, bytes_unit=8.0)
 
 
+#: Every rank-segment scheduler under contract; the process spec only
+#: where the host can actually fork + share memory.
+_SPECS = [
+    "serial",
+    "threads:4",
+    pytest.param("processes:2", marks=needs_process_segments),
+]
+
+
 class TestMapRanks:
-    @pytest.mark.parametrize("spec", ["serial", "threads:4"])
+    @pytest.mark.parametrize("spec", _SPECS)
     def test_results_in_rank_order(self, spec):
         comm = Communicator(8, executor=spec)
         assert comm.map_ranks(lambda r: r * r) == [r * r for r in range(8)]
 
-    @pytest.mark.parametrize("spec", ["serial", "threads:4"])
+    @pytest.mark.parametrize("spec", _SPECS)
     def test_indices_subset(self, spec):
         comm = Communicator(8, executor=spec)
         assert comm.map_ranks(lambda r: -r, indices=[5, 1, 6]) == [-5, -1, -6]
@@ -128,7 +161,7 @@ class TestMapRanks:
         comm = Communicator(4, executor="threads:2")
         assert comm.map_ranks(lambda r: r, indices=[]) == []
 
-    @pytest.mark.parametrize("spec", ["serial", "threads:4"])
+    @pytest.mark.parametrize("spec", _SPECS)
     def test_deferred_compute_matches_direct(self, spec):
         """compute() inside segments charges exactly like serial code."""
         from repro.machines.catalog import get_machine
@@ -164,7 +197,7 @@ class TestMapRanks:
         with pytest.raises(RuntimeError, match="nest"):
             comm.map_ranks(lambda r: comm.map_ranks(lambda q: q))
 
-    @pytest.mark.parametrize("spec", ["serial", "threads:4"])
+    @pytest.mark.parametrize("spec", _SPECS)
     def test_exception_propagates_and_charges_nothing(self, spec):
         from repro.machines.catalog import get_machine
 
@@ -191,6 +224,58 @@ class TestMapRanks:
             lambda r: (barrier.wait(), threading.get_ident())[1]
         )
         assert len(set(idents)) > 1
+
+    @needs_process_segments
+    def test_processes_actually_fork(self):
+        """ProcessExecutor steps ranks in worker processes, not here."""
+        comm = Communicator(4, executor="processes:2")
+        parent = os.getpid()
+        pids = comm.map_ranks(lambda r: os.getpid())
+        assert parent not in pids
+        assert len(set(pids)) == 2  # two shards, one worker each
+
+    @needs_process_segments
+    def test_unpicklable_segment_result_is_named(self):
+        comm = Communicator(4, executor="processes:2")
+        with pytest.raises(RuntimeError, match="pickled"):
+            comm.map_ranks(lambda r: threading.Lock())
+
+
+# ---------------------------------------------------------------------------
+# capability policy: explicit incapable specs fail, ambient ones degrade
+# ---------------------------------------------------------------------------
+
+
+class TestProcessCapabilityPolicy:
+    @needs_process_segments
+    def test_communicator_accepts_processes_when_capable(self):
+        comm = Communicator(4, executor="processes:2")
+        assert comm.executor.name == "processes"
+        assert not comm.executor.in_process
+
+    def test_explicit_incapable_spec_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_DISABLE", "1")
+        with pytest.raises(ValueError, match="REPRO_SHM_DISABLE"):
+            Communicator(4, executor="processes:2")
+
+    def test_ambient_incapable_spec_degrades_with_warning(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SHM_DISABLE", "1")
+        monkeypatch.setenv("REPRO_EXECUTOR", "processes:2")
+        import repro.simmpi.comm as comm_mod
+
+        monkeypatch.setattr(comm_mod, "_FALLBACK_WARNED", set())
+        with pytest.warns(RuntimeWarning, match="falls back to serial"):
+            comm = Communicator(4)
+        assert comm.executor.name == "serial"
+        assert comm.map_ranks(lambda r: r) == [0, 1, 2, 3]
+
+    def test_harness_degrades_incapable_executor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_DISABLE", "1")
+        with pytest.warns(RuntimeWarning, match="running serial instead"):
+            result = _run("lbmhd", 4, "processes:2", arena=True)
+        assert result.comm.executor.name == "serial"
 
 
 # ---------------------------------------------------------------------------
@@ -323,12 +408,104 @@ class TestExecutorEquivalence:
         assert np.array_equal(serial.comm.times, threaded.comm.times)
         _assert_ledgers_equal(serial.ledger, threaded.ledger)
 
+    @needs_process_segments
+    @pytest.mark.parametrize(
+        "nprocs", [4, pytest.param(8, marks=pytest.mark.slow)]
+    )
+    @pytest.mark.parametrize("app", ["lbmhd", "gtc", "fvcam", "paratec"])
+    def test_processes_match_serial_bitwise(self, app, nprocs):
+        """Forked rank stepping obeys the full determinism contract."""
+        serial = _run(app, nprocs, "serial", arena=False)
+        procs = _run(app, nprocs, "processes:2", arena=False)
+
+        assert np.array_equal(
+            _snapshot(app, serial.state), _snapshot(app, procs.state)
+        )
+        assert np.array_equal(
+            serial.comm.trace.matrix(), procs.comm.trace.matrix()
+        )
+        assert serial.comm.trace.calls == procs.comm.trace.calls
+        assert np.array_equal(serial.comm.times, procs.comm.times)
+        _assert_ledgers_equal(serial.ledger, procs.ledger)
+
+    @needs_process_segments
+    @pytest.mark.parametrize("app", ["lbmhd", "gtc", "fvcam", "paratec"])
+    def test_processes_match_serial_with_arena(self, app):
+        """The shared-memory fast paths obey the same contract (P=4):
+        the harness upgrades the private arena to an shm pool and the
+        forked workers' writes land bitwise where serial's would."""
+        serial = _run(app, 4, "serial", arena=True)
+        procs = _run(app, 4, "processes:2", arena=True)
+
+        assert np.array_equal(
+            _snapshot(app, serial.state), _snapshot(app, procs.state)
+        )
+        assert np.array_equal(
+            serial.comm.trace.matrix(), procs.comm.trace.matrix()
+        )
+        assert serial.comm.trace.calls == procs.comm.trace.calls
+        assert np.array_equal(serial.comm.times, procs.comm.times)
+        _assert_ledgers_equal(serial.ledger, procs.ledger)
+
     def test_arena_path_matches_plain_path_threaded(self):
         """Fast path vs slow path equality survives the thread pool."""
         plain = _run("lbmhd", 4, ThreadExecutor(4), arena=False)
         fast = _run("lbmhd", 4, ThreadExecutor(4), arena=True)
         assert np.array_equal(
             _snapshot("lbmhd", plain.state), _snapshot("lbmhd", fast.state)
+        )
+
+    @needs_process_segments
+    def test_arena_path_matches_plain_path_processes(self):
+        """Fast path vs slow path equality survives forked workers."""
+        plain = _run("lbmhd", 4, "processes:2", arena=False)
+        fast = _run("lbmhd", 4, "processes:2", arena=True)
+        assert np.array_equal(
+            _snapshot("lbmhd", plain.state), _snapshot("lbmhd", fast.state)
+        )
+
+    @needs_process_segments
+    def test_processes_match_serial_under_fault_plan(self):
+        """Executor determinism composes with the resilience subsystem:
+        an active FaultPlan injects the same faults (and charges the
+        same recovery) whether segments run serial or forked."""
+        from repro.resilience import FaultPlan, RetryPolicy
+        from repro.resilience.inject import LatencySpike, MessageDrop
+
+        def go(executor):
+            from repro.apps.lbmhd import LBMHDParams
+
+            plan = FaultPlan(
+                faults=(
+                    MessageDrop(rate=0.05),
+                    LatencySpike(rate=0.1, extra_s=5e-3),
+                ),
+                seed=7,
+            )
+            return harness.run(
+                "lbmhd",
+                LBMHDParams(shape=(8, 8, 8)),
+                steps=3,
+                nprocs=4,
+                machine="Power3",
+                trace=True,
+                executor=executor,
+                arena=Arena(),
+                fault_plan=plan,
+                policy=RetryPolicy(),
+            )
+
+        serial = go("serial")
+        procs = go("processes:2")
+        assert np.array_equal(
+            _snapshot("lbmhd", serial.state), _snapshot("lbmhd", procs.state)
+        )
+        assert np.array_equal(serial.comm.times, procs.comm.times)
+        _assert_ledgers_equal(serial.ledger, procs.ledger)
+        assert serial.recovery is not None and procs.recovery is not None
+        assert serial.recovery.resends == procs.recovery.resends
+        assert (
+            serial.recovery.drops_detected == procs.recovery.drops_detected
         )
 
     def test_harness_rejects_executor_with_explicit_comm(self):

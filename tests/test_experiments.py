@@ -219,12 +219,29 @@ class TestRunnerRegistry:
         assert set(out) == {"table2", "table1"}
         assert "nope" in captured.err
 
-    def test_cli_rejects_process_executor_for_rank_stepping(self, capsys):
+    def test_cli_accepts_capable_process_executor(self, capsys):
+        """Process executors schedule rank segments wherever the host
+        supports fork + POSIX shared memory; a host (or env toggle)
+        without them gets a clear error pointing at the alternatives."""
+        from repro.experiments.runner import main
+        from repro.runtime.executors import ProcessExecutor
+
+        if ProcessExecutor(2).segment_support().ok:
+            assert main(["--executor", "processes", "table2"]) == 0
+            assert "LBMHD3D" in capsys.readouterr().out
+        else:
+            assert main(["--executor", "processes", "table2"]) == 2
+            assert "--jobs" in capsys.readouterr().err
+
+    def test_cli_rejects_process_executor_without_shm(
+        self, capsys, monkeypatch
+    ):
         from repro.experiments.runner import main
 
+        monkeypatch.setenv("REPRO_SHM_DISABLE", "1")
         assert main(["--executor", "processes", "table2"]) == 2
         err = capsys.readouterr().err
-        assert "--jobs" in err
+        assert "REPRO_SHM_DISABLE" in err and "--jobs" in err
 
     def test_cli_jobs_batches_across_processes(self, capsys):
         from repro.experiments.runner import main

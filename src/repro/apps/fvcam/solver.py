@@ -21,6 +21,7 @@ from types import SimpleNamespace
 
 import numpy as np
 
+from ...kernels import KernelBackend, get_backend
 from ...simmpi.comm import Communicator, Message
 from .decomp import FVDecomposition
 from .dynamics import (
@@ -29,8 +30,6 @@ from .dynamics import (
     courant_lat,
     courant_lon,
     dynamics_work,
-    pressure_gradient,
-    transport_2d,
 )
 from .grid import LatLonGrid
 from .physics import PhysicsParams, apply_physics, physics_work
@@ -151,7 +150,7 @@ def _pack_segment(rank: int, shm, args) -> np.ndarray:
 def _suffix_segment(rank: int, shm, args) -> np.ndarray:
     """Whole-column geopotential by vertical suffix sum (pz == 1)."""
     h_pad = args.padded[rank][0]
-    return args.gravity * np.cumsum(h_pad[::-1], axis=0)[::-1]
+    return args.kernels.fvcam_geopotential(h_pad, args.gravity)
 
 
 def _colsum_segment(rank: int, shm, args) -> np.ndarray:
@@ -162,7 +161,7 @@ def _colsum_segment(rank: int, shm, args) -> np.ndarray:
 def _combine_segment(rank: int, shm, args) -> np.ndarray:
     """Combine a rank's suffix sum with the planes from lower layers."""
     h_pad = args.padded[rank][0]
-    suffix = np.cumsum(h_pad[::-1], axis=0)[::-1]
+    suffix = args.kernels.fvcam_suffix_sum(h_pad)
     below = np.zeros_like(args.block_sums[rank])
     for plane in args.received.get(rank, []):
         below += plane
@@ -190,16 +189,19 @@ def _sweep_segment(rank: int, shm, args):
     if y == decomp.py - 1:
         cv[:, jm_l + HALO :, :] = 0.0
 
+    kernels = args.kernels
     H = h_pad * coslat_pad[None, :, None]
-    H_new = transport_2d(grid, H, cu, cv)
-    u_new = transport_2d(grid, u_pad, cu, cv)
-    v_new = transport_2d(grid, v_pad, cu, cv)
+    H_new = kernels.fvcam_transport_2d(grid, H, cu, cv)
+    u_new = kernels.fvcam_transport_2d(grid, u_pad, cu, cv)
+    v_new = kernels.fvcam_transport_2d(grid, v_pad, cu, cv)
     if q_pad is not None:
         # tracer mass QH advected with the same fluxes keeps a
         # constant concentration exactly constant
-        QH_new = transport_2d(grid, q_pad * H, cu, cv)
+        QH_new = kernels.fvcam_transport_2d(grid, q_pad * H, cu, cv)
 
-    du, dv = pressure_gradient(grid, args.phis[rank], coslat_pad, dt)
+    du, dv = kernels.fvcam_pressure_gradient(
+        grid, args.phis[rank], coslat_pad, dt
+    )
     u_new += du
     v_new += dv
 
@@ -287,10 +289,16 @@ class FVCAM:
     #: intervals only).
     phases = ("halo", "geopotential", "dynamics", "physics", "remap")
 
-    def __init__(self, params: FVCAMParams, comm: Communicator) -> None:
+    def __init__(
+        self,
+        params: FVCAMParams,
+        comm: Communicator,
+        kernels: "str | KernelBackend | None" = None,
+    ) -> None:
         self.params = params
         self.grid = params.grid
         self.comm = comm
+        self.kernels = get_backend(kernels)
         self.decomp = params.decomposition()
         if comm.nprocs != self.decomp.nprocs:
             raise ValueError(
@@ -366,7 +374,9 @@ class FVCAM:
         the low-volume vertical communication that shows up as the
         ``Pz - 1`` lines parallel to the diagonal in Figure 2(b).
         """
-        args = SimpleNamespace(padded=padded, gravity=self.grid.gravity)
+        args = SimpleNamespace(
+            padded=padded, gravity=self.grid.gravity, kernels=self.kernels
+        )
         if self.decomp.pz == 1:
             return self.comm.map_ranks(
                 partial(_suffix_segment, shm=None, args=args)
@@ -435,6 +445,7 @@ class FVCAM:
             has_tracer=self.q is not None,
             drag=self.dyn.drag,
             filter_coefs=self._filter_coefs,
+            kernels=self.kernels,
         )
         swept = self.comm.map_ranks(
             partial(_sweep_segment, shm=None, args=args)

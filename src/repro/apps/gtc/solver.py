@@ -19,15 +19,11 @@ from types import SimpleNamespace
 
 import numpy as np
 
+from ...kernels import KernelBackend, get_backend
 from ...runtime.arena import Arena
 from ...simmpi.comm import Communicator
 from .decomp import GTCDecomposition, choose_decomposition
-from .deposit import (
-    DEFAULT_WORK_VECTOR_COPIES,
-    deposit_scalar,
-    deposit_work,
-    deposit_work_vector,
-)
+from .deposit import DEFAULT_WORK_VECTOR_COPIES, deposit_work
 from .grid import PoloidalGrid, TorusGrid
 from .particles import (
     DEFAULT_SPECIES,
@@ -38,7 +34,7 @@ from .particles import (
     split_particles,
 )
 from .poisson import electric_field, poisson_work, solve_poisson
-from .push import PushParams, gather_field, push_particles, push_work
+from .push import PushParams, push_work
 from .shift import shift_particles
 
 
@@ -95,9 +91,11 @@ def _deposit_segment(rank: int, shm, args) -> np.ndarray:
         else None
     )
     if args.vectorized:
-        rho = deposit_work_vector(args.grid, p, args.copies, out=dest)
+        rho = args.kernels.gtc_deposit_work_vector(
+            args.grid, p, args.copies, out=dest
+        )
     else:
-        rho = deposit_scalar(args.grid, p, out=dest)
+        rho = args.kernels.gtc_deposit_scalar(args.grid, p, out=dest)
     args.comm.compute(rank, deposit_work(len(p), args.vectorized))
     return rho
 
@@ -152,8 +150,8 @@ def _push_segment(rank: int, shm, args) -> ParticleArray:
     # e_fields may be shared between the ranks of a domain in arena
     # mode — segments only read them.
     e_r, e_theta = args.e_fields[rank]
-    er_p, et_p = gather_field(args.grid, e_r, e_theta, p)
-    new = push_particles(
+    er_p, et_p = args.kernels.gtc_gather_field(args.grid, e_r, e_theta, p)
+    new = args.kernels.gtc_push_particles(
         args.torus,
         p,
         er_p,
@@ -177,10 +175,12 @@ class GTC:
         params: GTCParams,
         comm: Communicator,
         arena: Arena | None = None,
+        kernels: "str | KernelBackend | None" = None,
     ) -> None:
         self.params = params
         self.comm = comm
         self.arena = arena
+        self.kernels = get_backend(kernels)
         if comm.nprocs % params.ntoroidal != 0:
             raise ValueError(
                 f"nprocs ({comm.nprocs}) must be a multiple of "
@@ -232,6 +232,7 @@ class GTC:
             particles=self.particles,
             vectorized=self.params.use_work_vector,
             copies=self.params.work_vector_copies,
+            kernels=self.kernels,
         )
         return self.comm.map_ranks(
             partial(_deposit_segment, shm=self.arena, args=args)
@@ -288,6 +289,7 @@ class GTC:
             push_params=self.push_params,
             parity=self.step_count % 2,
             vectorized=self.params.use_work_vector,
+            kernels=self.kernels,
         )
         self.particles = self.comm.map_ranks(
             partial(_push_segment, shm=self.arena, args=args)

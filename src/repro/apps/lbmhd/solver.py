@@ -21,12 +21,12 @@ from types import SimpleNamespace
 
 import numpy as np
 
+from ...kernels import KernelBackend, get_backend
 from ...runtime.arena import Arena
 from ...simmpi.comm import Communicator
 from .collision import (
     COLLISION_REGISTER_DEMAND,
     CollisionParams,
-    collide,
     collision_work,
 )
 from .decomp import (
@@ -43,12 +43,7 @@ from .fields import (
     split_state,
 )
 from .lattice import NSLOTS
-from .stream import (
-    pad_state,
-    stream_from_padded,
-    stream_from_padded_batch,
-    stream_periodic,
-)
+from .stream import pad_state
 
 
 @dataclass(frozen=True)
@@ -158,7 +153,7 @@ def _collide_segment(rank: int, shm, args) -> np.ndarray:
 
         new = collide_mrt(args.states[rank], args.mrt)
     else:
-        new = collide(
+        new = args.kernels.lbmhd_collide(
             args.states[rank],
             args.collision,
             arena=None if shm is None else shm.for_rank(rank),
@@ -174,7 +169,7 @@ def _pad_segment(rank: int, shm, args) -> np.ndarray:
 
 def _stream_segment(rank: int, shm, args) -> np.ndarray:
     """Stream one rank from its halo-complete padded state."""
-    return stream_from_padded(args.padded[rank])
+    return args.kernels.lbmhd_stream_from_padded(args.padded[rank])
 
 
 def _collide_block_segment(rank: int, shm, args) -> None:
@@ -184,7 +179,7 @@ def _collide_block_segment(rank: int, shm, args) -> None:
     the run arena), so under a process executor this segment is only
     scheduled when that arena is shared memory.
     """
-    collide(
+    args.kernels.lbmhd_collide(
         args.block[:, rank],
         args.collision,
         out=args.core[:, rank],
@@ -195,7 +190,9 @@ def _collide_block_segment(rank: int, shm, args) -> None:
 
 def _stream_block_segment(rank: int, shm, args) -> None:
     """Batched-block stream: padded slice back into the state block."""
-    stream_from_padded(args.padded[:, rank], out=args.block[:, rank])
+    args.kernels.lbmhd_stream_from_padded(
+        args.padded[:, rank], out=args.block[:, rank]
+    )
 
 
 @dataclass
@@ -232,10 +229,12 @@ class LBMHD3D:
         params: LBMHDParams,
         comm: Communicator,
         arena: Arena | None = None,
+        kernels: "str | KernelBackend | None" = None,
     ) -> None:
         self.params = params
         self.comm = comm
         self.arena = arena
+        self.kernels = get_backend(kernels)
         self.decomp = CartesianDecomposition3D.create(params.shape, comm.nprocs)
         rho, u, B = orszag_tang_fields(params.shape, params.u0, params.b0)
         global_state = equilibrium_state(rho, u, B)
@@ -279,6 +278,7 @@ class LBMHD3D:
             collision=self.params.collision,
             mrt=self.params.mrt if self.params.use_mrt else None,
             work=collision_work(local_points),
+            kernels=self.kernels,
         )
 
         with self.comm.phase("collision"):
@@ -288,7 +288,7 @@ class LBMHD3D:
 
         with self.comm.phase("stream"):
             if self.comm.nprocs == 1:
-                self.states = [stream_periodic(post[0])]
+                self.states = [self.kernels.lbmhd_stream_periodic(post[0])]
             else:
                 args.post = post
                 padded = self.comm.map_ranks(
@@ -328,14 +328,16 @@ class LBMHD3D:
                 if rank == 0:
                     # Collide straight into the ghost-padded core: no
                     # separate post-collision buffer, no pack copy.
-                    collide(
+                    self.kernels.lbmhd_collide(
                         block, self.params.collision, out=core, arena=arena
                     )
                 self.comm.compute(rank, work)
 
             def stream_rank(rank: int) -> None:
                 if rank == 0:
-                    stream_from_padded_batch(padded_block, out=block)
+                    self.kernels.lbmhd_stream_from_padded_batch(
+                        padded_block, out=block
+                    )
 
         else:
             # Each segment writes a disjoint [:, rank] slice and
@@ -348,6 +350,7 @@ class LBMHD3D:
                 padded=padded_block,
                 collision=self.params.collision,
                 work=work,
+                kernels=self.kernels,
             )
             collide_rank = partial(_collide_block_segment, shm=arena, args=args)
             stream_rank = partial(_stream_block_segment, shm=arena, args=args)

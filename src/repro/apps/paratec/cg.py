@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...kernels import get_backend
 from ...simmpi.comm import Communicator
 from ...workload import Work
 from .hamiltonian import Hamiltonian
@@ -32,14 +33,16 @@ def dot(comm: Communicator, a: list[np.ndarray], b: list[np.ndarray]) -> complex
 
 
 def axpy(y: list[np.ndarray], alpha: complex, x: list[np.ndarray]) -> None:
-    """y += alpha x, slice-wise in place."""
+    """y += alpha x, slice-wise in place (kernel-backend dispatched)."""
+    kernels = get_backend()
     for yr, xr in zip(y, x):
-        yr += alpha * xr
+        kernels.paratec_cg_axpy(yr, alpha, xr)
 
 
 def scale(x: list[np.ndarray], alpha: complex) -> None:
+    kernels = get_backend()
     for xr in x:
-        xr *= alpha
+        kernels.paratec_cg_scale(xr, alpha)
 
 
 def normalize(comm: Communicator, x: list[np.ndarray]) -> float:
@@ -75,10 +78,11 @@ def _precondition(
     ham: Hamiltonian, g: list[np.ndarray], e_ref: float
 ) -> list[np.ndarray]:
     """Teter-style diagonal kinetic preconditioner 1/(1 + T/E)."""
+    kernels = get_backend()
     out = []
     for r, gr in enumerate(g):
         t = ham.kinetic_of(r)
-        out.append(gr / (1.0 + t / e_ref))
+        out.append(kernels.paratec_cg_precondition(gr, t, e_ref))
     return out
 
 

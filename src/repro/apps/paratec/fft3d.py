@@ -28,6 +28,7 @@ from types import SimpleNamespace
 
 import numpy as np
 
+from ...kernels import KernelBackend, get_backend
 from ...runtime.arena import Arena
 from ...simmpi.comm import Communicator
 from ...workload import Work
@@ -58,15 +59,15 @@ def _line_segment(rank: int, shm, args) -> np.ndarray:
     line[plan._col_of_point[rank], plan._gz_of_point[rank]] = args.coeffs[
         rank
     ]
-    return np.fft.ifft(line, axis=1)
+    return plan.kernels.paratec_ifft_z(line)
 
 
 def _ifft2_segment(rank: int, shm, args) -> np.ndarray:
-    return np.fft.ifft2(args.slabs[rank], axes=(0, 1))
+    return args.kernels.paratec_ifft2_planes(args.slabs[rank])
 
 
 def _fft2_segment(rank: int, shm, args) -> np.ndarray:
-    return np.fft.fft2(args.slabs[rank], axes=(0, 1))
+    return args.kernels.paratec_fft2_planes(args.slabs[rank])
 
 
 def _pack_columns_segment(i: int, shm, args) -> list[np.ndarray]:
@@ -122,7 +123,7 @@ def _zline_segment(i: int, shm, args) -> np.ndarray:
     for j in range(args.p):
         lo, hi = plan.slab_range(j)
         line[:, lo:hi] = args.recv[i][j]
-    fz = np.fft.fft(line, axis=1)
+    fz = plan.kernels.paratec_fft_z(line)
     return fz[plan._col_of_point[i], plan._gz_of_point[i]]
 
 
@@ -162,8 +163,10 @@ class ParallelFFT3D:
     dist: SphereDistribution
     comm: Communicator
     arena: Arena | None = None
+    kernels: "str | KernelBackend | None" = None
 
     def __post_init__(self) -> None:
+        self.kernels = get_backend(self.kernels)
         if self.comm.nprocs != self.dist.nranks:
             raise ValueError("communicator size does not match distribution")
         sphere = self.dist.sphere
@@ -255,7 +258,7 @@ class ParallelFFT3D:
             partial(
                 _ifft2_segment,
                 shm=self.arena,
-                args=SimpleNamespace(slabs=slabs),
+                args=SimpleNamespace(slabs=slabs, kernels=self.kernels),
             )
         )
 
@@ -317,7 +320,7 @@ class ParallelFFT3D:
             partial(
                 _fft2_segment,
                 shm=self.arena,
-                args=SimpleNamespace(slabs=slabs),
+                args=SimpleNamespace(slabs=slabs, kernels=self.kernels),
             )
         )
 

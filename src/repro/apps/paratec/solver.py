@@ -8,6 +8,7 @@ from types import SimpleNamespace
 
 import numpy as np
 
+from ...kernels import KernelBackend, get_backend
 from ...simmpi.comm import Communicator
 from .cg import Bands, CGOptions, blas3_work
 from .fft3d import ParallelFFT3D
@@ -57,12 +58,18 @@ class Paratec:
     #: the global transposes attribute their traffic to it).
     phases = ("cg", "density", "fft")
 
-    def __init__(self, params: ParatecParams, comm: Communicator) -> None:
+    def __init__(
+        self,
+        params: ParatecParams,
+        comm: Communicator,
+        kernels: "str | KernelBackend | None" = None,
+    ) -> None:
         self.params = params
         self.comm = comm
+        self.kernels = get_backend(kernels)
         self.sphere = GSphere(params.ecut, params.grid_shape)
         self.dist = SphereDistribution(self.sphere, comm.nprocs)
-        self.fft = ParallelFFT3D(self.dist, comm)
+        self.fft = ParallelFFT3D(self.dist, comm, kernels=self.kernels)
         self.ham = Hamiltonian.from_atoms(self.fft, list(params.atoms))
         self.bands: Bands = initial_bands(
             self.fft, params.nbands, seed=params.seed

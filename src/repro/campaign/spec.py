@@ -1,8 +1,8 @@
 """Campaign specs and the hashable run configurations they expand into.
 
 A :class:`CampaignSpec` names the sweep axes (apps x machines x P x
-executor x seeds), plus shared knobs (steps, repeats, arena, trace,
-per-app parameter overrides).  :meth:`CampaignSpec.expand` takes the
+executor x kernel backend x seeds), plus shared knobs (steps, repeats,
+arena, trace, per-app parameter overrides).  :meth:`CampaignSpec.expand` takes the
 cross product and returns one :class:`RunConfig` per cell.
 
 ``RunConfig`` is frozen and hashable; :meth:`RunConfig.key` is the
@@ -72,6 +72,7 @@ class RunConfig:
     steps: int = 1
     machine: str | None = None
     executor: str = "serial"
+    kernel_backend: str = "numpy"
     seed: int | None = None
     params: tuple = ()
     arena: bool = False
@@ -96,6 +97,7 @@ class RunConfig:
             "steps": self.steps,
             "machine": self.machine,
             "executor": self.executor,
+            "kernel_backend": self.kernel_backend,
             "seed": self.seed,
             "params": self.params_dict(),
             "arena": self.arena,
@@ -135,6 +137,8 @@ class RunConfig:
         bits.append(f" x{self.steps}")
         if self.executor != "serial":
             bits.append(f" {self.executor}")
+        if self.kernel_backend != "numpy":
+            bits.append(f" k:{self.kernel_backend}")
         if self.seed is not None:
             bits.append(f" seed={self.seed}")
         if self.repeats > 1:
@@ -157,6 +161,7 @@ class CampaignSpec:
     machines: tuple[str | None, ...] = (None,)
     nprocs: tuple[int | None, ...] = (None,)
     executors: tuple[str, ...] = ("serial",)
+    kernel_backends: tuple[str, ...] = ("numpy",)
     seeds: tuple[int | None, ...] = (None,)
     steps: int = 1
     repeats: int = 1
@@ -167,7 +172,10 @@ class CampaignSpec:
     def __post_init__(self) -> None:
         if not self.apps:
             raise ValueError("a campaign needs at least one app")
-        for axis in ("apps", "machines", "nprocs", "executors", "seeds"):
+        for axis in (
+            "apps", "machines", "nprocs", "executors",
+            "kernel_backends", "seeds",
+        ):
             object.__setattr__(self, axis, tuple(getattr(self, axis)))
         object.__setattr__(self, "params", _freeze(self.params_mapping()))
 
@@ -185,15 +193,16 @@ class CampaignSpec:
                 steps=self.steps,
                 machine=machine,
                 executor=executor,
+                kernel_backend=backend,
                 seed=seed,
                 params=freeze_params(overrides.get(app)),
                 arena=self.arena,
                 trace=self.trace,
                 repeats=self.repeats,
             )
-            for app, machine, p, executor, seed in product(
+            for app, machine, p, executor, backend, seed in product(
                 self.apps, self.machines, self.nprocs,
-                self.executors, self.seeds,
+                self.executors, self.kernel_backends, self.seeds,
             )
         ]
 
@@ -204,6 +213,7 @@ class CampaignSpec:
             "machines": list(self.machines),
             "nprocs": list(self.nprocs),
             "executors": list(self.executors),
+            "kernel_backends": list(self.kernel_backends),
             "seeds": list(self.seeds),
             "steps": self.steps,
             "repeats": self.repeats,
@@ -221,7 +231,10 @@ class CampaignSpec:
                 f"unknown CampaignSpec field(s): {', '.join(unknown)}"
             )
         kwargs = dict(d)
-        for axis in ("apps", "machines", "nprocs", "executors", "seeds"):
+        for axis in (
+            "apps", "machines", "nprocs", "executors",
+            "kernel_backends", "seeds",
+        ):
             if axis in kwargs:
                 value = kwargs[axis]
                 if isinstance(value, (str, int)) or value is None:

@@ -91,6 +91,7 @@ def execute_config(config: RunConfig) -> dict[str, Any]:
             nprocs=config.nprocs,
             machine=config.machine,
             executor=config.executor,
+            kernel_backend=config.kernel_backend,
             trace=config.trace,
             arena=arena,
         )

@@ -95,6 +95,17 @@ def validate_args(args) -> list[str]:
                         "use 'serial' or 'threads[:N]', or --jobs N to "
                         "batch experiments across processes"
                     )
+    if args.backend is not None:
+        from ..kernels import set_default_backend
+
+        try:
+            # validates the name without installing it (raises listing
+            # the valid choices); an *unavailable* backend is fine here
+            # — each run degrades to the numpy reference with a warning
+            set_default_backend(args.backend)
+            set_default_backend(None)
+        except ValueError as exc:
+            errors.append(f"--backend: {exc}")
     if args.seed is not None and not 0 <= args.seed <= _MAX_SEED:
         errors.append(
             f"--seed: must be in [0, 2**32 - 1], got {args.seed}"
@@ -104,15 +115,22 @@ def validate_args(args) -> list[str]:
     return errors
 
 
-def _render_one(job: tuple[str, bool, "str | None", "int | None"]) -> str:
+def _render_one(
+    job: tuple[str, bool, "str | None", "str | None", "int | None"]
+) -> str:
     """Render one experiment (module-level so worker processes can run
-    it): apply the executor/seed knobs locally — a spawned worker does
-    not inherit the parent's process-wide defaults — then render."""
-    name, quick, executor, seed = job
+    it): apply the executor/backend/seed knobs locally — a spawned
+    worker does not inherit the parent's process-wide defaults — then
+    render."""
+    name, quick, executor, backend, seed = job
     if executor is not None:
         from ..runtime.executors import set_default_executor
 
         set_default_executor(executor)
+    if backend is not None:
+        from ..kernels import set_default_backend
+
+        set_default_backend(backend)
     if seed is not None:
         import numpy as np
 
@@ -180,6 +198,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--backend",
+        metavar="SPEC",
+        help=(
+            "kernel backend for the solvers' hot loops: 'numpy' or "
+            "'numba' (results are bitwise identical either way — only "
+            "wall-clock differs; an unavailable backend degrades to the "
+            "numpy reference with a warning)"
+        ),
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         metavar="N",
@@ -224,6 +252,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..runtime.executors import set_default_executor
 
         set_default_executor(args.executor)
+    if args.backend is not None:
+        from ..kernels import set_default_backend
+
+        set_default_backend(args.backend)
     if args.seed is not None:
         import numpy as np
 
@@ -248,7 +280,10 @@ def main(argv: list[str] | None = None) -> int:
         save_dir = pathlib.Path(args.save)
         save_dir.mkdir(parents=True, exist_ok=True)
 
-    jobs = [(name, args.quick, args.executor, args.seed) for name in names]
+    jobs = [
+        (name, args.quick, args.executor, args.backend, args.seed)
+        for name in names
+    ]
     outputs: dict[str, str] = {}
     failures: dict[str, str] = {}
     if args.jobs > 1 and len(names) > 1:

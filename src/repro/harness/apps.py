@@ -41,9 +41,13 @@ class LBMHDApp:
         return 8
 
     def setup(
-        self, comm: Communicator, params: LBMHDParams, arena: Any | None = None
+        self,
+        comm: Communicator,
+        params: LBMHDParams,
+        arena: Any | None = None,
+        kernels: Any | None = None,
     ) -> LBMHD3D:
-        return LBMHD3D(params, comm, arena=arena)
+        return LBMHD3D(params, comm, arena=arena, kernels=kernels)
 
     def step(self, state: LBMHD3D) -> LBMHD3D:
         state.step()
@@ -79,9 +83,13 @@ class GTCApp:
         return params.ntoroidal
 
     def setup(
-        self, comm: Communicator, params: GTCParams, arena: Any | None = None
+        self,
+        comm: Communicator,
+        params: GTCParams,
+        arena: Any | None = None,
+        kernels: Any | None = None,
     ) -> GTC:
-        return GTC(params, comm, arena=arena)
+        return GTC(params, comm, arena=arena, kernels=kernels)
 
     def step(self, state: GTC) -> GTC:
         state.step()
@@ -119,11 +127,15 @@ class FVCAMApp:
         return params.py * params.pz
 
     def setup(
-        self, comm: Communicator, params: FVCAMParams, arena: Any | None = None
+        self,
+        comm: Communicator,
+        params: FVCAMParams,
+        arena: Any | None = None,
+        kernels: Any | None = None,
     ) -> FVCAM:
         # FVCAM manages its own scratch internally; arena is accepted
         # for interface uniformity and ignored.
-        return FVCAM(params, comm)
+        return FVCAM(params, comm, kernels=kernels)
 
     def step(self, state: FVCAM) -> FVCAM:
         state.step()
@@ -164,9 +176,13 @@ class ParatecApp:
         return 2
 
     def setup(
-        self, comm: Communicator, params: ParatecParams, arena: Any | None = None
+        self,
+        comm: Communicator,
+        params: ParatecParams,
+        arena: Any | None = None,
+        kernels: Any | None = None,
     ) -> Paratec:
-        solver = Paratec(params, comm)
+        solver = Paratec(params, comm, kernels=kernels)
         if arena is not None:
             solver.fft.arena = arena
         return solver

@@ -16,6 +16,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Any
 
+from ..kernels import KernelBackend, resolve_backend
 from ..machines.catalog import get_machine
 from ..machines.spec import MachineSpec
 from ..runtime.executors import Executor, SerialExecutor, get_executor
@@ -118,6 +119,7 @@ def run(
     instrument: bool = True,
     loop_registers: float | None = None,
     executor: Any | None = None,
+    kernel_backend: Any | None = None,
     fault_plan: FaultPlan | None = None,
     policy: RetryPolicy | None = None,
     checkpoint_every: int | None = None,
@@ -165,6 +167,16 @@ def run(
         the end.  Only meaningful when the harness builds the
         communicator; combining it with an explicit ``comm`` is an
         error (the communicator already carries its executor).
+    kernel_backend:
+        Which kernel implementations the solver's hot loops use: a
+        :class:`~repro.kernels.KernelBackend`, a registered name
+        (``"numpy"``, ``"numba"``), or ``None`` to resolve the process
+        default / ``REPRO_KERNEL_BACKEND``.  Changes nothing but
+        wall-clock — every backend is pinned bitwise to the numpy
+        reference, so states, traces, and ledgers are identical.  A
+        backend that is unavailable on this host (numba not importable,
+        ``REPRO_NUMBA_DISABLE``) degrades to the numpy reference with a
+        warning; an unknown name raises listing the valid choices.
     fault_plan, policy:
         A :class:`~repro.resilience.FaultPlan` to inject at the
         transport seam, and the :class:`~repro.resilience.RetryPolicy`
@@ -186,6 +198,7 @@ def run(
         params = adapter.default_params()
     if steps < 0:
         raise ValueError("steps must be >= 0")
+    kernels: KernelBackend = resolve_backend(kernel_backend)
 
     if comm is None:
         if nprocs is None:
@@ -241,7 +254,7 @@ def run(
             arena = owned_pool.arena(getattr(arena, "name", "arena"))
 
     try:
-        state = adapter.setup(comm, params, arena=arena)
+        state = adapter.setup(comm, params, arena=arena, kernels=kernels)
 
         recovery: RecoveryStats | None = None
         if not resilient:

@@ -52,9 +52,18 @@ class SPMDApplication(Protocol):
         ...
 
     def setup(
-        self, comm: Communicator, params: Any, arena: Any | None = None
+        self,
+        comm: Communicator,
+        params: Any,
+        arena: Any | None = None,
+        kernels: Any | None = None,
     ) -> Any:
-        """Build the solver state on a communicator; returns the state."""
+        """Build the solver state on a communicator; returns the state.
+
+        ``kernels`` is a resolved
+        :class:`~repro.kernels.KernelBackend` (or ``None`` for the
+        ambient default) forwarded to the solver's constructor.
+        """
         ...
 
     def step(self, state: Any) -> Any:

@@ -1,0 +1,262 @@
+"""The kernel-backend contract and the NumPy reference backend.
+
+A :class:`KernelBackend` is one *implementation family* for every hot
+loop body the four solvers dispatch: LBMHD collision/equilibria/stream,
+GTC deposit/gather/push, PARATEC line/plane FFTs and CG sweep
+primitives, FVCAM geopotential/dynamics.  The base class **is** the
+reference implementation — every method delegates to the existing NumPy
+kernels in :mod:`repro.apps`, bitwise-unchanged — so an accelerated
+backend subclasses it and overrides only the kernels it genuinely
+speeds up; everything else inherits the reference.  That per-kernel
+inheritance is what keeps the parity contract cheap to uphold:
+
+*Every backend must produce bitwise-identical results to the NumPy
+reference for every kernel*, across decompositions and executors (the
+``tests/test_kernels.py`` matrix enforces this).  A backend that cannot
+meet that bar for some kernel must not override it.
+
+Backends are stateless (safe to share across threads and to inherit
+copy-on-write into forked segment workers) and are resolved through
+:mod:`repro.kernels.registry` exactly like executors: explicit argument
+> process default > ``REPRO_KERNEL_BACKEND`` > ``"numpy"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+class KernelSupport:
+    """Whether a backend can run on this host — and why not.
+
+    Truthy exactly when the backend is usable; ``reason`` carries the
+    human-readable explanation either way (capability on success, the
+    missing prerequisite on failure), mirroring
+    :class:`repro.runtime.executors.SegmentSupport` so rejection errors
+    and fallback warnings can name the actual cause.
+    """
+
+    __slots__ = ("ok", "reason")
+
+    def __init__(self, ok: bool, reason: str) -> None:
+        self.ok = ok
+        self.reason = reason
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KernelSupport(ok={self.ok}, reason={self.reason!r})"
+
+
+class KernelBackend:
+    """One implementation family for the solvers' hot kernels.
+
+    The base class is the NumPy reference: every method calls the
+    existing :mod:`repro.apps` kernel with unchanged arguments, so the
+    default backend is bitwise-identical to the historical code paths
+    by construction.  App modules are imported inside the methods (the
+    import is a cached ``sys.modules`` lookup after the first call) so
+    this module never participates in an import cycle with the app
+    packages that import the registry.
+    """
+
+    #: spec-style name ("numpy", "numba")
+    name: str = "kernel-backend"
+
+    def available(self) -> KernelSupport:
+        """Can this backend run here?  The reference always can."""
+        return KernelSupport(True, "NumPy reference kernels")
+
+    # -- LBMHD ----------------------------------------------------------
+
+    def lbmhd_collide(
+        self,
+        state: np.ndarray,
+        params: Any,
+        out: np.ndarray | None = None,
+        arena: Any | None = None,
+    ) -> np.ndarray:
+        """One BGK collision over the (local) grid; returns new state."""
+        from ..apps.lbmhd.collision import collide
+
+        return collide(state, params, out=out, arena=arena)
+
+    def lbmhd_f_equilibrium(
+        self,
+        rho: np.ndarray,
+        u: np.ndarray,
+        B: np.ndarray,
+        out: np.ndarray | None = None,
+        arena: Any | None = None,
+    ) -> np.ndarray:
+        from ..apps.lbmhd.equilibrium import f_equilibrium
+
+        return f_equilibrium(rho, u, B, out=out, arena=arena)
+
+    def lbmhd_g_equilibrium(
+        self,
+        u: np.ndarray,
+        B: np.ndarray,
+        out: np.ndarray | None = None,
+        arena: Any | None = None,
+    ) -> np.ndarray:
+        from ..apps.lbmhd.equilibrium import g_equilibrium
+
+        return g_equilibrium(u, B, out=out, arena=arena)
+
+    def lbmhd_stream_periodic(
+        self, state: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        from ..apps.lbmhd.stream import stream_periodic
+
+        return stream_periodic(state, out=out)
+
+    def lbmhd_stream_from_padded(
+        self, padded: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        from ..apps.lbmhd.stream import stream_from_padded
+
+        return stream_from_padded(padded, out=out)
+
+    def lbmhd_stream_from_padded_batch(
+        self, padded: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        from ..apps.lbmhd.stream import stream_from_padded_batch
+
+        return stream_from_padded_batch(padded, out=out)
+
+    # -- GTC ------------------------------------------------------------
+
+    def gtc_deposit_scalar(
+        self,
+        grid: Any,
+        particles: Any,
+        gyro_radius: float = 0.0,
+        out: np.ndarray | None = None,
+        arena: Any | None = None,
+    ) -> np.ndarray:
+        from ..apps.gtc.deposit import deposit_scalar
+
+        return deposit_scalar(
+            grid, particles, gyro_radius, out=out, arena=arena
+        )
+
+    def gtc_deposit_work_vector(
+        self,
+        grid: Any,
+        particles: Any,
+        num_copies: int,
+        gyro_radius: float = 0.0,
+        out: np.ndarray | None = None,
+        arena: Any | None = None,
+    ) -> np.ndarray:
+        from ..apps.gtc.deposit import deposit_work_vector
+
+        return deposit_work_vector(
+            grid, particles, num_copies, gyro_radius, out=out, arena=arena
+        )
+
+    def gtc_gather_field(
+        self,
+        grid: Any,
+        e_r: np.ndarray,
+        e_theta: np.ndarray,
+        particles: Any,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        from ..apps.gtc.push import gather_field
+
+        return gather_field(grid, e_r, e_theta, particles)
+
+    def gtc_push_particles(
+        self,
+        torus: Any,
+        particles: Any,
+        e_r_at_p: np.ndarray,
+        e_theta_at_p: np.ndarray,
+        params: Any,
+        out: Any | None = None,
+    ) -> Any:
+        from ..apps.gtc.push import push_particles
+
+        return push_particles(
+            torus, particles, e_r_at_p, e_theta_at_p, params, out=out
+        )
+
+    # -- PARATEC --------------------------------------------------------
+
+    def paratec_ifft_z(self, lines: np.ndarray) -> np.ndarray:
+        """Inverse 1-D FFT along z of one rank's column lines."""
+        return np.fft.ifft(lines, axis=1)
+
+    def paratec_fft_z(self, lines: np.ndarray) -> np.ndarray:
+        """Forward 1-D FFT along z of one rank's column lines."""
+        return np.fft.fft(lines, axis=1)
+
+    def paratec_ifft2_planes(self, slab: np.ndarray) -> np.ndarray:
+        """Inverse planar FFTs of one rank's z-slab."""
+        return np.fft.ifft2(slab, axes=(0, 1))
+
+    def paratec_fft2_planes(self, slab: np.ndarray) -> np.ndarray:
+        """Forward planar FFTs of one rank's z-slab."""
+        return np.fft.fft2(slab, axes=(0, 1))
+
+    def paratec_cg_axpy(
+        self, y: np.ndarray, alpha: complex, x: np.ndarray
+    ) -> None:
+        """One slice of the CG sweep's y += alpha x, in place."""
+        y += alpha * x
+
+    def paratec_cg_scale(self, x: np.ndarray, alpha: complex) -> None:
+        """One slice of the CG sweep's x *= alpha, in place."""
+        x *= alpha
+
+    def paratec_cg_precondition(
+        self, g: np.ndarray, kinetic: np.ndarray, e_ref: float
+    ) -> np.ndarray:
+        """Teter diagonal preconditioner g / (1 + T/E) for one slice."""
+        return g / (1.0 + kinetic / e_ref)
+
+    # -- FVCAM ----------------------------------------------------------
+
+    def fvcam_suffix_sum(self, h: np.ndarray) -> np.ndarray:
+        """Vertical suffix sum: out[k] = sum_{k' >= k} h[k']."""
+        return np.cumsum(h[::-1], axis=0)[::-1]
+
+    def fvcam_geopotential(self, h: np.ndarray, gravity: float) -> np.ndarray:
+        from ..apps.fvcam.dynamics import geopotential
+
+        return geopotential(h, gravity)
+
+    def fvcam_transport_2d(
+        self,
+        grid: Any,
+        q: np.ndarray,
+        cu: np.ndarray,
+        cv: np.ndarray,
+    ) -> np.ndarray:
+        from ..apps.fvcam.dynamics import transport_2d
+
+        return transport_2d(grid, q, cu, cv)
+
+    def fvcam_pressure_gradient(
+        self,
+        grid: Any,
+        phi: np.ndarray,
+        coslat: np.ndarray,
+        dt: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        from ..apps.fvcam.dynamics import pressure_gradient
+
+        return pressure_gradient(grid, phi, coslat, dt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NumPyBackend(KernelBackend):
+    """The reference backend: the extracted current code, unchanged."""
+
+    name = "numpy"

@@ -1,0 +1,46 @@
+"""Backend-dispatched FVCAM hot kernels (geopotential, dynamics)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .registry import get_backend
+
+__all__ = [
+    "suffix_sum",
+    "geopotential",
+    "transport_2d",
+    "pressure_gradient",
+]
+
+
+def suffix_sum(h: np.ndarray, backend: Any | None = None) -> np.ndarray:
+    return get_backend(backend).fvcam_suffix_sum(h)
+
+
+def geopotential(
+    h: np.ndarray, gravity: float, backend: Any | None = None
+) -> np.ndarray:
+    return get_backend(backend).fvcam_geopotential(h, gravity)
+
+
+def transport_2d(
+    grid: Any,
+    q: np.ndarray,
+    cu: np.ndarray,
+    cv: np.ndarray,
+    backend: Any | None = None,
+) -> np.ndarray:
+    return get_backend(backend).fvcam_transport_2d(grid, q, cu, cv)
+
+
+def pressure_gradient(
+    grid: Any,
+    phi: np.ndarray,
+    coslat: np.ndarray,
+    dt: float,
+    backend: Any | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    return get_backend(backend).fvcam_pressure_gradient(grid, phi, coslat, dt)

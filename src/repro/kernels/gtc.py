@@ -1,0 +1,67 @@
+"""Backend-dispatched GTC hot kernels (deposit, gather, push)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .registry import get_backend
+
+__all__ = [
+    "deposit_scalar",
+    "deposit_work_vector",
+    "gather_field",
+    "push_particles",
+]
+
+
+def deposit_scalar(
+    grid: Any,
+    particles: Any,
+    gyro_radius: float = 0.0,
+    out: np.ndarray | None = None,
+    arena: Any | None = None,
+    backend: Any | None = None,
+) -> np.ndarray:
+    return get_backend(backend).gtc_deposit_scalar(
+        grid, particles, gyro_radius, out=out, arena=arena
+    )
+
+
+def deposit_work_vector(
+    grid: Any,
+    particles: Any,
+    num_copies: int,
+    gyro_radius: float = 0.0,
+    out: np.ndarray | None = None,
+    arena: Any | None = None,
+    backend: Any | None = None,
+) -> np.ndarray:
+    return get_backend(backend).gtc_deposit_work_vector(
+        grid, particles, num_copies, gyro_radius, out=out, arena=arena
+    )
+
+
+def gather_field(
+    grid: Any,
+    e_r: np.ndarray,
+    e_theta: np.ndarray,
+    particles: Any,
+    backend: Any | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    return get_backend(backend).gtc_gather_field(grid, e_r, e_theta, particles)
+
+
+def push_particles(
+    torus: Any,
+    particles: Any,
+    e_r_at_p: np.ndarray,
+    e_theta_at_p: np.ndarray,
+    params: Any,
+    out: Any | None = None,
+    backend: Any | None = None,
+) -> Any:
+    return get_backend(backend).gtc_push_particles(
+        torus, particles, e_r_at_p, e_theta_at_p, params, out=out
+    )

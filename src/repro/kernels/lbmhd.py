@@ -1,0 +1,88 @@
+"""Backend-dispatched LBMHD hot kernels (collision, equilibria, stream).
+
+Thin module-level entry points over :class:`KernelBackend` methods —
+the one-API-many-implementations surface.  ``backend=None`` resolves
+through the registry chain (explicit > default > ``REPRO_KERNEL_BACKEND``
+> numpy); passing a name or instance pins the implementation for this
+call only.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .registry import get_backend
+
+__all__ = [
+    "collide",
+    "f_equilibrium",
+    "g_equilibrium",
+    "stream_periodic",
+    "stream_from_padded",
+    "stream_from_padded_batch",
+]
+
+
+def collide(
+    state: np.ndarray,
+    params: Any,
+    out: np.ndarray | None = None,
+    arena: Any | None = None,
+    backend: Any | None = None,
+) -> np.ndarray:
+    return get_backend(backend).lbmhd_collide(
+        state, params, out=out, arena=arena
+    )
+
+
+def f_equilibrium(
+    rho: np.ndarray,
+    u: np.ndarray,
+    B: np.ndarray,
+    out: np.ndarray | None = None,
+    arena: Any | None = None,
+    backend: Any | None = None,
+) -> np.ndarray:
+    return get_backend(backend).lbmhd_f_equilibrium(
+        rho, u, B, out=out, arena=arena
+    )
+
+
+def g_equilibrium(
+    u: np.ndarray,
+    B: np.ndarray,
+    out: np.ndarray | None = None,
+    arena: Any | None = None,
+    backend: Any | None = None,
+) -> np.ndarray:
+    return get_backend(backend).lbmhd_g_equilibrium(
+        u, B, out=out, arena=arena
+    )
+
+
+def stream_periodic(
+    state: np.ndarray,
+    out: np.ndarray | None = None,
+    backend: Any | None = None,
+) -> np.ndarray:
+    return get_backend(backend).lbmhd_stream_periodic(state, out=out)
+
+
+def stream_from_padded(
+    padded: np.ndarray,
+    out: np.ndarray | None = None,
+    backend: Any | None = None,
+) -> np.ndarray:
+    return get_backend(backend).lbmhd_stream_from_padded(padded, out=out)
+
+
+def stream_from_padded_batch(
+    padded: np.ndarray,
+    out: np.ndarray | None = None,
+    backend: Any | None = None,
+) -> np.ndarray:
+    return get_backend(backend).lbmhd_stream_from_padded_batch(
+        padded, out=out
+    )

@@ -1,0 +1,56 @@
+"""Backend-dispatched PARATEC hot kernels (3-D FFT stages, CG sweep)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .registry import get_backend
+
+__all__ = [
+    "ifft_z",
+    "fft_z",
+    "ifft2_planes",
+    "fft2_planes",
+    "cg_axpy",
+    "cg_scale",
+    "cg_precondition",
+]
+
+
+def ifft_z(lines: np.ndarray, backend: Any | None = None) -> np.ndarray:
+    return get_backend(backend).paratec_ifft_z(lines)
+
+
+def fft_z(lines: np.ndarray, backend: Any | None = None) -> np.ndarray:
+    return get_backend(backend).paratec_fft_z(lines)
+
+
+def ifft2_planes(slab: np.ndarray, backend: Any | None = None) -> np.ndarray:
+    return get_backend(backend).paratec_ifft2_planes(slab)
+
+
+def fft2_planes(slab: np.ndarray, backend: Any | None = None) -> np.ndarray:
+    return get_backend(backend).paratec_fft2_planes(slab)
+
+
+def cg_axpy(
+    y: np.ndarray, alpha: complex, x: np.ndarray, backend: Any | None = None
+) -> None:
+    get_backend(backend).paratec_cg_axpy(y, alpha, x)
+
+
+def cg_scale(
+    x: np.ndarray, alpha: complex, backend: Any | None = None
+) -> None:
+    get_backend(backend).paratec_cg_scale(x, alpha)
+
+
+def cg_precondition(
+    g: np.ndarray,
+    kinetic: np.ndarray,
+    e_ref: float,
+    backend: Any | None = None,
+) -> np.ndarray:
+    return get_backend(backend).paratec_cg_precondition(g, kinetic, e_ref)

@@ -486,26 +486,38 @@ def set_default_executor(spec: "str | Executor | None") -> Executor | None:
 
 def get_executor(spec: "str | Executor | None" = None) -> Executor:
     """Resolve an executor spec (see module docstring for the chain)."""
+    source = "argument"
     if spec is None:
         with _DEFAULT_LOCK:
             spec = _default_spec
+        source = "default"
     if spec is None:
-        spec = os.environ.get(_ENV_VAR) or "serial"
-    return _parse(spec)
+        env = os.environ.get(_ENV_VAR)
+        if env:
+            spec, source = env, "env"
+        else:
+            spec = "serial"
+    return _parse(spec, source)
 
 
-def _parse(spec: "str | Executor") -> Executor:
+def _parse(spec: "str | Executor", source: str = "argument") -> Executor:
+    """Resolve a spec to an executor; a malformed spec is a ValueError
+    listing the valid forms and naming ``REPRO_EXECUTOR`` as the source
+    when that is where the bad spec came from."""
     if isinstance(spec, Executor):
         return spec
     if not isinstance(spec, str):
         raise TypeError(
             f"executor spec must be a string or Executor, got {type(spec)!r}"
         )
+    origin = f" (from {_ENV_VAR})" if source == "env" else ""
     base, _, arg = spec.partition(":")
     base = base.strip().lower()
     if base == "serial":
         if arg:
-            raise ValueError(f"serial executor takes no argument: {spec!r}")
+            raise ValueError(
+                f"serial executor takes no argument: {spec!r}{origin}"
+            )
         return SerialExecutor()
     if base in ("threads", "processes"):
         cls = ThreadExecutor if base == "threads" else ProcessExecutor
@@ -515,11 +527,11 @@ def _parse(spec: "str | Executor") -> Executor:
             workers = int(arg)
         except ValueError:
             raise ValueError(
-                f"bad worker count in executor spec {spec!r}"
+                f"bad worker count in executor spec {spec!r}{origin}"
             ) from None
         return cls(workers)
     raise ValueError(
-        f"unknown executor {spec!r}; expected 'serial', 'threads', "
+        f"unknown executor {spec!r}{origin}; expected 'serial', 'threads', "
         "'threads:N', 'processes', or 'processes:N'"
     )
 

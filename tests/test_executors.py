@@ -79,6 +79,27 @@ class TestResolution:
         monkeypatch.setenv("REPRO_EXECUTOR", "threads:2")
         assert isinstance(get_executor("serial"), SerialExecutor)
 
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError) as exc:
+            get_executor("fibers")
+        msg = str(exc.value)
+        assert "unknown executor 'fibers'" in msg
+        assert "'serial'" in msg and "'processes:N'" in msg
+        assert "REPRO_EXECUTOR" not in msg  # not env-sourced
+
+    def test_unknown_env_name_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "fibers")
+        with pytest.raises(ValueError) as exc:
+            get_executor()
+        msg = str(exc.value)
+        assert "(from REPRO_EXECUTOR)" in msg
+        assert "'serial'" in msg and "'processes:N'" in msg
+
+    def test_bad_env_worker_count_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "threads:lots")
+        with pytest.raises(ValueError, match="REPRO_EXECUTOR"):
+            get_executor()
+
     def test_default_beats_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_EXECUTOR", "threads:2")
         set_default_executor("serial")

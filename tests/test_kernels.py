@@ -1,0 +1,498 @@
+"""The kernel-backend seam: resolution, capability policy, parity.
+
+Three layers of contract, mirroring ``docs/kernels.md``:
+
+* **Resolution** — explicit argument > process default >
+  ``REPRO_KERNEL_BACKEND`` > ``"numpy"``; unknown names are a
+  ValueError listing the valid choices (and naming the environment
+  variable when that is where the bad spec came from).
+* **Capability** — an explicitly requested unavailable backend raises
+  naming the reason; an ambient one warns once per process and
+  degrades to the numpy reference.
+* **Parity** — every registered, available backend is pinned bitwise
+  against the numpy reference per kernel, and a harness run under any
+  ambient backend produces states, diagnostics, ledgers, and virtual
+  clocks identical to an explicit ``kernel_backend="numpy"`` run.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+from numpy.testing import assert_array_equal
+
+from repro import harness
+from repro.apps.fvcam.solver import FVCAM, FVCAMParams
+from repro.apps.gtc.particles import PARTICLE_FIELDS
+from repro.apps.gtc.solver import GTC, GTCParams
+from repro.apps.lbmhd.collision import CollisionParams
+from repro.apps.lbmhd.equilibrium import f_equilibrium, g_equilibrium
+from repro.kernels import (
+    KernelBackend,
+    NumPyBackend,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+    unregister_backend,
+)
+from repro.kernels import registry
+from repro.simmpi.comm import Communicator
+
+
+#: The spec the *session* was launched with (the CI kernel-backend job
+#: sets REPRO_KERNEL_BACKEND=numba); captured before the autouse
+#: fixture scrubs the environment, so the harness-equivalence tests can
+#: reinstate it and genuinely compare the ambient backend to numpy.
+_AMBIENT_ENV_SPEC = os.environ.get("REPRO_KERNEL_BACKEND")
+
+
+@pytest.fixture(autouse=True)
+def _clean_backend_state(monkeypatch):
+    """Every test starts with no default, no env spec, fresh warnings."""
+    monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+    set_default_backend(None)
+    yield
+    set_default_backend(None)
+
+
+@pytest.fixture
+def _ambient_env_spec(monkeypatch):
+    """Reinstate the session's original REPRO_KERNEL_BACKEND, if any."""
+    if _AMBIENT_ENV_SPEC:
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", _AMBIENT_ENV_SPEC)
+
+
+# -- resolution order ------------------------------------------------------
+
+
+def test_default_resolution_is_numpy():
+    assert get_backend().name == "numpy"
+    assert isinstance(get_backend(), NumPyBackend)
+
+
+def test_explicit_name_and_instance_resolve():
+    assert get_backend("numpy").name == "numpy"
+    inst = NumPyBackend()
+    assert get_backend(inst) is inst
+
+
+def test_default_outranks_env(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "not-a-backend")
+    set_default_backend("numpy")
+    assert get_backend().name == "numpy"  # env never consulted
+
+
+def test_explicit_outranks_default():
+    class Marker(NumPyBackend):
+        name = "marker"
+
+    register_backend("marker", Marker)
+    try:
+        set_default_backend("marker")
+        assert get_backend().name == "marker"
+        assert get_backend("numpy").name == "numpy"
+    finally:
+        set_default_backend(None)
+        unregister_backend("marker")
+
+
+def test_env_var_resolves(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+    assert get_backend().name == "numpy"
+
+
+def test_unknown_name_lists_choices():
+    with pytest.raises(ValueError) as exc:
+        get_backend("fortran")
+    msg = str(exc.value)
+    assert "unknown kernel backend 'fortran'" in msg
+    assert "'numpy'" in msg and "'numba'" in msg
+    assert "REPRO_KERNEL_BACKEND" not in msg  # not env-sourced
+
+
+def test_unknown_env_name_names_the_variable(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "fortran")
+    with pytest.raises(ValueError) as exc:
+        get_backend()
+    msg = str(exc.value)
+    assert "(from REPRO_KERNEL_BACKEND)" in msg
+    assert "'numpy'" in msg and "'numba'" in msg
+
+
+def test_set_default_validates_eagerly():
+    with pytest.raises(ValueError, match="valid choices"):
+        set_default_backend("fortran")
+    assert get_backend().name == "numpy"  # nothing was installed
+
+
+def test_non_string_spec_is_type_error():
+    with pytest.raises(TypeError):
+        get_backend(42)
+
+
+# -- capability policy -----------------------------------------------------
+
+
+def test_explicit_unavailable_raises_naming_reason(monkeypatch):
+    monkeypatch.setenv("REPRO_NUMBA_DISABLE", "1")
+    with pytest.raises(ValueError) as exc:
+        get_backend("numba")
+    assert "unavailable here" in str(exc.value)
+    assert "REPRO_NUMBA_DISABLE" in str(exc.value)
+
+
+def test_ambient_unavailable_warns_once_and_degrades(monkeypatch):
+    monkeypatch.setenv("REPRO_NUMBA_DISABLE", "1")
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numba")
+    registry._clear_warned()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert get_backend().name == "numpy"
+        assert get_backend().name == "numpy"
+    relevant = [
+        w for w in caught if "kernel backend 'numba'" in str(w.message)
+    ]
+    assert len(relevant) == 1  # once per process, not per call
+    assert issubclass(relevant[0].category, RuntimeWarning)
+
+
+def test_resolve_backend_degrades_explicit_unavailable(monkeypatch):
+    monkeypatch.setenv("REPRO_NUMBA_DISABLE", "1")
+    registry._clear_warned()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert resolve_backend("numba").name == "numpy"
+    assert any(
+        "kernel backend 'numba'" in str(w.message) for w in caught
+    )
+
+
+def test_resolve_backend_still_rejects_unknown_names():
+    with pytest.raises(ValueError, match="valid choices"):
+        resolve_backend("fortran")
+
+
+def test_available_backends_reports_every_registration():
+    support = available_backends()
+    assert set(backend_names()) == set(support)
+    assert support["numpy"].ok
+    assert support["numpy"].reason
+
+
+# -- registration + dispatch -----------------------------------------------
+
+
+class _DoublingBackend(KernelBackend):
+    """Toy backend proving dispatch: doubles one kernel's output."""
+
+    name = "toy-double"
+
+    def fvcam_suffix_sum(self, h: np.ndarray) -> np.ndarray:
+        return 2.0 * super().fvcam_suffix_sum(h)
+
+
+def test_registered_backend_is_dispatched():
+    from repro.kernels import fvcam as fvcam_kernels
+
+    register_backend("toy", _DoublingBackend)
+    try:
+        h = np.arange(24.0).reshape(2, 3, 4)
+        ref = fvcam_kernels.suffix_sum(h)
+        toy = fvcam_kernels.suffix_sum(h, backend="toy")
+        assert_array_equal(toy, 2.0 * ref)
+        # non-overridden kernels inherit the reference
+        g = get_backend("toy").fvcam_geopotential(h, 9.8)
+        assert_array_equal(g, get_backend("numpy").fvcam_geopotential(h, 9.8))
+    finally:
+        unregister_backend("toy")
+    with pytest.raises(ValueError, match="valid choices"):
+        get_backend("toy")
+
+
+def test_duplicate_registration_needs_replace():
+    register_backend("toy", _DoublingBackend)
+    try:
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("toy", _DoublingBackend)
+        register_backend("toy", _DoublingBackend, replace=True)
+    finally:
+        unregister_backend("toy")
+
+
+# -- per-kernel parity matrix ----------------------------------------------
+
+
+def _kernel_cases():
+    """name -> call(backend) for every kernel on the backend surface.
+
+    Inputs are fixed (seeded RNG / deterministic solvers) so any two
+    backends see identical arguments; in-place kernels copy their
+    operands first and return the mutated copy.
+    """
+    rng = np.random.default_rng(42)
+
+    # LBMHD: a physical state assembled from the equilibria
+    shape = (4, 4, 4)
+    rho = 1.0 + 0.01 * rng.standard_normal(shape)
+    u = 0.01 * rng.standard_normal((3,) + shape)
+    B = 0.05 * rng.standard_normal((3,) + shape)
+    f = f_equilibrium(rho, u, B)
+    g = g_equilibrium(u, B)
+    state = np.concatenate([f, g.reshape(-1, *shape)])
+    padded = np.pad(state, ((0, 0),) + ((1, 1),) * 3, mode="wrap")
+    block = np.stack([state, np.roll(state, 1, axis=1)], axis=1)
+    padded_block = np.pad(
+        block, ((0, 0), (0, 0)) + ((1, 1),) * 3, mode="wrap"
+    )
+    cparams = CollisionParams()
+
+    # GTC: a real grid + particle population from a tiny solver
+    gtc = GTC(
+        GTCParams(ntoroidal=2, particles_per_cell=8), Communicator(2)
+    )
+    plane, torus = gtc.torus.plane, gtc.torus
+    parts = gtc.particles[0]
+    e_r_grid = 0.01 * rng.standard_normal(plane.shape)
+    e_theta_grid = 0.01 * rng.standard_normal(plane.shape)
+    e_r_at_p = 0.01 * rng.standard_normal(parts.r.shape)
+    e_theta_at_p = 0.01 * rng.standard_normal(parts.r.shape)
+    push = gtc.push_params
+
+    # PARATEC: complex lines/slabs/slices
+    lines = rng.standard_normal((5, 8)) + 1j * rng.standard_normal((5, 8))
+    slab = rng.standard_normal((6, 6, 3)) + 1j * rng.standard_normal(
+        (6, 6, 3)
+    )
+    x = rng.standard_normal(40) + 1j * rng.standard_normal(40)
+    y = rng.standard_normal(40) + 1j * rng.standard_normal(40)
+    kinetic = rng.random(40) * 4.0
+
+    # FVCAM: level stacks on the solver's own lat-lon grid
+    fv_grid = FVCAM(FVCAMParams(), Communicator(1)).grid
+    h = 100.0 + rng.standard_normal((5, fv_grid.jm, fv_grid.im))
+    q = 1.0 + 0.1 * rng.standard_normal((3, fv_grid.jm, fv_grid.im))
+    cu = 0.2 * rng.standard_normal(q.shape)
+    cv = 0.2 * rng.standard_normal(q.shape)
+    phi = 9.8 * h
+    coslat = fv_grid.coslat
+
+    def axpy(b):
+        yc = y.copy()
+        b.paratec_cg_axpy(yc, 0.25 - 0.5j, x)
+        return yc
+
+    def scale(b):
+        xc = x.copy()
+        b.paratec_cg_scale(xc, 0.75 + 0.1j)
+        return xc
+
+    return {
+        "lbmhd_collide": lambda b: b.lbmhd_collide(state.copy(), cparams),
+        "lbmhd_f_equilibrium": lambda b: b.lbmhd_f_equilibrium(rho, u, B),
+        "lbmhd_g_equilibrium": lambda b: b.lbmhd_g_equilibrium(u, B),
+        "lbmhd_stream_periodic": lambda b: b.lbmhd_stream_periodic(state),
+        "lbmhd_stream_from_padded": (
+            lambda b: b.lbmhd_stream_from_padded(padded)
+        ),
+        "lbmhd_stream_from_padded_batch": (
+            lambda b: b.lbmhd_stream_from_padded_batch(padded_block)
+        ),
+        "gtc_deposit_scalar": lambda b: b.gtc_deposit_scalar(plane, parts),
+        "gtc_deposit_scalar_gyro": (
+            lambda b: b.gtc_deposit_scalar(plane, parts, gyro_radius=0.05)
+        ),
+        "gtc_deposit_work_vector": (
+            lambda b: b.gtc_deposit_work_vector(plane, parts, 8)
+        ),
+        "gtc_gather_field": (
+            lambda b: b.gtc_gather_field(plane, e_r_grid, e_theta_grid, parts)
+        ),
+        "gtc_push_particles": (
+            lambda b: b.gtc_push_particles(
+                torus, parts, e_r_at_p, e_theta_at_p, push
+            )
+        ),
+        "paratec_ifft_z": lambda b: b.paratec_ifft_z(lines),
+        "paratec_fft_z": lambda b: b.paratec_fft_z(lines),
+        "paratec_ifft2_planes": lambda b: b.paratec_ifft2_planes(slab),
+        "paratec_fft2_planes": lambda b: b.paratec_fft2_planes(slab),
+        "paratec_cg_axpy": axpy,
+        "paratec_cg_scale": scale,
+        "paratec_cg_precondition": (
+            lambda b: b.paratec_cg_precondition(x, kinetic, 2.0)
+        ),
+        "fvcam_suffix_sum": lambda b: b.fvcam_suffix_sum(h),
+        "fvcam_geopotential": lambda b: b.fvcam_geopotential(h, 9.8),
+        "fvcam_transport_2d": (
+            lambda b: b.fvcam_transport_2d(fv_grid, q, cu, cv)
+        ),
+        "fvcam_pressure_gradient": (
+            lambda b: b.fvcam_pressure_gradient(fv_grid, phi, coslat, 0.1)
+        ),
+    }
+
+
+def _assert_same(name: str, got, want) -> None:
+    if isinstance(got, tuple):
+        assert isinstance(want, tuple) and len(got) == len(want), name
+        for i, (a, b) in enumerate(zip(got, want)):
+            _assert_same(f"{name}[{i}]", a, b)
+    elif hasattr(got, "r") and hasattr(got, "theta"):  # ParticleArray
+        for fld in PARTICLE_FIELDS:
+            assert_array_equal(
+                getattr(got, fld), getattr(want, fld), err_msg=f"{name}.{fld}"
+            )
+    else:
+        assert_array_equal(np.asarray(got), np.asarray(want), err_msg=name)
+
+
+@pytest.mark.parametrize("backend_name", backend_names())
+def test_backend_bitwise_parity_per_kernel(backend_name):
+    """Every registered, available backend == numpy, kernel by kernel."""
+    support = available_backends()[backend_name]
+    if not support.ok:
+        pytest.skip(f"{backend_name}: {support.reason}")
+    backend = get_backend(backend_name)
+    reference = get_backend("numpy")
+    for name, call in _kernel_cases().items():
+        _assert_same(name, call(backend), call(reference))
+
+
+def test_numba_loop_bodies_match_reference_in_pure_python(monkeypatch):
+    """The numba backend's loop bodies, run as plain Python (jit
+    stubbed to identity), are bitwise-identical to the reference.
+
+    ``njit(fastmath=False)`` compiles exactly these semantics, so this
+    pins the algorithmic parity of every override even on hosts where
+    numba itself is not importable; the jitted path is pinned by the CI
+    kernel-backend job.
+    """
+    from repro.kernels import numba_backend
+
+    monkeypatch.setattr(numba_backend, "_jit", lambda fn: fn)
+    backend = numba_backend.NumbaBackend()
+    reference = get_backend("numpy")
+    for name, call in _kernel_cases().items():
+        _assert_same(name, call(backend), call(reference))
+
+
+def test_toy_backend_must_not_survive_parity():
+    """The parity harness actually detects a divergent backend."""
+    register_backend("toy", _DoublingBackend)
+    try:
+        cases = _kernel_cases()
+        with pytest.raises(AssertionError):
+            _assert_same(
+                "fvcam_suffix_sum",
+                cases["fvcam_suffix_sum"](get_backend("toy")),
+                cases["fvcam_suffix_sum"](get_backend("numpy")),
+            )
+    finally:
+        unregister_backend("toy")
+
+
+# -- harness-level equivalence ---------------------------------------------
+
+#: (app, nprocs, params) cells of the equivalence matrix; FVCAM's
+#: decomposition must match P explicitly.
+_MATRIX_P4 = [
+    ("lbmhd", 4, None),
+    ("gtc", 4, None),
+    ("fvcam", 4, FVCAMParams(py=2, pz=2)),
+    ("paratec", 4, None),
+]
+_MATRIX_P8 = [
+    ("lbmhd", 8, None),
+    ("gtc", 8, None),
+    ("fvcam", 8, FVCAMParams(py=2, pz=4)),
+    ("paratec", 8, None),
+]
+
+
+def _assert_runs_identical(app: str, a, b) -> None:
+    adapter = harness.APPLICATIONS[app]
+    assert_array_equal(
+        adapter.state_vector(a.state), adapter.state_vector(b.state)
+    )
+    assert a.diagnostics == b.diagnostics
+    assert a.comm.elapsed == b.comm.elapsed  # virtual clock
+    assert a.ledger.as_records(steps=1) == b.ledger.as_records(steps=1)
+
+
+@pytest.mark.usefixtures("_ambient_env_spec")
+@pytest.mark.parametrize("app,nprocs,params", _MATRIX_P4)
+def test_harness_backend_equivalence_p4(app, nprocs, params):
+    """run() under the ambient backend == run(kernel_backend="numpy").
+
+    Trivial when the ambient backend is numpy; under the CI job's
+    ``REPRO_KERNEL_BACKEND=numba`` this pins the accelerated backend's
+    states, traces, ledgers, and clocks to the reference, end to end.
+    """
+    base = harness.run(app, params, steps=2, nprocs=nprocs)
+    pinned = harness.run(
+        app, params, steps=2, nprocs=nprocs, kernel_backend="numpy"
+    )
+    _assert_runs_identical(app, base, pinned)
+
+
+@pytest.mark.slow
+@pytest.mark.usefixtures("_ambient_env_spec")
+@pytest.mark.parametrize("app,nprocs,params", _MATRIX_P8)
+def test_harness_backend_equivalence_p8(app, nprocs, params):
+    base = harness.run(app, params, steps=2, nprocs=nprocs)
+    pinned = harness.run(
+        app, params, steps=2, nprocs=nprocs, kernel_backend="numpy"
+    )
+    _assert_runs_identical(app, base, pinned)
+
+
+@pytest.mark.parametrize("executor", ["serial", "threads:2"])
+def test_backend_composes_with_executors(executor):
+    """Backend dispatch threads through the executor seam unchanged."""
+    serial = harness.run(
+        "gtc", steps=2, nprocs=4, kernel_backend="numpy", executor="serial"
+    )
+    other = harness.run(
+        "gtc", steps=2, nprocs=4, kernel_backend="numpy", executor=executor
+    )
+    _assert_runs_identical("gtc", serial, other)
+
+
+@pytest.mark.slow
+def test_backend_composes_with_process_executor():
+    from repro.runtime.executors import ProcessExecutor
+
+    support = ProcessExecutor(2).segment_support()
+    if not support.ok:
+        pytest.skip(f"process executor unsupported: {support.reason}")
+    serial = harness.run(
+        "lbmhd", steps=2, nprocs=4, kernel_backend="numpy", executor="serial"
+    )
+    procs = harness.run(
+        "lbmhd",
+        steps=2,
+        nprocs=4,
+        kernel_backend="numpy",
+        executor="processes:2",
+    )
+    _assert_runs_identical("lbmhd", serial, procs)
+
+
+def test_solver_ctor_accepts_backend_spec():
+    """Solvers take names, instances, or None (ambient) directly."""
+    from repro.apps.lbmhd.solver import LBMHD3D, LBMHDParams
+
+    params = LBMHDParams(shape=(8, 8, 8))
+    by_name = LBMHD3D(params, Communicator(4), kernels="numpy")
+    by_inst = LBMHD3D(params, Communicator(4), kernels=NumPyBackend())
+    ambient = LBMHD3D(params, Communicator(4))
+    for solver in (by_name, by_inst, ambient):
+        solver.run(2)
+    assert_array_equal(by_name.global_state(), by_inst.global_state())
+    assert_array_equal(by_name.global_state(), ambient.global_state())

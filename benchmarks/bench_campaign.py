@@ -22,12 +22,15 @@ from __future__ import annotations
 
 import os
 import tempfile
-from pathlib import Path
 
 import pytest
 
 from repro.campaign import CampaignSpec, ResultCache, run_campaign
-from repro.runtime.perf import write_results
+
+try:  # runnable both as a script and under pytest rootdir collection
+    import common
+except ImportError:  # pragma: no cover
+    from benchmarks import common
 
 # -- benchmark configuration (the tracked numbers) -------------------------
 
@@ -47,7 +50,7 @@ CAMPAIGN = CampaignSpec(
 #: Acceptance bound: processes vs serial cold wall-clock.
 PROCESS_SPEEDUP_TARGET = 1.5
 #: The speedup bound is only meaningful with real cores to fan out on.
-MIN_CORES_FOR_TARGET = 4
+MIN_CORES_FOR_TARGET = common.MIN_CORES_FOR_TARGET
 #: Acceptance bound: warm rerun wall-clock as a fraction of cold.
 WARM_FRACTION_TARGET = 0.10
 
@@ -67,7 +70,7 @@ SMOKE = CampaignSpec(
 
 def run_benchmark(workers: int | None = None) -> dict:
     """Cold serial vs cold processes vs warm rerun; the JSON payload."""
-    cores = os.cpu_count() or 1
+    cores = common.cpu_count()
     n = len(CAMPAIGN.expand())
 
     serial_cold = run_campaign(CAMPAIGN, cache=None, scheduler="serial")
@@ -89,7 +92,7 @@ def run_benchmark(workers: int | None = None) -> dict:
     warm_fraction = warm.wall_s / proc_cold.wall_s
     return {
         "campaign": CAMPAIGN.to_dict(),
-        "host": {"cpu_count": cores},
+        "host": common.host_facts(),
         "configs": n,
         "cold": {
             "serial_wall_s": serial_cold.wall_s,
@@ -106,7 +109,7 @@ def run_benchmark(workers: int | None = None) -> dict:
         "target": {
             "speedup": PROCESS_SPEEDUP_TARGET,
             "min_cores": MIN_CORES_FOR_TARGET,
-            "speedup_enforced": cores >= MIN_CORES_FOR_TARGET,
+            "speedup_enforced": common.targets_enforced(),
             "speedup_met": speedup >= PROCESS_SPEEDUP_TARGET,
             "warm_fraction": WARM_FRACTION_TARGET,
             "warm_met": warm.hits == n
@@ -165,7 +168,6 @@ def test_process_speedup_meets_target():
 
 
 if __name__ == "__main__":
-    out = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
     payload = run_benchmark()
     cold, warm, target = (
         payload["cold"], payload["warm"], payload["target"],
@@ -197,5 +199,4 @@ if __name__ == "__main__":
             f"note: {cores} core(s) < {MIN_CORES_FOR_TARGET} — "
             f"speedup target recorded but not enforced on this host"
         )
-    write_results(out, payload)
-    print(f"wrote {out}")
+    common.emit("BENCH_PR5.json", payload)

@@ -15,9 +15,6 @@ The pytest entry points are smoke tests (marked ``bench_smoke``)::
 
 from __future__ import annotations
 
-import os
-from pathlib import Path
-
 import numpy as np
 import pytest
 from numpy.testing import assert_array_equal
@@ -26,7 +23,12 @@ from repro import harness
 from repro.apps.lbmhd.solver import LBMHDParams
 from repro.resilience import MemoryCheckpointStore
 from repro.runtime.arena import Arena
-from repro.runtime.perf import Timing, measure, write_results
+from repro.runtime.perf import Timing, measure
+
+try:  # runnable both as a script and under pytest rootdir collection
+    import common
+except ImportError:  # pragma: no cover
+    from benchmarks import common
 
 # -- benchmark configuration (the tracked numbers) -------------------------
 
@@ -93,7 +95,7 @@ def run_campaign(repeats: int = 5) -> dict:
             "steps": LBMHD_STEPS,
             "checkpoint_every": CHECKPOINT_EVERY,
         },
-        "host": {"cpu_count": os.cpu_count() or 1},
+        "host": common.host_facts(),
         "lbmhd_harness": {
             "plain": plain.to_dict(),
             "checkpointed": ckpt.to_dict(),
@@ -150,7 +152,6 @@ def test_campaign_machinery_flows():
 
 
 if __name__ == "__main__":
-    out = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
     payload = run_campaign()
     row = payload["lbmhd_harness"]
     plain_ms = row["plain"]["best_s"] * 1e3
@@ -162,5 +163,4 @@ if __name__ == "__main__":
         f"(target < {payload['target']['overhead'] * 100:.0f}%, "
         f"{'MET' if payload['target']['met'] else 'MISSED'})"
     )
-    write_results(out, payload)
-    print(f"wrote {out}")
+    common.emit("BENCH_PR4.json", payload)

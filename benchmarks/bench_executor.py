@@ -36,7 +36,6 @@ stepping stay bitwise-identical::
 from __future__ import annotations
 
 import os
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -52,8 +51,13 @@ from repro.runtime.executors import (
     SerialExecutor,
     ThreadExecutor,
 )
-from repro.runtime.perf import Timing, measure, write_results
+from repro.runtime.perf import Timing, measure
 from repro.simmpi.comm import Communicator
+
+try:  # runnable both as a script and under pytest rootdir collection
+    import common
+except ImportError:  # pragma: no cover
+    from benchmarks import common
 
 # -- benchmark configuration (the tracked numbers) -------------------------
 
@@ -68,7 +72,7 @@ SPEEDUP_TARGET = 1.5
 #: Backwards-compatible alias (the PR3 payload used this name).
 THREAD_SPEEDUP_TARGET = SPEEDUP_TARGET
 #: The bound is only meaningful with real cores to overlap on.
-MIN_CORES_FOR_TARGET = 4
+MIN_CORES_FOR_TARGET = common.MIN_CORES_FOR_TARGET
 
 _THREAD_SPEC = f"threads:{THREAD_WORKERS}"
 _PROCESS_SPEC = f"processes:{PROCESS_WORKERS}"
@@ -122,9 +126,9 @@ def run_campaign(repeats: int = 5) -> dict:
     processes = by_exec[_PROCESS_SPEC]
     thread_speedup = serial["wall_s"] / threaded["wall_s"]
     process_speedup = serial["wall_s"] / processes["wall_s"]
-    cores = os.cpu_count() or 1
+    cores = common.cpu_count()
     proc_support = ProcessExecutor(PROCESS_WORKERS).segment_support()
-    enforced = cores >= MIN_CORES_FOR_TARGET
+    enforced = common.targets_enforced()
     return {
         "config": {
             "shape": list(LBMHD_SHAPE),
@@ -134,7 +138,7 @@ def run_campaign(repeats: int = 5) -> dict:
             "process_workers": PROCESS_WORKERS,
             "scheduler": report.scheduler,
         },
-        "host": {"cpu_count": cores},
+        "host": common.host_facts(),
         "lbmhd_step_loop": {
             "serial": _cell(serial, repeats, cores, None),
             "threads": _cell(threaded, repeats, cores, None),
@@ -276,7 +280,6 @@ def test_parallel_speedup_meets_target():
 
 
 if __name__ == "__main__":
-    out = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
     payload = run_campaign()
     row = payload["lbmhd_step_loop"]
     per = row["units_per_sample"]
@@ -313,5 +316,4 @@ if __name__ == "__main__":
             f"note: {cores} core(s) < {MIN_CORES_FOR_TARGET} — "
             f"speedup targets recorded but not enforced on this host"
         )
-    write_results(out, payload)
-    print(f"wrote {out}")
+    common.emit("BENCH_PR6.json", payload)

@@ -37,8 +37,6 @@ bitwise-identical to the seed paths::
 
 from __future__ import annotations
 
-from pathlib import Path
-
 import numpy as np
 import pytest
 from numpy.testing import assert_array_equal
@@ -49,12 +47,14 @@ from repro.apps.lbmhd.solver import LBMHD3D, LBMHDParams
 from repro.apps.paratec.fft3d import ParallelFFT3D
 from repro.apps.paratec.gvectors import GSphere, SphereDistribution
 from repro.runtime.arena import Arena
-from repro.runtime.perf import Timing, measure, write_results
+from repro.runtime.perf import Timing, measure
 from repro.simmpi.comm import Communicator
 
 try:  # runnable both as a script and under pytest rootdir collection
+    import common
     from seed_lbmhd import SeedLBMHD3D
 except ImportError:  # pragma: no cover
+    from benchmarks import common
     from benchmarks.seed_lbmhd import SeedLBMHD3D
 
 # -- benchmark configurations (the tracked numbers) -----------------------
@@ -511,7 +511,6 @@ def test_shootout_bounds_only_enforced_where_available():
 
 
 if __name__ == "__main__":
-    out = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
     payload = run_backend_shootout()
     for cell in payload["cells"]:
         tag = "" if cell["backend_available"] else "  [degraded to numpy]"
@@ -531,5 +530,4 @@ if __name__ == "__main__":
                 f"{row['best_s'] * 1e3:9.3f} ms{speed_txt}{tag}"
             )
     assert_shootout_bounds(payload)
-    write_results(out, payload)
-    print(f"wrote {out}")
+    common.emit("BENCH_PR7.json", payload)

@@ -1,0 +1,83 @@
+"""Shared driver for the tracked wall-clock benchmarks.
+
+Every ``benchmarks/bench_*.py`` used to carry its own copy of the same
+boilerplate: find the repository root, gather host facts, decide
+whether speedup targets are enforceable on this host, and hand-write a
+``BENCH_*.json`` payload.  This module is that boilerplate, once —
+and it is where every bench's payload is normalized onto the canonical
+measurement schema: :func:`emit` runs the payload through
+:func:`repro.perfdb.ingest.records_from_bench` and embeds the
+resulting :class:`~repro.perfdb.record.RunRecord` rows under a
+``records`` key, so the tracked JSON file is a thin, uniform view that
+``repro-perfdb ingest`` loads without schema sniffing, with host and
+package-version provenance attached (which is what lets regression
+detection use the tight same-host threshold on freshly recorded
+numbers).
+
+Emission itself is normalized by :func:`repro.runtime.perf.write_results`:
+sorted keys, stable float rounding, trailing newline — cross-PR diffs
+of tracked benchmark files stay reviewable.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from pathlib import Path
+
+from repro import __version__
+from repro.perfdb.ingest import records_from_bench
+from repro.runtime.perf import write_results
+
+#: Repository root — where the tracked ``BENCH_*.json`` files live.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Speedup targets are only meaningful with real cores to overlap on;
+#: every parallel bench shares this floor.
+MIN_CORES_FOR_TARGET = 4
+
+
+def bench_path(filename: str) -> Path:
+    """Absolute path of a tracked benchmark file by bare name."""
+    return REPO_ROOT / filename
+
+
+def cpu_count() -> int:
+    return os.cpu_count() or 1
+
+
+def host_facts() -> dict:
+    """The ``host`` block every payload carries."""
+    return {"name": socket.gethostname(), "cpu_count": cpu_count()}
+
+
+def targets_enforced(min_cores: int = MIN_CORES_FOR_TARGET) -> bool:
+    """Whether parallel speedup bounds are asserted on this host."""
+    return cpu_count() >= min_cores
+
+
+def emit(filename: str, payload: dict, *, quiet: bool = False) -> Path:
+    """Normalize and write one benchmark payload; returns the path.
+
+    * fills the ``host`` block if the bench did not set one;
+    * derives canonical records from the payload (any schema era) and
+      embeds them under ``records`` with provenance (source file, PR
+      tag, host, cpu count, package version);
+    * writes via the normalizing :func:`write_results`.
+    """
+    payload = dict(payload)
+    payload.setdefault("host", host_facts())
+    facts = payload["host"]
+    payload.pop("records", None)  # re-derive, never trust a stale copy
+    records = records_from_bench(
+        payload,
+        source=filename,
+        host=facts.get("name"),
+        cpu_count=facts.get("cpu_count"),
+        version=__version__,
+    )
+    payload["records"] = [r.to_dict() for r in records]
+    out = write_results(bench_path(filename), payload)
+    if not quiet:
+        print(f"wrote {out} ({len(records)} canonical record(s))")
+    return out

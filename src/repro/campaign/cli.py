@@ -126,7 +126,12 @@ def _cmd_status(args) -> int:
             tag, extra = "FAIL", str(event.get("error", ""))
         else:
             tag, extra = "....", "(started, no completion journaled)"
-        print(f"  {tag}  {event.get('label', key):<40} {extra}")
+        config = event.get("config") or {}
+        backend = config.get("kernel_backend", "-")
+        print(
+            f"  {tag}  {event.get('label', key):<40} "
+            f"{backend:<8} {extra}"
+        )
     return 0
 
 

@@ -15,10 +15,13 @@ executes the remainder.  A failing config is isolated — it is reported
 
 from __future__ import annotations
 
+import os
+import socket
 import time
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
+from .. import __version__
 from ..runtime.executors import Executor, get_executor
 from . import worker
 from .cache import ResultCache
@@ -103,6 +106,13 @@ def run_campaign(
             "total": len(configs),
             "scheduler": executor.name,
             "spec": spec.to_dict(),
+            # provenance for repro.perfdb ingestion: which host and
+            # package version this invocation's numbers come from
+            "host": {
+                "name": socket.gethostname(),
+                "cpu_count": os.cpu_count() or 1,
+            },
+            "version": __version__,
         }
     )
 
@@ -120,6 +130,7 @@ def run_campaign(
                     "event": "run-done",
                     "key": row.key,
                     "label": row.config.label,
+                    "config": row.config.to_dict(),
                     "cached": row.cached,
                     "wall_s": row.wall_s,
                     "gflops": row.gflops,
@@ -131,6 +142,7 @@ def run_campaign(
                     "event": "run-failed",
                     "key": row.key,
                     "label": row.config.label,
+                    "config": row.config.to_dict(),
                     "error": row.error,
                 }
             )
@@ -164,6 +176,7 @@ def run_campaign(
                     "event": "run-start",
                     "key": cfg.key(),
                     "label": cfg.label,
+                    "config": cfg.to_dict(),
                 }
             )
             jobs.append((cfg.to_dict(), cache_root))

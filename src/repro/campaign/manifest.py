@@ -9,13 +9,21 @@ published before its ``run-done`` event was journaled) — but it is what
 
 Events::
 
-    {"event": "campaign-start", "name": ..., "total": N, "spec": {...}}
-    {"event": "run-start",  "key": ..., "label": ...}
-    {"event": "run-done",   "key": ..., "label": ..., "cached": bool,
-     "wall_s": ..., "gflops": ...}
-    {"event": "run-failed", "key": ..., "label": ..., "error": "..."}
+    {"event": "campaign-start", "name": ..., "total": N, "spec": {...},
+     "host": {"name": ..., "cpu_count": N}, "version": ...}
+    {"event": "run-start",  "key": ..., "label": ..., "config": {...}}
+    {"event": "run-done",   "key": ..., "label": ..., "config": {...},
+     "cached": bool, "wall_s": ..., "gflops": ...}
+    {"event": "run-failed", "key": ..., "label": ..., "config": {...},
+     "error": "..."}
     {"event": "campaign-end", "hits": H, "misses": M, "failures": F,
      "wall_s": ...}
+
+The ``config`` and ``host``/``version`` fields are what
+:func:`repro.perfdb.ingest.records_from_manifest` normalizes into
+canonical :class:`~repro.perfdb.record.RunRecord` rows; journals from
+older package versions lack them, and the ingester falls back to
+expanding the journaled spec and matching content keys.
 """
 
 from __future__ import annotations

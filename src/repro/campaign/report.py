@@ -81,21 +81,34 @@ class CampaignReport:
             ],
         }
 
+    def to_records(self, *, source: str = "") -> list:
+        """This invocation as canonical :class:`repro.perfdb.RunRecord`
+        rows — the uniform emission path every measurement shares."""
+        from ..perfdb.ingest import records_from_report
+
+        return records_from_report(self, source=source)
+
     def render(self) -> str:
         """ASCII per-config table plus the hit/miss/time footer."""
         width = max([len(r.config.label) for r in self.rows] or [10])
         width = max(width, len("config"))
+        bwidth = max(
+            [len(r.config.kernel_backend) for r in self.rows]
+            + [len("backend")]
+        )
         lines = [
             f"campaign {self.spec.name!r}: {len(self.rows)} config(s) "
             f"via {self.scheduler}",
-            f"{'config':<{width}}  {'status':>6}  {'wall s':>9}  "
-            f"{'Gflop/s':>9}",
+            f"{'config':<{width}}  {'backend':<{bwidth}}  {'status':>6}  "
+            f"{'wall s':>9}  {'Gflop/s':>9}",
         ]
         for r in self.rows:
             gf = f"{r.gflops:9.3f}" if r.ok else "        -"
             wall = f"{r.wall_s:9.3f}" if r.ok else "        -"
             lines.append(
-                f"{r.config.label:<{width}}  {r.status:>6}  {wall}  {gf}"
+                f"{r.config.label:<{width}}  "
+                f"{r.config.kernel_backend:<{bwidth}}  "
+                f"{r.status:>6}  {wall}  {gf}"
             )
             if r.error:
                 lines.append(f"{'':<{width}}  ! {r.error}")

@@ -11,10 +11,12 @@ ledgers stay in the worker.
 from __future__ import annotations
 
 import dataclasses
+import os
+import socket
 import time
 from typing import Any
 
-from .. import harness
+from .. import __version__, harness
 from ..harness.apps import get_application
 from .cache import ResultCache
 from .spec import RunConfig
@@ -116,6 +118,12 @@ def execute_config(config: RunConfig) -> dict[str, Any]:
         "diagnostics": {
             k: float(v) for k, v in result.diagnostics.items()
         },
+        # provenance for repro.perfdb: where and by which package
+        # version this number was measured (host-aware regression
+        # thresholds key on these)
+        "host": socket.gethostname(),
+        "cpu_count": os.cpu_count() or 1,
+        "version": __version__,
     }
     if result.ledger is not None:
         out["phases"] = result.ledger.as_records(steps=max(config.steps, 1))

@@ -1,0 +1,609 @@
+"""Normalize every measurement source into :class:`RunRecord` rows.
+
+Sources, in decreasing order of structure:
+
+* **Uniform bench payloads** — anything ``benchmarks/common.py`` emits
+  carries a ``records`` list of canonical record dicts; they are taken
+  verbatim (provenance filled from the file when absent).
+* **Legacy ``BENCH_PR1``–``PR7`` payloads** — the seven mutually
+  incompatible schemas the first seven PRs accumulated.  Each has a
+  dedicated adapter; :func:`detect_schema` sniffs which one applies.
+* **Campaign manifests** — the JSONL journals of
+  :mod:`repro.campaign.manifest`.  ``run-done`` events become records;
+  configs come from the events themselves (new journals embed them) or
+  from expanding the journaled spec and matching content keys.
+* **Result caches** — :class:`repro.campaign.cache.ResultCache`
+  directories; entries carry full configs and phase breakdowns.
+* **Record JSONL** — ``repro-perfdb export`` output, re-imported by
+  the store itself.
+
+Every adapter is total: unrecognized sections are skipped, never
+fatal, so a half-written journal or a future schema yields the records
+it can instead of an exception.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from .record import RunRecord, pr_from_source
+
+#: Legacy section name -> application key.
+_SECTION_APPS = {
+    "lbmhd_step_loop": "lbmhd",
+    "gtc_pic_cycle": "gtc",
+    "paratec_transpose": "paratec",
+    "harness_overhead": "lbmhd",
+    "lbmhd_harness": "lbmhd",
+}
+
+#: Legacy section name -> config-block key holding ranks/steps.
+_SECTION_CONFIGS = {
+    "lbmhd_step_loop": "lbmhd",
+    "gtc_pic_cycle": "gtc",
+    "paratec_transpose": "paratec",
+    "harness_overhead": "harness_overhead",
+}
+
+
+def detect_schema(payload: Mapping[str, Any]) -> str:
+    """Which BENCH payload shape this is (``records`` or ``pr1``..``pr7``)."""
+    if isinstance(payload.get("records"), list):
+        return "records"
+    if "cells" in payload and "kernels" in payload:
+        return "pr7"
+    if "campaign" in payload and "cold" in payload:
+        return "pr5"
+    if "lbmhd_harness" in payload:
+        return "pr4"
+    step_loop = payload.get("lbmhd_step_loop")
+    if isinstance(step_loop, dict) and "serial" in step_loop:
+        return "pr6" if "processes" in step_loop else "pr3"
+    if "harness_overhead" in payload:
+        return "pr2"
+    if any(k in payload for k in _SECTION_APPS):
+        return "pr1"
+    raise ValueError(
+        "unrecognized benchmark payload: keys "
+        + ", ".join(sorted(map(str, payload)))
+    )
+
+
+def _timing_record(
+    cell: Mapping[str, Any],
+    *,
+    app: str,
+    bench: str,
+    variant: str,
+    **fields: Any,
+) -> RunRecord | None:
+    """A record from a ``Timing.to_dict()``-shaped cell, or ``None``."""
+    best = cell.get("best_s")
+    if best is None:
+        samples = cell.get("samples_s") or []
+        best = min(samples) if samples else None
+    if best is None:
+        return None
+    samples = cell.get("samples_s") or []
+    extra = fields.pop("extra", {})
+    return RunRecord(
+        app=app,
+        bench=bench,
+        variant=variant,
+        wall_s=float(best),
+        repeats=fields.pop("repeats", len(samples) or None),
+        extra=extra,
+        **fields,
+    )
+
+
+def _section_shape(
+    config: Mapping[str, Any], section: str
+) -> tuple[int | None, int | None]:
+    """(nprocs, steps-per-sample) for a legacy PR1/PR2 section."""
+    block = config.get(_SECTION_CONFIGS.get(section, section), {})
+    if not isinstance(block, dict):
+        return None, None
+    nprocs = block.get("ranks")
+    steps = block.get("steps_per_sample", block.get("roundtrips_per_sample"))
+    return nprocs, steps
+
+
+def _records_pr1_pr2(payload: Mapping[str, Any]) -> list[RunRecord]:
+    """PR1 (seed/fast sections) and PR2 (adds direct/harness overhead)."""
+    config = payload.get("config", {})
+    records: list[RunRecord] = []
+    for section, app in _SECTION_APPS.items():
+        cells = payload.get(section)
+        if not isinstance(cells, dict):
+            continue
+        nprocs, steps = _section_shape(config, section)
+        for variant, cell in cells.items():
+            if not isinstance(cell, dict):
+                continue
+            rec = _timing_record(
+                cell,
+                app=app,
+                bench=section,
+                variant=variant,
+                nprocs=nprocs,
+                steps=steps,
+                extra={
+                    k: cells[k]
+                    for k in ("speedup", "overhead", "limit")
+                    if isinstance(cells.get(k), (int, float))
+                },
+            )
+            if rec is not None:
+                records.append(rec)
+    return records
+
+
+def _host_facts(payload: Mapping[str, Any]) -> dict[str, Any]:
+    host = payload.get("host", {})
+    if not isinstance(host, dict):
+        return {}
+    out: dict[str, Any] = {}
+    if host.get("cpu_count") is not None:
+        out["cpu_count"] = int(host["cpu_count"])
+    if host.get("name"):
+        out["host"] = str(host["name"])
+    return out
+
+
+def _records_pr3_pr6(payload: Mapping[str, Any]) -> list[RunRecord]:
+    """PR3 (serial/threads) and PR6 (adds processes) executor cells."""
+    config = payload.get("config", {})
+    facts = _host_facts(payload)
+    cells = payload.get("lbmhd_step_loop", {})
+    records: list[RunRecord] = []
+    for variant in ("serial", "threads", "processes"):
+        cell = cells.get(variant)
+        if not isinstance(cell, dict):
+            continue
+        extra: dict[str, Any] = {}
+        support = cell.get("segment_support")
+        if isinstance(support, dict):
+            extra["segment_support"] = support
+        rec = _timing_record(
+            cell,
+            app="lbmhd",
+            bench="lbmhd_step_loop",
+            variant=variant,
+            executor=variant,
+            nprocs=config.get("ranks"),
+            steps=config.get("steps_per_sample"),
+            cpu_count=cell.get("cpu_count", facts.get("cpu_count")),
+            host=facts.get("host"),
+            extra=extra,
+        )
+        if rec is not None:
+            records.append(rec)
+    return records
+
+
+def _records_pr4(payload: Mapping[str, Any]) -> list[RunRecord]:
+    """PR4 checkpoint-overhead cells (plain vs checkpointed)."""
+    config = payload.get("config", {})
+    facts = _host_facts(payload)
+    cells = payload.get("lbmhd_harness", {})
+    records: list[RunRecord] = []
+    for variant in ("plain", "checkpointed"):
+        cell = cells.get(variant)
+        if not isinstance(cell, dict):
+            continue
+        extra: dict[str, Any] = {
+            k: cells[k]
+            for k in ("overhead", "checkpoint_bytes", "checkpoints_per_run")
+            if isinstance(cells.get(k), (int, float))
+        }
+        if variant == "checkpointed":
+            extra["checkpoint_every"] = config.get("checkpoint_every")
+        rec = _timing_record(
+            cell,
+            app="lbmhd",
+            bench="lbmhd_harness",
+            variant=variant,
+            nprocs=config.get("ranks"),
+            steps=config.get("steps"),
+            extra=extra,
+            **facts,
+        )
+        if rec is not None:
+            records.append(rec)
+    return records
+
+
+def _records_pr5(payload: Mapping[str, Any]) -> list[RunRecord]:
+    """PR5 whole-campaign timings (cold serial/processes, warm rerun)."""
+    facts = _host_facts(payload)
+    campaign = payload.get("campaign", {})
+    name = campaign.get("name", "campaign")
+    configs = payload.get("configs")
+    records: list[RunRecord] = []
+    cold = payload.get("cold", {})
+    for variant, field in (
+        ("serial", "serial_wall_s"),
+        ("processes", "processes_wall_s"),
+    ):
+        wall = cold.get(field)
+        if not isinstance(wall, (int, float)):
+            continue
+        records.append(
+            RunRecord(
+                app="campaign",
+                bench=f"campaign_cold:{name}",
+                variant=variant,
+                executor=variant,
+                wall_s=float(wall),
+                steps=configs,
+                extra={"speedup": cold.get("speedup")},
+                **facts,
+            )
+        )
+    warm = payload.get("warm", {})
+    if isinstance(warm.get("wall_s"), (int, float)):
+        records.append(
+            RunRecord(
+                app="campaign",
+                bench=f"campaign_warm:{name}",
+                variant="warm",
+                wall_s=float(warm["wall_s"]),
+                steps=configs,
+                extra={
+                    "hits": warm.get("hits"),
+                    "misses": warm.get("misses"),
+                    "fraction_of_cold": warm.get("fraction_of_cold"),
+                },
+                **facts,
+            )
+        )
+    return records
+
+
+def _records_pr7(payload: Mapping[str, Any]) -> list[RunRecord]:
+    """PR7 backend shootout: app cells plus micro-kernel timings."""
+    spec = payload.get("spec", {})
+    steps = spec.get("steps") if isinstance(spec, dict) else None
+    records: list[RunRecord] = []
+    for cell in payload.get("cells", []):
+        if not isinstance(cell, dict) or not cell.get("ok", False):
+            continue
+        wall = cell.get("wall_s")
+        if not isinstance(wall, (int, float)):
+            continue
+        backend = str(cell.get("backend", "numpy"))
+        records.append(
+            RunRecord(
+                app=str(cell.get("app", "")),
+                bench="backend_shootout",
+                variant=backend,
+                kernel_backend=backend,
+                wall_s=float(wall),
+                gflops=cell.get("gflops"),
+                steps=steps,
+                extra={
+                    k: cell[k]
+                    for k in (
+                        "backend_available",
+                        "backend_reason",
+                        "speedup_vs_numpy",
+                    )
+                    if k in cell
+                },
+            )
+        )
+    for kernel, rows in payload.get("kernels", {}).items():
+        if not isinstance(rows, dict):
+            continue
+        app = str(kernel).split("_", 1)[0]
+        for backend, cell in rows.items():
+            if not isinstance(cell, dict):
+                continue
+            rec = _timing_record(
+                cell,
+                app=app,
+                bench=f"kernel:{kernel}",
+                variant=str(backend),
+                kernel_backend=str(backend),
+                extra={
+                    k: cell[k]
+                    for k in ("backend_available", "speedup_vs_numpy")
+                    if k in cell
+                },
+            )
+            if rec is not None:
+                records.append(rec)
+    return records
+
+
+_ADAPTERS = {
+    "pr1": _records_pr1_pr2,
+    "pr2": _records_pr1_pr2,
+    "pr3": _records_pr3_pr6,
+    "pr4": _records_pr4,
+    "pr5": _records_pr5,
+    "pr6": _records_pr3_pr6,
+    "pr7": _records_pr7,
+}
+
+
+def records_from_bench(
+    payload: Mapping[str, Any],
+    *,
+    source: str = "",
+    pr: int | None = None,
+    host: str | None = None,
+    cpu_count: int | None = None,
+    version: str | None = None,
+) -> list[RunRecord]:
+    """Normalize one BENCH payload (any schema era) into records.
+
+    Provenance keywords fill fields the payload itself does not carry
+    (legacy files never recorded a hostname; fresh emissions do).
+    """
+    schema = detect_schema(payload)
+    if schema == "records":
+        records = [RunRecord.from_dict(d) for d in payload["records"]]
+    else:
+        records = _ADAPTERS[schema](payload)
+    if pr is None:
+        pr = pr_from_source(source)
+    return [
+        rec.with_provenance(
+            source=source or None,
+            pr=pr,
+            host=host,
+            cpu_count=cpu_count,
+            version=version,
+        )
+        for rec in records
+    ]
+
+
+# -- campaign sources -----------------------------------------------------
+
+
+def _phase_totals(result: Mapping[str, Any]) -> dict[str, float | None]:
+    """Whole-run per-rank-mean phase seconds from a worker result dict."""
+    phases = result.get("phases")
+    if not isinstance(phases, list) or not phases:
+        return {}
+    steps = result.get("steps") or 1
+    totals = {"compute": 0.0, "comm": 0.0, "sync": 0.0,
+              "recovery": 0.0, "nbytes": 0.0, "messages": 0.0}
+    for p in phases:
+        if not isinstance(p, dict):
+            continue
+        totals["compute"] += float(p.get("compute_s_mean", 0.0))
+        totals["comm"] += float(p.get("comm_s_mean", 0.0))
+        totals["sync"] += float(p.get("wait_s_mean", 0.0))
+        totals["recovery"] += float(p.get("recovery_s_mean", 0.0))
+        totals["nbytes"] += float(p.get("nbytes", 0.0))
+        totals["messages"] += float(p.get("messages", 0.0))
+    s = max(int(steps), 1)
+    return {
+        "compute_s": totals["compute"] * s,
+        "comm_s": totals["comm"] * s,
+        "sync_s": totals["sync"] * s,
+        "recovery_s": totals["recovery"] * s,
+        "nbytes": totals["nbytes"] * s,
+        "messages": totals["messages"] * s,
+    }
+
+
+def _record_from_config_result(
+    config: Mapping[str, Any],
+    *,
+    bench: str,
+    wall_s: float,
+    gflops: float | None,
+    result: Mapping[str, Any] | None = None,
+    source: str = "",
+    key: str | None = None,
+    host: str | None = None,
+    cpu_count: int | None = None,
+    version: str | None = None,
+) -> RunRecord:
+    """One record from a RunConfig dict plus its measured outcome."""
+    phase = _phase_totals(result or {})
+    res = result or {}
+    return RunRecord(
+        app=str(config.get("app", "")),
+        bench=bench,
+        variant=str(res.get("label") or config.get("label") or ""),
+        machine=config.get("machine"),
+        nprocs=config.get("nprocs") or res.get("nprocs"),
+        executor=str(config.get("executor", "serial")),
+        kernel_backend=str(config.get("kernel_backend", "numpy")),
+        seed=config.get("seed"),
+        steps=config.get("steps"),
+        repeats=config.get("repeats"),
+        wall_s=float(wall_s),
+        gflops=gflops,
+        source=source,
+        pr=pr_from_source(source),
+        key=key,
+        host=res.get("host", host),
+        cpu_count=res.get("cpu_count", cpu_count),
+        version=res.get("version", version),
+        **phase,
+    )
+
+
+def records_from_manifest(
+    path: "str | Path", *, source: str | None = None
+) -> list[RunRecord]:
+    """Records from a campaign JSONL journal (torn lines tolerated).
+
+    ``run-done`` events become records.  Configs are taken from the
+    events that carry them (journals written by this version embed
+    ``config`` in ``run-start``/``run-done``); for older journals the
+    spec in ``campaign-start`` is expanded and matched by content key.
+    """
+    from ..campaign.manifest import read_events
+    from ..campaign.spec import CampaignSpec
+
+    p = Path(path)
+    if source is None:
+        source = f"manifest:{p.name}"
+    name = "campaign"
+    host = cpu_count = version = None
+    configs_by_key: dict[str, dict[str, Any]] = {}
+    records: list[RunRecord] = []
+    for event in read_events(p):
+        kind = event.get("event")
+        if kind == "campaign-start":
+            name = str(event.get("name") or "campaign")
+            hostinfo = event.get("host") or {}
+            host = hostinfo.get("name")
+            cpu_count = hostinfo.get("cpu_count")
+            version = event.get("version")
+            spec_dict = event.get("spec")
+            if isinstance(spec_dict, dict):
+                try:
+                    spec = CampaignSpec.from_dict(spec_dict)
+                    for cfg in spec.expand():
+                        configs_by_key.setdefault(
+                            cfg.key(version) if version else cfg.key(),
+                            cfg.to_dict(),
+                        )
+                except (TypeError, ValueError):
+                    pass
+        elif kind in ("run-start", "run-done"):
+            cfg = event.get("config")
+            if isinstance(cfg, dict):
+                configs_by_key[str(event.get("key"))] = cfg
+        if kind != "run-done":
+            continue
+        key = str(event.get("key"))
+        config = configs_by_key.get(key)
+        if config is None:
+            continue  # unmatchable legacy event: nothing to normalize
+        config = dict(config)
+        config.setdefault("label", event.get("label"))
+        records.append(
+            _record_from_config_result(
+                config,
+                bench=f"campaign:{name}",
+                wall_s=float(event.get("wall_s", 0.0)),
+                gflops=event.get("gflops"),
+                source=source,
+                key=key,
+                host=host,
+                cpu_count=cpu_count,
+                version=version,
+            )
+        )
+    return records
+
+
+def records_from_cache(
+    root: "str | Path", *, source: str = "cache"
+) -> list[RunRecord]:
+    """Records from every readable ResultCache entry under ``root``."""
+    from ..campaign.cache import ResultCache
+
+    records: list[RunRecord] = []
+    for entry in ResultCache(root).entries():
+        config = entry.get("config")
+        result = entry.get("result")
+        if not isinstance(config, dict) or not isinstance(result, dict):
+            continue
+        records.append(
+            _record_from_config_result(
+                config,
+                bench="cache",
+                wall_s=float(result.get("wall_s", 0.0)),
+                gflops=result.get("gflops"),
+                result=result,
+                source=source,
+                key=entry.get("key"),
+                version=entry.get("version"),
+            )
+        )
+    return records
+
+
+def records_from_report(
+    report: Any, *, source: str = "", bench: str | None = None
+) -> list[RunRecord]:
+    """Records from a live :class:`~repro.campaign.report.CampaignReport`."""
+    import os
+    import socket
+
+    from .. import __version__
+
+    host = socket.gethostname()
+    cpu_count = os.cpu_count() or 1
+    if bench is None:
+        bench = f"campaign:{report.spec.name}"
+    records: list[RunRecord] = []
+    for row in report.rows:
+        if not row.ok:
+            continue
+        records.append(
+            _record_from_config_result(
+                row.config.to_dict(),
+                bench=bench,
+                wall_s=row.wall_s,
+                gflops=row.gflops,
+                result=row.result,
+                source=source or f"report:{report.spec.name}",
+                key=row.key,
+                host=host,
+                cpu_count=cpu_count,
+                version=__version__,
+            )
+        )
+    return records
+
+
+# -- the one-call entry point ---------------------------------------------
+
+
+def ingest_path(path: "str | Path") -> list[RunRecord]:
+    """Records from *any* supported on-disk source.
+
+    Dispatch: a directory is a ResultCache; ``*.jsonl`` is a campaign
+    manifest (falling back to record-JSONL lines if no events match);
+    anything else is parsed as a BENCH JSON payload.
+    """
+    p = Path(path)
+    if p.is_dir():
+        return records_from_cache(p, source=f"cache:{p.name}")
+    if p.suffix == ".jsonl":
+        records = records_from_manifest(p)
+        if records:
+            return records
+        # not a manifest (or an empty one): try record-JSONL lines
+        out: list[RunRecord] = []
+        with p.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(obj, dict) and "event" not in obj:
+                    try:
+                        out.append(RunRecord.from_dict(obj))
+                    except (TypeError, ValueError):
+                        continue
+        return out
+    payload = json.loads(p.read_text())
+    return records_from_bench(payload, source=p.name)
+
+
+def ingest_paths(
+    db: Any, paths: Iterable["str | Path"]
+) -> dict[str, int]:
+    """Ingest every path into ``db``; returns ``{path: new-row-count}``."""
+    counts: dict[str, int] = {}
+    for path in paths:
+        counts[str(path)] = db.add(ingest_path(path))
+    return counts

@@ -1,0 +1,124 @@
+"""Rendered views over the database: trend, shootout, phases, roofline.
+
+These are the paper's presentation layer pointed at our own trajectory:
+the shootout is Gflop/s by app x (executor, kernel backend) — the
+cross-PR backend comparison; the phase breakdown is the IPM-style
+compute/comm/sync/recovery split campaign records carry; the roofline
+report reuses :class:`repro.perfmodel.roofline.Roofline` to place each
+machine-modeled record against its platform's attainable envelope.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .query import pivot
+from .record import RunRecord
+from .trend import series_trends
+
+
+def render_trend(records: Iterable[RunRecord]) -> str:
+    """Per-series wall-clock trajectory across PR tags."""
+    trends = series_trends(records)
+    if not trends:
+        return "no records"
+    lines = ["trajectory (wall seconds per step, by series)"]
+    for t in trends:
+        pts = " -> ".join(
+            f"{p['wall_per_step']:.5f}"
+            + (f" (PR{p['pr']})" if p["pr"] is not None else "")
+            for p in t["points"]
+        )
+        net = t["net_ratio"]
+        net_txt = f"   net {net:.2f}x" if net is not None else ""
+        lines.append(f"  {t['series']}: {pts}{net_txt}")
+    return "\n".join(lines)
+
+
+def render_shootout(records: Iterable[RunRecord]) -> str:
+    """Gflop/s by app x (executor, kernel backend) — who wins where."""
+    rows = [r for r in records if r.gflops is not None]
+    if not rows:
+        return "no records carry Gflop/s"
+    return pivot(
+        rows,
+        rows=("app",),
+        cols=("executor", "kernel_backend"),
+        value="gflops",
+        agg="max",
+    ).render()
+
+
+def render_phase_breakdown(records: Iterable[RunRecord]) -> str:
+    """Compute/comm/sync/recovery seconds for records that carry them."""
+    rows = [r for r in records if r.compute_s is not None]
+    if not rows:
+        return "no records carry phase breakdowns"
+    lines = [
+        "per-run phase breakdown (mean rank-seconds over the run)",
+        f"{'record':<44} {'compute':>9} {'comm':>9} "
+        f"{'sync':>9} {'recov':>9} {'MB':>9} {'msgs':>8}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.series_label:<44} {r.compute_s:>9.4f} "
+            f"{(r.comm_s or 0.0):>9.4f} {(r.sync_s or 0.0):>9.4f} "
+            f"{(r.recovery_s or 0.0):>9.4f} "
+            f"{(r.nbytes or 0.0) / 1e6:>9.3f} "
+            f"{(r.messages or 0.0):>8.0f}"
+        )
+    return "\n".join(lines)
+
+
+def render_roofline(records: Iterable[RunRecord]) -> str:
+    """Measured Gflop/s vs the machine model's attainable envelope.
+
+    Only records that name a machine model *and* carry both a flop
+    rate and a phase breakdown (for the bytes side of the intensity)
+    can be placed; others are skipped.
+    """
+    from ..machines.catalog import get_machine
+    from ..perfmodel.roofline import Roofline
+
+    placed = []
+    for r in records:
+        if r.machine is None or r.gflops is None:
+            continue
+        try:
+            spec = get_machine(r.machine)
+        except (KeyError, ValueError):
+            continue
+        roof = Roofline(spec)
+        line = {
+            "record": r,
+            "peak": roof.peak,
+            "ridge": roof.ridge_intensity,
+        }
+        if r.nbytes and r.compute_s is not None and r.wall_s > 0:
+            # modeled flop volume over measured byte volume: the
+            # record's achieved computational intensity
+            flops = r.gflops * 1e9 * r.wall_s
+            intensity = flops / r.nbytes
+            line["intensity"] = intensity
+            line["attainable"] = roof.attainable(intensity)
+        placed.append(line)
+    if not placed:
+        return "no records name a cataloged machine with a flop rate"
+    lines = [
+        "roofline placement (measured vs attainable, Gflop/s)",
+        f"{'record':<44} {'machine':>10} {'measured':>9} "
+        f"{'peak':>8} {'intens.':>8} {'attain.':>8}",
+    ]
+    for line in placed:
+        r = line["record"]
+        intensity = line.get("intensity")
+        attainable = line.get("attainable")
+        int_txt = f"{intensity:>8.2f}" if intensity is not None else f"{'-':>8}"
+        att_txt = (
+            f"{attainable:>8.2f}" if attainable is not None else f"{'-':>8}"
+        )
+        lines.append(
+            f"{r.series_label:<44} {r.machine:>10} {r.gflops:>9.3f} "
+            f"{line['peak']:>8.1f} {int_txt} {att_txt}"
+        )
+    return "\n".join(lines)

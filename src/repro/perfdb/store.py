@@ -1,0 +1,219 @@
+"""SQLite-backed store of :class:`~repro.perfdb.record.RunRecord` rows.
+
+One table, one row per record, addressed by :meth:`RunRecord.uid` — so
+``add`` is idempotent and re-ingesting a file someone already ingested
+is a no-op, not a duplicate trajectory.  The full canonical JSON is
+kept alongside typed columns: the JSON is the round-trip truth, the
+columns are what WHERE clauses and indexes use.
+
+``seq`` (the SQLite rowid) preserves ingest order; together with the
+``pr`` tag it defines the trajectory ordering
+:mod:`repro.perfdb.trend` pairs records along.
+
+The store also speaks JSONL: :meth:`export_jsonl` writes one record
+per line, :meth:`import_jsonl` reads them back (torn trailing lines
+tolerated, same as campaign manifests).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from .record import RunRecord, SCHEMA_VERSION
+
+_COLUMNS = (
+    "app", "bench", "variant", "machine", "nprocs", "executor",
+    "kernel_backend", "seed", "steps", "repeats", "wall_s", "gflops",
+    "source", "pr", "host", "cpu_count", "version", "key",
+)
+
+_SCHEMA = f"""
+CREATE TABLE IF NOT EXISTS records (
+    uid TEXT PRIMARY KEY,
+    app TEXT NOT NULL,
+    bench TEXT NOT NULL,
+    variant TEXT NOT NULL DEFAULT '',
+    machine TEXT,
+    nprocs INTEGER,
+    executor TEXT NOT NULL DEFAULT 'serial',
+    kernel_backend TEXT NOT NULL DEFAULT 'numpy',
+    seed INTEGER,
+    steps INTEGER,
+    repeats INTEGER,
+    wall_s REAL NOT NULL,
+    gflops REAL,
+    source TEXT NOT NULL DEFAULT '',
+    pr INTEGER,
+    host TEXT,
+    cpu_count INTEGER,
+    version TEXT,
+    key TEXT,
+    json TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_records_series
+    ON records (bench, variant, app, pr);
+CREATE INDEX IF NOT EXISTS idx_records_app ON records (app);
+CREATE TABLE IF NOT EXISTS meta (k TEXT PRIMARY KEY, v TEXT NOT NULL);
+INSERT OR IGNORE INTO meta (k, v) VALUES ('schema', '{SCHEMA_VERSION}');
+"""
+
+
+class PerfDB:
+    """The performance database: a single SQLite file (or ``:memory:``)."""
+
+    def __init__(self, path: "str | Path" = ":memory:") -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.executescript(_SCHEMA)
+        stored = self.schema_version
+        if stored != SCHEMA_VERSION:
+            raise ValueError(
+                f"perfdb schema mismatch: {self.path} is v{stored}, "
+                f"this package speaks v{SCHEMA_VERSION} — re-ingest into "
+                f"a fresh database"
+            )
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def schema_version(self) -> int:
+        row = self._conn.execute(
+            "SELECT v FROM meta WHERE k = 'schema'"
+        ).fetchone()
+        return int(row["v"]) if row else SCHEMA_VERSION
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "PerfDB":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- writes ----------------------------------------------------------
+
+    def add(self, records: "RunRecord | Iterable[RunRecord]") -> int:
+        """Insert records, deduping on uid; returns how many were new."""
+        if isinstance(records, RunRecord):
+            records = [records]
+        new = 0
+        with self._conn:
+            for rec in records:
+                d = rec.to_dict()
+                cur = self._conn.execute(
+                    "INSERT OR IGNORE INTO records "
+                    f"(uid, {', '.join(_COLUMNS)}, json) VALUES "
+                    f"({', '.join('?' * (len(_COLUMNS) + 2))})",
+                    (
+                        rec.uid(),
+                        *[d[c] for c in _COLUMNS],
+                        json.dumps(d, sort_keys=True),
+                    ),
+                )
+                new += cur.rowcount
+        return new
+
+    def clear(self) -> int:
+        with self._conn:
+            cur = self._conn.execute("DELETE FROM records")
+        return cur.rowcount
+
+    # -- reads -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) AS n FROM records")
+        return int(row.fetchone()["n"])
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self.all())
+
+    def all(self) -> list[RunRecord]:
+        """Every record in trajectory order (PR tag, then ingest order)."""
+        rows = self._conn.execute(
+            "SELECT json FROM records "
+            "ORDER BY (pr IS NULL), pr, rowid"
+        ).fetchall()
+        return [RunRecord.from_dict(json.loads(r["json"])) for r in rows]
+
+    def query(self, **where: Any) -> list[RunRecord]:
+        """Records matching column equality filters, trajectory-ordered.
+
+        ``db.query(app="lbmhd", executor="serial")``; a ``None`` value
+        matches SQL NULL; a list/tuple/set value is an ``IN`` filter.
+        """
+        clauses: list[str] = []
+        params: list[Any] = []
+        for col, value in where.items():
+            if col not in _COLUMNS:
+                raise ValueError(
+                    f"unknown query column {col!r}; choices: "
+                    + ", ".join(_COLUMNS)
+                )
+            if value is None:
+                clauses.append(f"{col} IS NULL")
+            elif isinstance(value, (list, tuple, set, frozenset)):
+                items = list(value)
+                clauses.append(
+                    f"{col} IN ({', '.join('?' * len(items))})"
+                )
+                params.extend(items)
+            else:
+                clauses.append(f"{col} = ?")
+                params.append(value)
+        sql = "SELECT json FROM records"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY (pr IS NULL), pr, rowid"
+        rows = self._conn.execute(sql, params).fetchall()
+        return [RunRecord.from_dict(json.loads(r["json"])) for r in rows]
+
+    def distinct(self, column: str) -> list[Any]:
+        if column not in _COLUMNS:
+            raise ValueError(f"unknown column {column!r}")
+        rows = self._conn.execute(
+            f"SELECT DISTINCT {column} AS v FROM records ORDER BY v"
+        ).fetchall()
+        return [r["v"] for r in rows]
+
+    def sources(self) -> dict[str, int]:
+        """Record count per source tag — the ingest ledger."""
+        rows = self._conn.execute(
+            "SELECT source, COUNT(*) AS n FROM records "
+            "GROUP BY source ORDER BY source"
+        ).fetchall()
+        return {r["source"]: int(r["n"]) for r in rows}
+
+    # -- JSONL interchange ----------------------------------------------
+
+    def export_jsonl(self, path: "str | Path") -> int:
+        """One canonical-JSON record per line; returns the line count."""
+        records = self.all()
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        with p.open("w") as fh:
+            for rec in records:
+                fh.write(
+                    json.dumps(rec.to_dict(), sort_keys=True) + "\n"
+                )
+        return len(records)
+
+    def import_jsonl(self, path: "str | Path") -> int:
+        """Read records written by :meth:`export_jsonl`; returns new rows."""
+        records: list[RunRecord] = []
+        with Path(path).open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(RunRecord.from_dict(json.loads(line)))
+                except (json.JSONDecodeError, TypeError, ValueError):
+                    continue  # torn trailing line or foreign JSONL
+        return self.add(records)

@@ -90,8 +90,33 @@ class StopWatch:
         self._t0 = None
 
 
+#: Decimal places kept in emitted BENCH_*.json floats.  Nanosecond
+#: wall-clock noise in the 15th digit is not reviewable information;
+#: nine places keep every meaningful digit of a perf_counter sample
+#: while making cross-PR diffs of tracked files stable.
+FLOAT_DECIMALS = 9
+
+
+def round_floats(obj: object, ndigits: int = FLOAT_DECIMALS) -> object:
+    """Recursively round every float in a JSON-plain structure."""
+    if isinstance(obj, float):
+        return round(obj, ndigits)
+    if isinstance(obj, dict):
+        return {k: round_floats(v, ndigits) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [round_floats(v, ndigits) for v in obj]
+    return obj
+
+
 def write_results(path: str | Path, results: dict) -> Path:
-    """Write one benchmark campaign to a ``BENCH_*.json`` file."""
+    """Write one benchmark campaign to a ``BENCH_*.json`` file.
+
+    Emission is normalized — sorted keys, floats rounded to
+    :data:`FLOAT_DECIMALS` places, trailing newline — so tracked
+    benchmark files diff cleanly across PRs.
+    """
     p = Path(path)
-    p.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    p.write_text(
+        json.dumps(round_floats(results), indent=2, sort_keys=True) + "\n"
+    )
     return p

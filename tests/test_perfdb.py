@@ -1,0 +1,336 @@
+"""The unified measurement stack: RunRecord + perfdb store/ingest/trend.
+
+Covers the ISSUE-mandated contracts:
+
+* every legacy ``BENCH_PR1``..``BENCH_PR7`` schema ingests into
+  canonical records (the *real* tracked files at the repo root, not
+  synthetic fixtures);
+* torn / empty campaign manifests are tolerated;
+* regression detection flags a synthetic 2x slowdown while passing the
+  repository's real performance trajectory;
+* the store deduplicates and round-trips through JSONL.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.perfdb import (
+    PerfDB,
+    RunRecord,
+    TrendPolicy,
+    detect_regressions,
+    ingest_path,
+    inject_slowdown,
+    pivot,
+    records_from_bench,
+    records_from_manifest,
+    records_from_report,
+    series_trends,
+)
+from repro.perfdb.ingest import detect_schema
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILES = sorted(REPO_ROOT.glob("BENCH_PR*.json"))
+
+SMOKE_SPEC = CampaignSpec(
+    name="perfdb-smoke",
+    apps=("lbmhd",),
+    nprocs=(4,),
+    seeds=(0,),
+    steps=2,
+    params={"lbmhd": {"shape": [8, 8, 8]}},
+)
+
+
+def _record(**kw) -> RunRecord:
+    base = dict(
+        app="lbmhd", bench="unit", variant="fast", nprocs=4,
+        steps=2, wall_s=1.0, gflops=2.0, source="BENCH_PR1.json", pr=1,
+    )
+    base.update(kw)
+    return RunRecord(**base)
+
+
+# -- legacy schema ingestion (the real tracked files) ----------------------
+
+
+def test_all_seven_tracked_bench_files_present():
+    names = {p.name for p in BENCH_FILES}
+    assert names == {f"BENCH_PR{i}.json" for i in range(1, 8)}
+
+
+@pytest.mark.parametrize(
+    "path", BENCH_FILES, ids=[p.name for p in BENCH_FILES]
+)
+def test_every_legacy_bench_schema_adapts(path):
+    # strip any embedded canonical records so this pins the *legacy*
+    # adapter for each era, even after a bench re-emits its file
+    # through benchmarks/common.emit
+    payload = json.loads(path.read_text())
+    payload.pop("records", None)
+    records = records_from_bench(payload, source=path.name)
+    assert records, f"{path.name} legacy sections produced no records"
+    for r in records:
+        assert r.pr == int(path.stem.replace("BENCH_PR", ""))
+
+
+@pytest.mark.parametrize(
+    "path", BENCH_FILES, ids=[p.name for p in BENCH_FILES]
+)
+def test_every_tracked_bench_file_ingests(path):
+    records = ingest_path(path)
+    assert records, f"{path.name} produced no records"
+    for r in records:
+        assert isinstance(r, RunRecord)
+        assert r.source == path.name
+        assert r.pr == int(path.stem.replace("BENCH_PR", ""))
+        assert r.wall_s >= 0.0
+        assert r.bench and r.app
+        # round trip through the canonical dict form
+        assert RunRecord.from_dict(r.to_dict()) == r
+
+
+def test_schema_sniffing_distinguishes_all_eras():
+    seen = {}
+    for path in BENCH_FILES:
+        payload = json.loads(path.read_text())
+        payload.pop("records", None)  # sniff the legacy sections
+        seen[path.name] = detect_schema(payload)
+    assert seen == {
+        "BENCH_PR1.json": "pr1",
+        "BENCH_PR2.json": "pr2",
+        "BENCH_PR3.json": "pr3",
+        "BENCH_PR4.json": "pr4",
+        "BENCH_PR5.json": "pr5",
+        "BENCH_PR6.json": "pr6",
+        "BENCH_PR7.json": "pr7",
+    }
+
+
+def test_records_payloads_bypass_sniffing():
+    records = ingest_path(BENCH_FILES[0])
+    payload = {"records": [r.to_dict() for r in records]}
+    assert detect_schema(payload) == "records"
+    again = records_from_bench(payload, source=BENCH_FILES[0].name)
+    assert again == records
+
+
+def test_full_trajectory_spans_eras_and_pivots():
+    db = PerfDB()
+    total = 0
+    for path in BENCH_FILES:
+        total += db.add(ingest_path(path))
+    assert total == len(db.all()) >= 30
+    assert set(db.distinct("pr")) == set(range(1, 8))
+    # the ISSUE acceptance pivot: gflops by app x executor x backend
+    view = pivot(
+        db.all(), rows=("app",), cols=("executor", "kernel_backend"),
+        value="gflops", agg="best",
+    )
+    assert view.cells
+    assert "lbmhd" in {row[0] for row, _ in view.cells}
+    rendered = view.render()
+    assert "lbmhd" in rendered
+
+
+# -- store semantics -------------------------------------------------------
+
+
+def test_store_deduplicates_on_content(tmp_path):
+    db = PerfDB(tmp_path / "perf.db")
+    records = ingest_path(BENCH_FILES[0])
+    assert db.add(records) == len(records)
+    assert db.add(records) == 0  # identical content: no new rows
+    assert len(db.all()) == len(records)
+    db.close()
+
+
+def test_store_persists_and_queries(tmp_path):
+    path = tmp_path / "perf.db"
+    with PerfDB(path) as db:
+        db.add([_record(pr=1), _record(pr=2, wall_s=1.1),
+                _record(app="gtc", pr=2)])
+    with PerfDB(path) as db:
+        assert len(db.all()) == 3
+        assert [r.pr for r in db.all()] == [1, 2, 2]  # trajectory order
+        assert len(db.query(app="lbmhd")) == 2
+        assert len(db.query(app=["lbmhd", "gtc"], pr=2)) == 2
+        assert db.sources() == {"BENCH_PR1.json": 3}
+
+
+def test_jsonl_round_trip(tmp_path):
+    db = PerfDB()
+    for path in BENCH_FILES:
+        db.add(ingest_path(path))
+    out = tmp_path / "records.jsonl"
+    n = db.export_jsonl(out)
+    assert n == len(db.all())
+
+    db2 = PerfDB()
+    assert db2.import_jsonl(out) == n
+    assert db2.all() == db.all()
+
+    # a torn trailing line (writer died mid-append) is skipped
+    torn = tmp_path / "torn.jsonl"
+    torn.write_text(out.read_text() + '{"app": "lb')
+    db3 = PerfDB()
+    assert db3.import_jsonl(torn) == n
+
+
+# -- campaign manifests ----------------------------------------------------
+
+
+def test_fresh_manifest_ingests_with_host_provenance(tmp_path):
+    manifest = tmp_path / "smoke.manifest.jsonl"
+    report = run_campaign(
+        SMOKE_SPEC, cache=None, manifest=manifest, scheduler="serial"
+    )
+    assert report.ok
+    records = records_from_manifest(manifest)
+    assert len(records) == len(SMOKE_SPEC.expand())
+    for r in records:
+        assert r.app == "lbmhd"
+        assert r.nprocs == 4
+        assert r.host, "fresh journals must carry the hostname"
+        assert r.cpu_count
+        assert r.version
+        assert r.key
+    # the report-side emission agrees on identity
+    direct = records_from_report(report, source=manifest.name)
+    assert {r.series_key() for r in direct} == {
+        r.series_key() for r in records
+    }
+
+
+def test_empty_and_torn_manifests_tolerated(tmp_path):
+    empty = tmp_path / "empty.manifest.jsonl"
+    empty.write_text("")
+    assert records_from_manifest(empty) == []
+
+    manifest = tmp_path / "torn.manifest.jsonl"
+    run_campaign(
+        SMOKE_SPEC, cache=None, manifest=manifest, scheduler="serial"
+    )
+    text = manifest.read_text()
+    # chop mid-way through the final line
+    manifest.write_text(text[: len(text) - 25])
+    records = records_from_manifest(manifest)  # must not raise
+    assert isinstance(records, list)
+
+
+# -- regression detection --------------------------------------------------
+
+
+def _trajectory() -> list[RunRecord]:
+    records = []
+    for path in BENCH_FILES:
+        records.extend(ingest_path(path))
+    return records
+
+
+def test_real_trajectory_is_regression_free():
+    findings = detect_regressions(_trajectory())
+    assert findings == [], [f.describe() for f in findings]
+
+
+def test_synthetic_2x_slowdown_is_flagged():
+    # the CI shape: legacy trajectory plus a freshly measured point
+    # that carries host provenance (as every new emission does)
+    fresh = _record(bench="fresh", pr=8, host="ci-runner", cpu_count=8)
+    records = _trajectory() + [fresh]
+    poisoned = inject_slowdown(records, factor=2.0)
+    assert len(poisoned) > len(records)
+    findings = detect_regressions(poisoned)
+    assert findings, "a 2x same-host slowdown must be flagged"
+    for f in findings:
+        assert f.ratio == pytest.approx(2.0, rel=1e-6)
+        assert f.same_host
+        assert f.ratio >= f.threshold
+        assert f.after.source == "synthetic-slowdown"
+
+
+def test_injection_needs_host_identity_to_use_tight_threshold():
+    # hostless records (every pre-perfdb measurement) only get the
+    # loose cross-host bar — absolute wall-clock across unknown
+    # machines is not a regression signal at 2x...
+    legacy = [_record(host=None, cpu_count=None)]
+    assert detect_regressions(inject_slowdown(legacy, factor=2.0)) == []
+    # ...but a big enough cross-host jump still trips
+    assert detect_regressions(inject_slowdown(legacy, factor=4.0))
+
+
+def test_same_host_pairs_use_the_tight_threshold():
+    a = _record(pr=1, host="ci", cpu_count=8)
+    b = replace(a, pr=2, wall_s=a.wall_s * 1.9)  # 1.9x, same host
+    assert detect_regressions([a, b])  # 1.9 > 1.8 same-host ratio
+    # identical slowdown across hosts stays under the loose 3.0x bar
+    c = replace(b, host="other")
+    assert detect_regressions([a, c]) == []
+    # unknown hosts (legacy records) also get the loose bar
+    d = replace(b, host=None, cpu_count=None)
+    assert detect_regressions([replace(a, host=None, cpu_count=None), d]) \
+        == []
+
+
+def test_noise_floor_suppresses_micro_timings():
+    a = _record(wall_s=2e-4, pr=1, host="ci", cpu_count=8)
+    b = replace(a, pr=2, wall_s=8e-4)  # 4x but both under 1 ms
+    policy = TrendPolicy()
+    assert detect_regressions([a, b], policy) == []
+
+
+def test_series_trends_orders_by_pr():
+    records = [
+        _record(pr=3, wall_s=3.0), _record(pr=1, wall_s=1.0),
+        _record(pr=2, wall_s=2.0),
+    ]
+    (t,) = series_trends(records)
+    assert len(t["points"]) == 3
+    assert [p["wall_per_step"] for p in t["points"]] == [0.5, 1.0, 1.5]
+    assert t["net_ratio"] == pytest.approx(3.0)
+
+
+# -- query layer -----------------------------------------------------------
+
+
+def test_pivot_aggregations():
+    rows = [
+        _record(gflops=1.0), _record(gflops=3.0, pr=2),
+        _record(app="gtc", gflops=2.0),
+    ]
+    best = pivot(rows, rows=("app",), value="gflops", agg="best")
+    assert best.cells[(("lbmhd",), ())] == 3.0  # best = max for rates
+    worst = pivot(rows, rows=("app",), value="wall_s", agg="best")
+    assert worst.cells[(("lbmhd",), ())] == 1.0  # best = min for times
+    count = pivot(rows, rows=("app",), value="gflops", agg="count")
+    assert count.cells[(("gtc",), ())] == 1
+
+    with pytest.raises(ValueError):
+        pivot(rows, rows=("nope",))
+    with pytest.raises(ValueError):
+        pivot(rows, value="nope")
+
+
+def test_record_identity_and_uid():
+    a, b = _record(), _record()
+    assert a == b and a.uid() == b.uid()
+    assert a.series_key() == b.series_key()
+    c = _record(wall_s=9.9)
+    assert c.uid() != a.uid()
+    assert c.series_key() == a.series_key()  # same series, new point
+    assert _record(executor="threads:4").series_key() != a.series_key()
+
+
+def test_with_provenance_fills_only_unset_fields():
+    r = _record(host=None, cpu_count=None, version=None)
+    filled = r.with_provenance(host="ci", cpu_count=4, version="1.1.0")
+    assert (filled.host, filled.cpu_count, filled.version) == \
+        ("ci", 4, "1.1.0")
+    kept = filled.with_provenance(host="other", version="9.9.9")
+    assert kept.host == "ci" and kept.version == "1.1.0"

@@ -1,0 +1,253 @@
+"""Prediction-service benchmark: warm-cache latency + request coalescing.
+
+Two tracked numbers, recorded to ``BENCH_PR9.json`` by
+``python benchmarks/bench_service.py``, both measured over real HTTP
+against a live :class:`~repro.service.ReproService`:
+
+* **Warm fraction** — one cold ``POST /v1/predict`` (engine
+  computation) vs the identical request served from the shared
+  :class:`~repro.campaign.cache.ResultCache`.  The acceptance bound is
+  warm < :data:`WARM_FRACTION_TARGET` of cold, enforced everywhere —
+  a warm hit is a file read, independent of core count.
+* **Coalesce speedup** — :data:`CLIENTS` identical concurrent clients
+  (one computation, everyone attached) vs the same clients serialized
+  against distinct cold configs (one computation each).  Coalescing
+  must win by :data:`COALESCE_SPEEDUP_TARGET` and ``/v1/stats`` must
+  show exactly one miss and one put for the fan-in.
+
+The pytest entry points are ``bench_smoke`` tests over a tiny config.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import ReproService, ServiceThread
+
+try:  # runnable both as a script and under pytest rootdir collection
+    import common
+except ImportError:  # pragma: no cover
+    from benchmarks import common
+
+# -- benchmark configuration (the tracked numbers) -------------------------
+
+#: The cold computation must dwarf HTTP + cache-read overhead for the
+#: warm-fraction bound to measure the cache, not the transport.
+PREDICT = {
+    "app": "lbmhd",
+    "nprocs": 4,
+    "steps": 12,
+    "seed": 0,
+    "params": {"shape": [24, 24, 24]},
+}
+
+#: Identical concurrent clients for the coalescing fan-in.
+CLIENTS = 10
+
+#: Acceptance bound: warm predict latency as a fraction of cold.
+WARM_FRACTION_TARGET = 0.05
+#: Acceptance bound: coalesced fan-in vs serial distinct-config sweep.
+COALESCE_SPEEDUP_TARGET = 3.0
+
+#: Tiny config for the smoke tests (~ms of solver work).
+SMOKE_PREDICT = {
+    "app": "lbmhd",
+    "nprocs": 4,
+    "steps": 2,
+    "seed": 0,
+    "params": {"shape": [8, 8, 8]},
+}
+
+
+def _post_predict(port: int, body: dict) -> dict:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
+    try:
+        conn.request(
+            "POST", "/v1/predict", body=json.dumps(body),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 200, payload
+        return payload
+    finally:
+        conn.close()
+
+
+def _get_stats(port: int) -> dict:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", "/v1/stats")
+        return json.loads(conn.getresponse().read())
+    finally:
+        conn.close()
+
+
+def _timed(fn) -> tuple[float, dict]:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def run_benchmark(predict: dict | None = None, clients: int = CLIENTS) -> dict:
+    """Cold vs warm predict, coalesced vs serial fan-in; the payload."""
+    predict = dict(predict or PREDICT)
+
+    with tempfile.TemporaryDirectory(prefix="bench-pr9-") as tmp:
+        service = ReproService(tmp, workers=2, scheduler="serial")
+        with ServiceThread(service) as thread:
+            port = thread.port
+
+            cold_s, cold = _timed(lambda: _post_predict(port, predict))
+            assert cold["cached"] is False, cold
+            warm_s, warm = _timed(lambda: _post_predict(port, predict))
+            assert warm["cached"] is True, warm
+
+            # coalesced fan-in: CLIENTS identical requests on a fresh
+            # (uncached) config, all in flight together
+            fanin = {**predict, "seed": 1}
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                coalesced_s, _ = _timed(
+                    lambda: list(
+                        pool.map(
+                            lambda _: _post_predict(port, fanin),
+                            range(clients),
+                        )
+                    )
+                )
+            stats = _get_stats(port)
+
+            # serial sweep: the same client count, each a distinct cold
+            # config — what the fan-in would cost without coalescing
+            def serial_sweep():
+                for seed in range(100, 100 + clients):
+                    _post_predict(port, {**predict, "seed": seed})
+
+            serial_s, _ = _timed(serial_sweep)
+
+    cache = stats["cache"]
+    coalesce = stats["coalesce"]
+    warm_fraction = warm_s / cold_s
+    coalesce_speedup = serial_s / coalesced_s
+    return {
+        "config": {**predict, "clients": clients},
+        "host": common.host_facts(),
+        "service": {
+            "cold": {"best_s": cold_s, "samples_s": [cold_s]},
+            "warm": {"best_s": warm_s, "samples_s": [warm_s]},
+            "warm_fraction_of_cold": warm_fraction,
+            "coalesced": {
+                "clients": clients,
+                "wall_s": coalesced_s,
+                "computations": cache["misses"] - 2,  # fan-in's share
+                "coalesced_total": coalesce["coalesced_total"],
+            },
+            "serial": {"clients": clients, "wall_s": serial_s},
+            "coalesce_speedup": coalesce_speedup,
+        },
+        "stats": {
+            "cache": {
+                "hits": cache["hits"],
+                "misses": cache["misses"],
+                "lifetime": cache["lifetime"],
+            },
+            "coalesce": coalesce,
+        },
+        "target": {
+            "warm_fraction": WARM_FRACTION_TARGET,
+            "warm_met": warm_fraction < WARM_FRACTION_TARGET,
+            "coalesce_speedup": COALESCE_SPEEDUP_TARGET,
+            "coalesce_met": coalesce_speedup >= COALESCE_SPEEDUP_TARGET,
+        },
+    }
+
+
+# -- pytest smoke tests ---------------------------------------------------
+
+
+@pytest.mark.bench_smoke
+def test_warm_predict_is_a_cache_hit(tmp_path):
+    """The second identical request never reaches the engine."""
+    service = ReproService(tmp_path, workers=1, scheduler="serial")
+    with ServiceThread(service) as thread:
+        cold = _post_predict(thread.port, SMOKE_PREDICT)
+        warm = _post_predict(thread.port, SMOKE_PREDICT)
+        stats = _get_stats(thread.port)
+    assert cold["cached"] is False and warm["cached"] is True
+    assert stats["cache"]["hits"] == 1
+    assert stats["cache"]["misses"] == 1
+    assert stats["cache"]["lifetime"]["puts"] == 1
+
+
+@pytest.mark.bench_smoke
+def test_identical_concurrent_clients_cost_one_computation(tmp_path):
+    """The coalescing acceptance shape at smoke scale."""
+    n = 4
+    service = ReproService(tmp_path, workers=2, scheduler="serial")
+    with ServiceThread(service) as thread:
+        port = thread.port
+        body = {**SMOKE_PREDICT, "steps": 4, "params": {"shape": [16, 16, 16]}}
+        with ThreadPoolExecutor(max_workers=n) as pool:
+            results = list(
+                pool.map(lambda _: _post_predict(port, body), range(n))
+            )
+        stats = _get_stats(port)
+    assert len({r["key"] for r in results}) == 1
+    cache, coalesce = stats["cache"], stats["coalesce"]
+    assert cache["misses"] == 1, stats
+    assert cache["lifetime"]["puts"] == 1, stats
+    assert coalesce["coalesced_total"] + cache["hits"] == n - 1, stats
+
+
+@pytest.mark.bench_smoke
+def test_payload_round_trips_through_perfdb():
+    """The PR9 payload shape must stay ingestible (common.emit
+    re-derives records via detect_schema on every write)."""
+    from repro.perfdb.ingest import detect_schema, records_from_bench
+
+    payload = run_benchmark(predict=SMOKE_PREDICT, clients=3)
+    assert detect_schema(payload) == "pr9"
+    records = records_from_bench(payload, source="BENCH_PR9.json")
+    cells = {(r.bench, r.variant) for r in records}
+    assert cells == {
+        ("service_predict", "cold"),
+        ("service_predict", "warm"),
+        ("service_fanin", "coalesced"),
+        ("service_fanin", "serial"),
+    }
+    assert all(r.pr == 9 and r.wall_s > 0 for r in records)
+
+
+if __name__ == "__main__":
+    payload = run_benchmark()
+    svc, target = payload["service"], payload["target"]
+    print(
+        f"predict ({PREDICT['app']} {PREDICT['params']['shape']} "
+        f"x{PREDICT['steps']})   cold {svc['cold']['best_s']:7.3f} s   "
+        f"warm {svc['warm']['best_s']:7.3f} s   "
+        f"({svc['warm_fraction_of_cold'] * 100:.2f}% of cold)"
+    )
+    print(
+        f"fan-in ({CLIENTS} clients)   coalesced "
+        f"{svc['coalesced']['wall_s']:7.3f} s   serial "
+        f"{svc['serial']['wall_s']:7.3f} s   speedup "
+        f"{svc['coalesce_speedup']:.2f}x"
+    )
+    assert target["warm_met"], (
+        f"warm predict took {svc['warm_fraction_of_cold'] * 100:.2f}% of "
+        f"cold — the service bound is < "
+        f"{WARM_FRACTION_TARGET * 100:.0f}%"
+    )
+    assert target["coalesce_met"], (
+        f"coalesced fan-in speedup {svc['coalesce_speedup']:.2f}x below "
+        f"{COALESCE_SPEEDUP_TARGET}x target"
+    )
+    stats = payload["stats"]
+    assert stats["coalesce"]["coalesced_total"] >= 1, stats
+    common.emit("BENCH_PR9.json", payload)

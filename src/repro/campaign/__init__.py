@@ -23,13 +23,14 @@ The ``repro-campaign`` CLI (:mod:`repro.campaign.cli`) exposes
 ``run`` / ``status`` / ``clean`` on top.
 """
 
-from .cache import ResultCache
+from .cache import CacheStats, ResultCache
 from .engine import run_campaign
 from .manifest import Manifest, read_events, summarize
 from .report import CampaignReport, ConfigResult
 from .spec import CampaignSpec, RunConfig
 
 __all__ = [
+    "CacheStats",
     "CampaignReport",
     "CampaignSpec",
     "ConfigResult",

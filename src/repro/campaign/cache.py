@@ -11,6 +11,15 @@ directory), so a campaign killed mid-write never leaves a torn entry —
 the resume path either sees a complete result or a miss.  Workers in
 different processes may race to publish the same key; last rename wins
 and both wrote identical content, so the race is benign.
+
+Every cache instance counts its own traffic (:class:`CacheStats`:
+hits, misses, puts) so cache effectiveness is observable directly —
+the service's ``/v1/stats`` endpoint reads the live counters, and
+``repro-campaign status`` reads the *lifetime* counters, which
+instances persist as append-only delta lines in
+``<root>/cache-stats.jsonl`` (one small ``O_APPEND`` write per flush,
+so concurrent campaigns and worker processes never torn-write each
+other).
 """
 
 from __future__ import annotations
@@ -18,11 +27,38 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
+import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
 from .. import __version__
 from .spec import RunConfig
+
+#: File (under the cache root) accumulating persisted counter deltas.
+STATS_FILENAME = "cache-stats.jsonl"
+
+
+@dataclass
+class CacheStats:
+    """Traffic counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+    @property
+    def gets(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 when nothing was looked up yet)."""
+        return self.hits / self.gets if self.gets else 0.0
 
 
 class ResultCache:
@@ -31,6 +67,9 @@ class ResultCache:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self._stats_lock = threading.Lock()
+        self._persisted = CacheStats()  # counts already flushed to disk
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -41,10 +80,13 @@ class ResultCache:
         try:
             entry = json.loads(path.read_text())
         except FileNotFoundError:
+            self._count(misses=1)
             return None
         except (json.JSONDecodeError, OSError):
             # unreadable entry == miss; the rerun will overwrite it
+            self._count(misses=1)
             return None
+        self._count(hits=1)
         return entry.get("result")
 
     def put(self, config: RunConfig, result: dict[str, Any]) -> Path:
@@ -71,7 +113,58 @@ class ResultCache:
             except FileNotFoundError:
                 pass
             raise
+        self._count(puts=1)
         return path
+
+    def _count(self, *, hits: int = 0, misses: int = 0, puts: int = 0) -> None:
+        with self._stats_lock:
+            self.stats.hits += hits
+            self.stats.misses += misses
+            self.stats.puts += puts
+
+    def persist_stats(self) -> None:
+        """Append this instance's unflushed counter deltas to
+        ``cache-stats.jsonl`` (no-op when nothing changed since the last
+        flush).  Campaign engines call this once per invocation; workers
+        call it after publishing, so lifetime counters survive across
+        processes."""
+        with self._stats_lock:
+            delta = CacheStats(
+                hits=self.stats.hits - self._persisted.hits,
+                misses=self.stats.misses - self._persisted.misses,
+                puts=self.stats.puts - self._persisted.puts,
+            )
+            if not (delta.hits or delta.misses or delta.puts):
+                return
+            self._persisted = CacheStats(**self.stats.as_dict())
+        line = json.dumps(
+            {**delta.as_dict(), "time": time.time()}, sort_keys=True
+        )
+        # O_APPEND: one small write, atomic in practice across processes
+        with (self.root / STATS_FILENAME).open("a") as fh:
+            fh.write(line + "\n")
+
+    def lifetime_stats(self) -> CacheStats:
+        """Summed persisted counters across every instance and process
+        that ever flushed into this cache root (torn lines skipped)."""
+        total = CacheStats()
+        path = self.root / STATS_FILENAME
+        try:
+            lines = path.read_text().splitlines()
+        except (FileNotFoundError, OSError):
+            return total
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                d = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            total.hits += int(d.get("hits", 0))
+            total.misses += int(d.get("misses", 0))
+            total.puts += int(d.get("puts", 0))
+        return total
 
     def entries(self) -> Iterator[dict[str, Any]]:
         """Every readable entry (config + result + version)."""
@@ -102,4 +195,11 @@ class ResultCache:
                     sub.rmdir()
                 except OSError:
                     pass
+        try:  # lifetime counters describe the entries; drop them together
+            (self.root / STATS_FILENAME).unlink()
+        except FileNotFoundError:
+            pass
+        with self._stats_lock:
+            self.stats = CacheStats()
+            self._persisted = CacheStats()
         return removed

@@ -95,17 +95,42 @@ def _latest_manifest(cache_dir: str) -> Path | None:
     return journals[-1] if journals else None
 
 
+def _cache_stats_line(cache_dir: str) -> str | None:
+    """Entry count + lifetime hit/miss/put counters, or ``None`` when
+    there is no cache directory to describe."""
+    root = Path(cache_dir)
+    if not root.is_dir():
+        return None
+    cache = ResultCache(root)
+    life = cache.lifetime_stats()
+    return (
+        f"cache {root}: {len(cache)} entr{'y' if len(cache) == 1 else 'ies'}; "
+        f"lifetime {life.hits} hit(s), {life.misses} miss(es), "
+        f"{life.puts} put(s)"
+    )
+
+
 def _cmd_status(args) -> int:
     path = Path(args.manifest) if args.manifest else _latest_manifest(
         args.cache_dir
     )
     if path is None or not path.exists():
         where = args.manifest or f"{args.cache_dir}/*.manifest.jsonl"
-        print(f"repro-campaign: no manifest found ({where})",
+        print(f"repro-campaign: no manifest found: {where}",
               file=sys.stderr)
-        return 1
+        return 2
     s = summarize(path)
+    if s["name"] is None and not s["runs"]:
+        print(f"repro-campaign: empty manifest: {path}", file=sys.stderr)
+        return 2
     if args.json:
+        root = Path(args.cache_dir)
+        if root.is_dir():
+            cache = ResultCache(root)
+            s["cache"] = {
+                "entries": len(cache),
+                "lifetime": cache.lifetime_stats().as_dict(),
+            }
         print(json.dumps(s, indent=2, sort_keys=True))
         return 0
     state = "complete" if s["complete"] else "interrupted/in progress"
@@ -132,6 +157,9 @@ def _cmd_status(args) -> int:
             f"  {tag}  {event.get('label', key):<40} "
             f"{backend:<8} {extra}"
         )
+    cache_line = _cache_stats_line(args.cache_dir)
+    if cache_line is not None:
+        print(cache_line)
     return 0
 
 

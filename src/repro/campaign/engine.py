@@ -218,4 +218,8 @@ def run_campaign(
             "wall_s": report.wall_s,
         }
     )
+    if cache is not None:
+        # lifetime counters: workers flushed their puts as they
+        # published; this invocation's hits/misses flush here
+        cache.persist_stats()
     return report

@@ -141,5 +141,7 @@ def run_and_cache(job: tuple[dict[str, Any], str | None]) -> dict[str, Any]:
     config = RunConfig.from_dict(config_dict)
     result = execute_config(config)
     if cache_root is not None:
-        ResultCache(cache_root).put(config, result)
+        cache = ResultCache(cache_root)
+        cache.put(config, result)
+        cache.persist_stats()  # lifetime put counters survive the worker
     return {"key": config.key(), "result": result}

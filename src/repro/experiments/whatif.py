@@ -106,17 +106,30 @@ SENSITIVITY_PARAMS = (
 )
 
 
-def run() -> dict:
-    profiles = {
+def sensitivity_profiles() -> dict[str, dict[str, float]]:
+    """Per-parameter elasticity of the modeled ES rate, per application."""
+    return {
         app: sensitivity_profile(
             app, scenario, get_machine("ES"), SENSITIVITY_PARAMS
         )
         for app, scenario in SENSITIVITY_CASES.items()
     }
+
+
+#: Named counterfactuals, individually addressable — this is what the
+#: service's ``GET /v1/whatif/<name>`` endpoint serves.
+WHATIF_CASES = {
+    "sx8_fplram": sx8_with_fplram,
+    "x1_registers": x1_with_es_registers,
+    "sensitivity": sensitivity_profiles,
+}
+
+
+def run() -> dict:
     return {
         "sx8_fplram": sx8_with_fplram(),
         "x1_registers": x1_with_es_registers(),
-        "es_sensitivity": profiles,
+        "es_sensitivity": sensitivity_profiles(),
     }
 
 

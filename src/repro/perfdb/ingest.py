@@ -49,9 +49,12 @@ _SECTION_CONFIGS = {
 
 
 def detect_schema(payload: Mapping[str, Any]) -> str:
-    """Which BENCH payload shape this is (``records`` or ``pr1``..``pr7``)."""
+    """Which BENCH payload shape this is (``records`` or ``pr1``..``pr9``)."""
     if isinstance(payload.get("records"), list):
         return "records"
+    service = payload.get("service")
+    if isinstance(service, dict) and "cold" in service:
+        return "pr9"
     if "cells" in payload and "kernels" in payload:
         return "pr7"
     if "campaign" in payload and "cold" in payload:
@@ -319,6 +322,66 @@ def _records_pr7(payload: Mapping[str, Any]) -> list[RunRecord]:
     return records
 
 
+def _records_pr9(payload: Mapping[str, Any]) -> list[RunRecord]:
+    """PR9 service cells: cold/warm predict latency, coalesced vs
+    serial fan-in of identical concurrent clients."""
+    config = payload.get("config", {})
+    facts = _host_facts(payload)
+    svc = payload.get("service", {})
+    app = str(config.get("app", "lbmhd"))
+    records: list[RunRecord] = []
+    for variant in ("cold", "warm"):
+        cell = svc.get(variant)
+        if not isinstance(cell, dict):
+            continue
+        extra: dict[str, Any] = {}
+        if variant == "warm" and isinstance(
+            svc.get("warm_fraction_of_cold"), (int, float)
+        ):
+            extra["fraction_of_cold"] = svc["warm_fraction_of_cold"]
+        rec = _timing_record(
+            cell,
+            app=app,
+            bench="service_predict",
+            variant=variant,
+            nprocs=config.get("nprocs"),
+            steps=config.get("steps"),
+            extra=extra,
+            **facts,
+        )
+        if rec is not None:
+            records.append(rec)
+    for variant in ("coalesced", "serial"):
+        cell = svc.get(variant)
+        if not isinstance(cell, dict):
+            continue
+        wall = cell.get("wall_s")
+        if not isinstance(wall, (int, float)):
+            continue
+        extra = {
+            k: cell[k]
+            for k in ("clients", "computations", "coalesced_total")
+            if isinstance(cell.get(k), (int, float))
+        }
+        if variant == "coalesced" and isinstance(
+            svc.get("coalesce_speedup"), (int, float)
+        ):
+            extra["speedup_vs_serial"] = svc["coalesce_speedup"]
+        records.append(
+            RunRecord(
+                app=app,
+                bench="service_fanin",
+                variant=variant,
+                nprocs=config.get("nprocs"),
+                steps=config.get("steps"),
+                wall_s=float(wall),
+                extra=extra,
+                **facts,
+            )
+        )
+    return records
+
+
 _ADAPTERS = {
     "pr1": _records_pr1_pr2,
     "pr2": _records_pr1_pr2,
@@ -327,6 +390,7 @@ _ADAPTERS = {
     "pr5": _records_pr5,
     "pr6": _records_pr3_pr6,
     "pr7": _records_pr7,
+    "pr9": _records_pr9,
 }
 
 

@@ -1,0 +1,58 @@
+"""Request coalescing: identical in-flight configs share one computation.
+
+The identity is the campaign's own SHA-256 content key
+(:meth:`RunConfig.key` — canonical config JSON + package version), so
+"identical" here means exactly what it means to the result cache: two
+requests that would produce byte-identical cache entries.  The first
+request creates the job; every later request arriving while that job
+is still queued or running attaches to it, waits on the same event
+stream, and receives the same result.  N identical concurrent clients
+therefore cost exactly one engine computation — the acceptance
+criterion ``/v1/stats`` makes observable via ``coalesced_total`` and
+the cache hit/miss counters.
+
+Single-threaded by construction: every method runs on the event loop.
+"""
+
+from __future__ import annotations
+
+from ..campaign.spec import RunConfig
+from .jobs import Job, JobQueue
+
+
+class Coalescer:
+    """In-flight job dedupe keyed on RunConfig content keys."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, Job] = {}
+        #: Requests served by attaching to an existing in-flight job.
+        self.coalesced_total = 0
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._inflight)
+
+    async def submit(
+        self, config: RunConfig, queue: JobQueue
+    ) -> tuple[Job, bool]:
+        """Route one request: attach to the in-flight twin or enqueue.
+
+        Returns ``(job, coalesced)`` — ``coalesced`` is True when the
+        request piggybacked on an existing computation.
+        """
+        key = config.key()
+        job = self._inflight.get(key)
+        if job is not None and not job.finished:
+            job.coalesced += 1
+            self.coalesced_total += 1
+            return job, True
+        job = await queue.submit(config)
+        self._inflight[key] = job
+        return job, False
+
+    def release(self, job: Job) -> None:
+        """Drop a finished job from the in-flight index (wired as the
+        queue's ``on_finish`` hook, so release happens before waiters
+        observe the terminal event)."""
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]

@@ -1,0 +1,285 @@
+"""The service's job layer: queued predictions over the campaign engine.
+
+A :class:`Job` is one prediction in flight — a single
+:class:`~repro.campaign.spec.RunConfig` with an event log every
+subscriber can stream (``queued`` -> ``running`` -> ``done``/``failed``).
+The :class:`JobQueue` owns a fixed set of asyncio worker tasks; each
+worker pops a job and executes it *in a thread* through
+:func:`~repro.campaign.engine.run_campaign` with a single explicit
+config, the shared :class:`~repro.campaign.cache.ResultCache`, the
+shared service manifest, and the shared campaign-level executor
+(``ProcessExecutor`` worker pool by default).  That one call buys the
+whole campaign contract: cache-hit serving, worker-side cache publish,
+per-config failure isolation, and campaign-style JSONL journaling that
+``repro.perfdb`` ingests unchanged.
+
+All job state is mutated on the event loop; the only thing that runs
+off-loop is the blocking engine call inside ``asyncio.to_thread``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..campaign.cache import ResultCache
+from ..campaign.engine import run_campaign
+from ..campaign.manifest import Manifest, NullManifest
+from ..campaign.report import ConfigResult
+from ..campaign.spec import CampaignSpec, RunConfig
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+#: Finished jobs kept around for ``GET /v1/jobs/<id>`` before pruning.
+MAX_FINISHED_JOBS = 256
+
+
+@dataclass
+class Job:
+    """One prediction moving through the queue."""
+
+    id: str
+    config: RunConfig
+    key: str
+    state: str = QUEUED
+    created: float = field(default_factory=time.time)
+    #: Requests beyond the first that attached to this computation.
+    coalesced: int = 0
+    cached: bool = False
+    wall_s: float = 0.0
+    gflops: float = 0.0
+    result: dict[str, Any] | None = None
+    error: str | None = None
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._cond = asyncio.Condition()
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    def summary(self) -> dict[str, Any]:
+        """The job as the API's JSON shape (result omitted)."""
+        return {
+            "job": self.id,
+            "key": self.key,
+            "label": self.config.label,
+            "config": self.config.to_dict(),
+            "state": self.state,
+            "coalesced": self.coalesced,
+            "cached": self.cached,
+            "wall_s": self.wall_s,
+            "gflops": self.gflops,
+            "error": self.error,
+        }
+
+    async def emit(self, event: dict[str, Any]) -> None:
+        """Append one stream event and wake every subscriber."""
+        self.events.append(event)
+        async with self._cond:
+            self._cond.notify_all()
+
+    async def stream(self):
+        """Yield every event, live, until the job finishes.
+
+        Past events replay first, so a subscriber attaching after
+        completion still sees the full history.
+        """
+        idx = 0
+        while True:
+            while idx < len(self.events):
+                yield self.events[idx]
+                idx += 1
+            if self.finished:
+                return
+            async with self._cond:
+                if idx >= len(self.events) and not self.finished:
+                    await self._cond.wait()
+
+    async def wait(self) -> None:
+        """Block until the job reaches a terminal state."""
+        async for _ in self.stream():
+            pass
+
+
+#: Executes one config synchronously, returning its ConfigResult.
+RunnerFn = Callable[[RunConfig], ConfigResult]
+
+
+class JobQueue:
+    """Fixed-width asyncio worker pool draining predictions in FIFO order."""
+
+    def __init__(
+        self,
+        *,
+        cache: ResultCache | None,
+        manifest: "Manifest | NullManifest | None" = None,
+        scheduler: Any = "serial",
+        workers: int = 2,
+        campaign_name: str = "service",
+        runner: RunnerFn | None = None,
+        on_finish: Callable[[Job], None] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.cache = cache
+        self.manifest = manifest if manifest is not None else NullManifest()
+        self.scheduler = scheduler
+        self.workers = workers
+        self.campaign_name = campaign_name
+        self.on_finish = on_finish
+        self._runner = runner or self._run_config
+        self._queue: asyncio.Queue[Job | None] = asyncio.Queue()
+        self._tasks: list[asyncio.Task] = []
+        self._jobs: dict[str, Job] = {}
+        self._running = 0
+        self._seq = 0
+        self.completed = 0
+        self.failed = 0
+
+    # -- introspection ----------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        return list(self._jobs.values())
+
+    @property
+    def depth(self) -> int:
+        """Jobs accepted but not yet picked up by a worker."""
+        return self._queue.qsize()
+
+    @property
+    def running(self) -> int:
+        return self._running
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._tasks:
+            return
+        self._tasks = [
+            asyncio.create_task(self._worker(), name=f"job-worker-{i}")
+            for i in range(self.workers)
+        ]
+
+    async def stop(self) -> None:
+        """Drain-free shutdown: workers exit after their current job."""
+        for _ in self._tasks:
+            self._queue.put_nowait(None)
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+
+    async def submit(self, config: RunConfig) -> Job:
+        """Accept one prediction; returns the queued :class:`Job`."""
+        self._seq += 1
+        job = Job(
+            id=f"j{self._seq:06d}", config=config, key=config.key()
+        )
+        self._jobs[job.id] = job
+        self._prune()
+        await job.emit(
+            {
+                "event": QUEUED,
+                "job": job.id,
+                "key": job.key,
+                "label": config.label,
+                "t": time.time(),
+            }
+        )
+        await self._queue.put(job)
+        return job
+
+    # -- execution --------------------------------------------------------
+
+    def _run_config(self, config: RunConfig) -> ConfigResult:
+        """Blocking: one config through the campaign engine (hit-first
+        serving, worker-pool fan-out, manifest journaling)."""
+        spec = CampaignSpec(
+            name=self.campaign_name,
+            apps=(config.app,),
+            steps=config.steps,
+        )
+        report = run_campaign(
+            spec,
+            configs=[config],
+            cache=self.cache,
+            manifest=self.manifest,
+            scheduler=self.scheduler,
+        )
+        return report.rows[0]
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self._queue.get()
+            if job is None:
+                return
+            job.state = RUNNING
+            self._running += 1
+            await job.emit(
+                {"event": RUNNING, "job": job.id, "t": time.time()}
+            )
+            try:
+                row = await asyncio.to_thread(self._runner, job.config)
+            except BaseException as exc:  # noqa: BLE001 - isolation seam
+                await self._finish(
+                    job, error=f"{type(exc).__name__}: {exc}"
+                )
+            else:
+                if row.ok:
+                    await self._finish(job, row=row)
+                else:
+                    await self._finish(job, error=row.error, row=row)
+            finally:
+                self._running -= 1
+
+    async def _finish(
+        self,
+        job: Job,
+        *,
+        row: ConfigResult | None = None,
+        error: str | None = None,
+    ) -> None:
+        if error is None and row is not None:
+            job.state = DONE
+            job.cached = row.cached
+            job.wall_s = row.wall_s
+            job.gflops = row.gflops
+            job.result = row.result
+            self.completed += 1
+            final = {
+                "event": DONE,
+                "job": job.id,
+                "key": job.key,
+                "cached": job.cached,
+                "wall_s": job.wall_s,
+                "gflops": job.gflops,
+                "result": job.result,
+                "t": time.time(),
+            }
+        else:
+            job.state = FAILED
+            job.error = error or "unknown failure"
+            self.failed += 1
+            final = {
+                "event": FAILED,
+                "job": job.id,
+                "key": job.key,
+                "error": job.error,
+                "t": time.time(),
+            }
+        if self.on_finish is not None:
+            self.on_finish(job)
+        await job.emit(final)
+
+    def _prune(self) -> None:
+        """Cap the finished-job history at :data:`MAX_FINISHED_JOBS`."""
+        finished = [j for j in self._jobs.values() if j.finished]
+        for job in finished[: max(0, len(finished) - MAX_FINISHED_JOBS)]:
+            self._jobs.pop(job.id, None)

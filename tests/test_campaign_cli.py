@@ -118,9 +118,48 @@ class TestStatusAndClean:
         s = json.loads(capsys.readouterr().out)
         assert s["complete"] and s["done"] == 4
 
-    def test_status_without_journal_exits_1(self, tmp_path, capsys):
-        assert main(["status", "--cache-dir", str(tmp_path)]) == 1
-        assert "no manifest found" in capsys.readouterr().err
+    def test_status_without_journal_exits_2(self, tmp_path, capsys):
+        assert main(["status", "--cache-dir", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "no manifest found" in err
+        assert f"{tmp_path}/*.manifest.jsonl" in err
+
+    def test_status_with_missing_explicit_manifest_exits_2(
+        self, tmp_path, capsys
+    ):
+        gone = tmp_path / "gone.manifest.jsonl"
+        assert main(["status", str(gone)]) == 2
+        err = capsys.readouterr().err
+        assert "no manifest found" in err and str(gone) in err
+
+    def test_status_with_empty_manifest_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty.manifest.jsonl"
+        empty.write_text("")
+        assert main(["status", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "empty manifest" in err and str(empty) in err
+
+    def test_status_surfaces_cache_counters(
+        self, spec_file, tmp_path, capsys
+    ):
+        # cold run then warm run: 4 misses + 4 puts, then 4 hits
+        assert _run(spec_file, tmp_path, "--quiet") == 0
+        assert _run(spec_file, tmp_path, "--quiet") == 0
+        capsys.readouterr()
+        cache_dir = str(tmp_path / "cache")
+        assert main(["status", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert f"cache {cache_dir}: 4 entries" in out
+        assert "lifetime 4 hit(s), 4 miss(es), 4 put(s)" in out
+
+        assert main(["status", "--cache-dir", cache_dir, "--json"]) == 0
+        s = json.loads(capsys.readouterr().out)
+        assert s["cache"]["entries"] == 4
+        assert s["cache"]["lifetime"] == {
+            "hits": 4, "misses": 4, "puts": 4,
+        }
 
     def test_clean_empties_cache_and_journals(
         self, spec_file, tmp_path, capsys

@@ -1,0 +1,113 @@
+"""Pinned oracles for the three paper counterfactuals.
+
+These numbers come from the architectural models alone (no solver
+runs, no RNG), so they are exact functions of the machine catalog and
+the perfmodel — any drift means a model or catalog change, which must
+be deliberate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import whatif
+
+
+def test_whatif_cases_registry_matches_run():
+    assert set(whatif.WHATIF_CASES) == {
+        "sx8_fplram", "x1_registers", "sensitivity",
+    }
+    data = whatif.run()
+    assert set(data) == {"sx8_fplram", "x1_registers", "es_sensitivity"}
+    # run() is the registry's cases, evaluated
+    assert data["sx8_fplram"] == whatif.WHATIF_CASES["sx8_fplram"]()
+    assert data["es_sensitivity"] == whatif.WHATIF_CASES["sensitivity"]()
+
+
+class TestSX8WithFPLRAM:
+    def test_pinned_rates(self):
+        out = whatif.sx8_with_fplram()
+        assert out["stock"] == pytest.approx(2.2511065618094315, rel=1e-9)
+        assert out["fplram"] == pytest.approx(2.806341577655231, rel=1e-9)
+        assert out["speedup"] == pytest.approx(1.2466498144803522, rel=1e-9)
+
+    def test_fplram_helps_gtc(self):
+        # the paper's claim: faster memory "would certainly increase
+        # GTC performance" — and by a material margin
+        out = whatif.sx8_with_fplram()
+        assert out["speedup"] > 1.1
+
+
+class TestX1WithESRegisters:
+    def test_pinned_rates(self):
+        out = whatif.x1_with_es_registers()
+        assert out["stock"] == pytest.approx(9.239118013340978, rel=1e-9)
+        assert out["more_registers"] == pytest.approx(
+            9.358305384029471, rel=1e-9
+        )
+        assert out["speedup"] == pytest.approx(1.0129002974652332, rel=1e-9)
+
+    def test_effect_is_small(self):
+        # matches the paper's own surprise: no real spill penalty
+        out = whatif.x1_with_es_registers()
+        assert 1.0 < out["speedup"] < 1.05
+
+
+class TestSensitivityProfiles:
+    # elasticity of the modeled ES rate per machine parameter; 1.0
+    # means the parameter binds, 0.0 means it is slack
+    EXPECTED = {
+        "lbmhd": {
+            "peak_gflops": 0.8758460385359161,
+            "stream_bw_gbs": 0.0,
+            "vector.gather_bw_fraction": 0.0,
+            "vector.scalar_ratio": 0.035772987564780326,
+            "blas3_efficiency": 0.0,
+        },
+        "gtc": {
+            "peak_gflops": 0.0338221067826016,
+            "stream_bw_gbs": 0.9621987542734693,
+            "vector.gather_bw_fraction": 0.9554528314436718,
+            "vector.scalar_ratio": 0.0338221067826016,
+            "blas3_efficiency": 0.0,
+        },
+        "paratec": {
+            "peak_gflops": 0.9375745983913979,
+            "stream_bw_gbs": 0.0,
+            "vector.gather_bw_fraction": 0.0,
+            "vector.scalar_ratio": 0.07419334356886707,
+            "blas3_efficiency": 0.5144307449760317,
+        },
+        "fvcam": {
+            "peak_gflops": 0.8288293415100333,
+            "stream_bw_gbs": 0.0,
+            "vector.gather_bw_fraction": 0.0,
+            "vector.scalar_ratio": 0.12206224598217247,
+            "blas3_efficiency": 0.0,
+        },
+    }
+
+    def test_pinned_profiles(self):
+        profiles = whatif.sensitivity_profiles()
+        assert set(profiles) == set(self.EXPECTED)
+        for app, expected in self.EXPECTED.items():
+            assert profiles[app] == pytest.approx(expected, rel=1e-9), app
+
+    def test_binding_parameters_match_the_paper_reading(self):
+        profiles = whatif.sensitivity_profiles()
+        top = {
+            app: max(prof, key=prof.get) for app, prof in profiles.items()
+        }
+        # LBMHD rides the vector pipes, GTC the gather rate (via
+        # stream bw), PARATEC peak + BLAS3, FVCAM mostly peak
+        assert top["lbmhd"] == "peak_gflops"
+        assert top["gtc"] == "stream_bw_gbs"
+        assert top["paratec"] == "peak_gflops"
+        assert top["fvcam"] == "peak_gflops"
+
+    def test_render_mentions_every_counterfactual(self):
+        text = whatif.render()
+        assert "SX-8 + FPLRAM" in text
+        assert "72 vector registers" in text
+        for param in whatif.SENSITIVITY_PARAMS:
+            assert param in text

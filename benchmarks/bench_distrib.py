@@ -1,0 +1,197 @@
+"""Distributed dispatch benchmark: 2 socket workers vs a serial sweep.
+
+One tracked comparison, recorded to ``BENCH_PR10.json`` by
+``python benchmarks/bench_distrib.py``:
+
+* **Distrib speedup** — an 8-config, 2-app campaign run cold through a
+  coordinator with two ``repro-distrib`` worker *processes* (spawned
+  via ``python -m repro.distrib.cli``, i.e. exactly what a remote host
+  would run) vs the same campaign cold serially.  Target >= 1.5x,
+  asserted only on hosts with at least
+  :data:`~common.MIN_CORES_FOR_TARGET` cores — a single-core container
+  cannot overlap two workers, so there the number is recorded but not
+  enforced (the ``bench_executor.py``/``bench_campaign.py`` pattern).
+
+The pytest entry point is a ``bench_smoke`` test over a tiny spec with
+in-thread workers: distrib scheduling must change wall-clock only,
+never results.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+
+import pytest
+
+from repro.campaign import CampaignSpec, ResultCache, run_campaign
+from repro.distrib import DistribExecutor, DistribWorker
+
+try:  # runnable both as a script and under pytest rootdir collection
+    import common
+except ImportError:  # pragma: no cover
+    from benchmarks import common
+
+# -- benchmark configuration (the tracked numbers) -------------------------
+
+#: 2 apps x 2 seeds x 2 rank counts = 8 configurations.
+CAMPAIGN = CampaignSpec(
+    name="bench-pr10",
+    apps=("lbmhd", "gtc"),
+    nprocs=(4, 8),
+    seeds=(0, 1),
+    steps=10,
+    params={
+        "lbmhd": {"shape": [24, 24, 24]},
+        "gtc": {"particles_per_cell": 16},
+    },
+)
+
+#: Acceptance bound: 2 distrib workers vs serial cold wall-clock.
+DISTRIB_SPEEDUP_TARGET = 1.5
+MIN_CORES_FOR_TARGET = common.MIN_CORES_FOR_TARGET
+#: Worker processes the tracked number uses.
+WORKERS = 2
+
+#: Tiny spec for the smoke test (2 configs).
+SMOKE = CampaignSpec(
+    name="bench-pr10-smoke",
+    apps=("lbmhd",),
+    nprocs=(4,),
+    seeds=(0, 1),
+    steps=1,
+    params={"lbmhd": {"shape": [8, 8, 8]}},
+)
+
+
+def _spawn_worker_process(endpoint: str) -> subprocess.Popen:
+    """One real ``repro-distrib worker`` child, PYTHONPATH included."""
+    env = dict(os.environ)
+    src = str(common.REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.distrib.cli",
+            "worker", endpoint, "--quiet",
+        ],
+        env=env,
+    )
+
+
+def run_benchmark(workers: int = WORKERS) -> dict:
+    """Cold serial vs cold 2-worker distrib; the JSON payload."""
+    n = len(CAMPAIGN.expand())
+
+    serial_cold = run_campaign(CAMPAIGN, cache=None, scheduler="serial")
+    assert serial_cold.ok, [
+        r.error for r in serial_cold.rows if not r.ok
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="bench-pr10-") as tmp:
+        ex = DistribExecutor(
+            "127.0.0.1", 0,
+            grace_s=3600.0,  # the measurement must stay remote
+            local_fallback=False,
+        )
+        ex.coordinator.ensure_started()
+        procs = [
+            _spawn_worker_process(ex.coordinator.endpoint)
+            for _ in range(workers)
+        ]
+        try:
+            distrib_cold = run_campaign(
+                CAMPAIGN, cache=ResultCache(tmp), scheduler=ex
+            )
+        finally:
+            ex.close()  # workers see EOF and exit on their own
+            for p in procs:
+                p.wait(timeout=30)
+        assert distrib_cold.ok and distrib_cold.misses == n
+        stats = ex.stats
+
+    speedup = serial_cold.wall_s / distrib_cold.wall_s
+    enforced = common.targets_enforced()
+    return {
+        "campaign": CAMPAIGN.to_dict(),
+        "host": common.host_facts(),
+        "config": {"app": "campaign", "steps": CAMPAIGN.steps},
+        "distrib": {
+            "serial": {"wall_s": serial_cold.wall_s, "cells": n},
+            "workers2": {
+                "wall_s": distrib_cold.wall_s,
+                "cells": n,
+                "workers": workers,
+                "completed": stats.completed,
+                "dispatched": stats.dispatched,
+                "retried": stats.retried,
+            },
+            "speedup": speedup,
+            "local_runs": stats.local_runs,
+            "target": {
+                "speedup": DISTRIB_SPEEDUP_TARGET,
+                "min_cores": MIN_CORES_FOR_TARGET,
+                "enforced": enforced,
+                "met": speedup >= DISTRIB_SPEEDUP_TARGET,
+            },
+        },
+    }
+
+
+# -- pytest smoke test ----------------------------------------------------
+
+
+@pytest.mark.bench_smoke
+def test_distrib_scheduler_matches_serial_cold(tmp_path):
+    """Dispatching over the socket changes wall-clock only — every
+    diagnostic is identical to the serial sweep's."""
+    serial = run_campaign(SMOKE, cache=None, scheduler="serial")
+    ex = DistribExecutor(
+        "127.0.0.1", 0, grace_s=3600.0, local_fallback=False
+    )
+    ex.coordinator.ensure_started()
+    for i in range(2):
+        w = DistribWorker(ex.coordinator.endpoint, name=f"bench{i}")
+        threading.Thread(target=w.run, daemon=True).start()
+    try:
+        remote = run_campaign(SMOKE, cache=tmp_path, scheduler=ex)
+    finally:
+        ex.close()
+    assert serial.ok and remote.ok
+    s = {r.key: r.result["diagnostics"] for r in serial.rows}
+    d = {r.key: r.result["diagnostics"] for r in remote.rows}
+    assert s == d
+    assert ex.stats.local_runs == 0  # everything really went remote
+
+
+if __name__ == "__main__":
+    payload = run_benchmark()
+    d = payload["distrib"]
+    target = d["target"]
+    cores = payload["host"]["cpu_count"]
+    print(
+        f"campaign ({d['serial']['cells']} configs)   "
+        f"serial {d['serial']['wall_s']:6.2f} s   "
+        f"distrib x{d['workers2']['workers']} "
+        f"{d['workers2']['wall_s']:6.2f} s   "
+        f"speedup {d['speedup']:.2f}x   ({cores} cores)"
+    )
+    assert d["workers2"]["completed"] == d["workers2"]["cells"], (
+        "not every cell came back from the worker pool"
+    )
+    assert d["local_runs"] == 0, (
+        "local fallback ran — the tracked number must be fully remote"
+    )
+    if target["enforced"]:
+        assert target["met"], (
+            f"distrib speedup {d['speedup']:.2f}x below "
+            f"{DISTRIB_SPEEDUP_TARGET}x target on a {cores}-core host"
+        )
+    elif not target["met"]:
+        print(
+            f"note: {cores} core(s) < {MIN_CORES_FOR_TARGET} — "
+            f"speedup target recorded but not enforced on this host"
+        )
+    common.emit("BENCH_PR10.json", payload)

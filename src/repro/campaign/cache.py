@@ -47,9 +47,20 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     puts: int = 0
+    #: Forced executions (``rerun=True``): counted inside ``misses``
+    #: too — a forced rerun *is* a lookup the cache did not serve, and
+    #: counting it preserves the ``gets == hits + misses`` invariant
+    #: that hit-rate rendering relies on — but broken out so status
+    #: output can tell "cold cache" from "operator forced it".
+    reruns: int = 0
 
     def as_dict(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "reruns": self.reruns,
+        }
 
     @property
     def gets(self) -> int:
@@ -116,11 +127,30 @@ class ResultCache:
         self._count(puts=1)
         return path
 
-    def _count(self, *, hits: int = 0, misses: int = 0, puts: int = 0) -> None:
+    def count_rerun(self) -> None:
+        """Book one forced execution (``run_campaign(rerun=True)``).
+
+        A forced rerun bypasses :meth:`get`, so without this the
+        resulting :meth:`put` would persist with no matching lookup and
+        lifetime counters would violate ``gets == hits + misses``.  It
+        counts as a miss (a lookup the cache did not serve) *and* as a
+        distinct ``reruns`` counter so status output can attribute it.
+        """
+        self._count(misses=1, reruns=1)
+
+    def _count(
+        self,
+        *,
+        hits: int = 0,
+        misses: int = 0,
+        puts: int = 0,
+        reruns: int = 0,
+    ) -> None:
         with self._stats_lock:
             self.stats.hits += hits
             self.stats.misses += misses
             self.stats.puts += puts
+            self.stats.reruns += reruns
 
     def persist_stats(self) -> None:
         """Append this instance's unflushed counter deltas to
@@ -133,8 +163,9 @@ class ResultCache:
                 hits=self.stats.hits - self._persisted.hits,
                 misses=self.stats.misses - self._persisted.misses,
                 puts=self.stats.puts - self._persisted.puts,
+                reruns=self.stats.reruns - self._persisted.reruns,
             )
-            if not (delta.hits or delta.misses or delta.puts):
+            if not (delta.hits or delta.misses or delta.puts or delta.reruns):
                 return
             self._persisted = CacheStats(**self.stats.as_dict())
         line = json.dumps(
@@ -164,29 +195,60 @@ class ResultCache:
             total.hits += int(d.get("hits", 0))
             total.misses += int(d.get("misses", 0))
             total.puts += int(d.get("puts", 0))
+            # older stats lines predate the reruns counter
+            total.reruns += int(d.get("reruns", 0))
         return total
+
+    @staticmethod
+    def _is_entry(path: Path) -> bool:
+        """True for a published entry file — explicitly *not* for the
+        ``.{key[:8]}-*.tmp`` staging files :meth:`put` writes before its
+        atomic rename (a worker killed between ``mkstemp`` and
+        ``os.replace`` leaves one behind)."""
+        return path.suffix == ".json" and not path.name.startswith(".")
 
     def entries(self) -> Iterator[dict[str, Any]]:
         """Every readable entry (config + result + version)."""
         for path in sorted(self.root.glob("*/*.json")):
+            if not self._is_entry(path):
+                continue
             try:
                 yield json.loads(path.read_text())
             except (json.JSONDecodeError, OSError):
                 continue
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for p in self.root.glob("*/*.json") if self._is_entry(p))
 
     def __contains__(self, config: RunConfig) -> bool:
         return self._path(config.key()).exists()
 
+    def sweep_tmp(self) -> int:
+        """Remove staging files orphaned by killed writers; returns how
+        many were swept.  Safe against live writers only in the sense
+        every cleanup of a rename-based scheme is: a concurrent ``put``
+        whose tmp file is swept fails its ``os.replace`` loudly and the
+        entry is simply re-put — never torn."""
+        swept = 0
+        for path in list(self.root.glob("*/*.tmp")):
+            try:
+                path.unlink()
+                swept += 1
+            except FileNotFoundError:
+                pass
+        return swept
+
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (stale ``.tmp`` staging files included, so
+        shard dirs actually empty out); returns how many entries were
+        removed."""
         removed = 0
+        self.sweep_tmp()
         for path in list(self.root.glob("*/*.json")):
             try:
                 path.unlink()
-                removed += 1
+                if self._is_entry(path):
+                    removed += 1
             except FileNotFoundError:
                 pass
         for sub in list(self.root.iterdir()):

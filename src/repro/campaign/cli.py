@@ -103,11 +103,16 @@ def _cache_stats_line(cache_dir: str) -> str | None:
         return None
     cache = ResultCache(root)
     life = cache.lifetime_stats()
-    return (
+    line = (
         f"cache {root}: {len(cache)} entr{'y' if len(cache) == 1 else 'ies'}; "
         f"lifetime {life.hits} hit(s), {life.misses} miss(es), "
         f"{life.puts} put(s)"
     )
+    if life.reruns:
+        # forced executions are already inside the miss count; name
+        # them so a 0% hit rate after --rerun reads as intentional
+        line += f" ({life.reruns} forced rerun(s))"
+    return line
 
 
 def _cmd_status(args) -> int:
@@ -206,7 +211,8 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SPEC",
         help=(
             "campaign-level scheduler: 'processes[:N]' (default), "
-            "'serial', or 'threads[:N]'"
+            "'serial', 'threads[:N]', or 'distrib:HOST:PORT' (dispatch "
+            "to connected repro-distrib workers)"
         ),
     )
     p_run.add_argument(

@@ -41,9 +41,25 @@ def default_manifest_path(
     return Path(cache_root) / f"{safe}.manifest.jsonl"
 
 
-def _scheduler(spec: "str | Executor") -> Executor:
-    executor = spec if isinstance(spec, Executor) else get_executor(spec)
-    return executor
+def resolve_scheduler(spec: "str | Executor") -> Executor:
+    """Resolve a campaign scheduler spec to an executor.
+
+    Everything :func:`~repro.runtime.executors.get_executor` accepts,
+    plus ``"distrib:HOST:PORT"`` — distributed dispatch to
+    ``repro-distrib worker`` processes (lazily imported so the socket
+    machinery costs nothing until someone asks for it).
+    """
+    if isinstance(spec, Executor):
+        return spec
+    if isinstance(spec, str) and spec.strip().lower().startswith("distrib:"):
+        from ..distrib.dispatch import DistribExecutor
+
+        return DistribExecutor.from_spec(spec)
+    return get_executor(spec)
+
+
+#: Backward-compatible alias (pre-distrib name, kept for callers).
+_scheduler = resolve_scheduler
 
 
 def run_campaign(
@@ -74,7 +90,8 @@ def run_campaign(
     scheduler:
         How configs are fanned out: an executor spec string
         (``"processes"``, ``"processes:N"``, ``"serial"``,
-        ``"threads:N"``) or an :class:`Executor`.  This is the
+        ``"threads:N"``, or ``"distrib:HOST:PORT"`` for remote
+        ``repro-distrib`` workers) or an :class:`Executor`.  This is the
         *campaign-level* scheduler; each config's ``executor`` field
         governs rank stepping inside its own run.
     rerun:
@@ -98,7 +115,7 @@ def run_campaign(
     configs = unique_configs(
         spec.expand() if configs is None else configs
     )
-    executor = _scheduler(scheduler)
+    executor = resolve_scheduler(scheduler)
     journal.append(
         {
             "event": "campaign-start",
@@ -125,17 +142,25 @@ def run_campaign(
         done += 1
         rows[i] = row
         if row.ok:
-            journal.append(
-                {
-                    "event": "run-done",
-                    "key": row.key,
-                    "label": row.config.label,
-                    "config": row.config.to_dict(),
-                    "cached": row.cached,
-                    "wall_s": row.wall_s,
-                    "gflops": row.gflops,
-                }
-            )
+            event = {
+                "event": "run-done",
+                "key": row.key,
+                "label": row.config.label,
+                "config": row.config.to_dict(),
+                "cached": row.cached,
+                "wall_s": row.wall_s,
+                "gflops": row.gflops,
+            }
+            # per-run provenance: with a distrib scheduler different
+            # cells run on different hosts, so the campaign-start
+            # host block is not authoritative — journal where this
+            # result was actually computed (cache hits carry the
+            # original computing host, which is the right answer)
+            result = row.result or {}
+            for field in ("host", "cpu_count", "version", "worker"):
+                if field in result:
+                    event[field] = result[field]
+            journal.append(event)
         else:
             journal.append(
                 {
@@ -151,6 +176,12 @@ def run_campaign(
 
     for i, cfg in enumerate(configs):
         hit = cache.get(cfg) if (cache is not None and not rerun) else None
+        if hit is None and rerun and cache is not None:
+            # a forced execution never called cache.get, but its put
+            # still lands — book the lookup-we-skipped so lifetime
+            # counters keep gets == hits + misses (with a distinct
+            # rerun count so status can attribute it)
+            cache.count_rerun()
         if hit is not None:
             finish(
                 i,

@@ -49,12 +49,15 @@ _SECTION_CONFIGS = {
 
 
 def detect_schema(payload: Mapping[str, Any]) -> str:
-    """Which BENCH payload shape this is (``records`` or ``pr1``..``pr9``)."""
+    """Which BENCH payload shape this is (``records`` or ``pr1``..``pr10``)."""
     if isinstance(payload.get("records"), list):
         return "records"
     service = payload.get("service")
     if isinstance(service, dict) and "cold" in service:
         return "pr9"
+    distrib = payload.get("distrib")
+    if isinstance(distrib, dict) and "serial" in distrib:
+        return "pr10"
     if "cells" in payload and "kernels" in payload:
         return "pr7"
     if "campaign" in payload and "cold" in payload:
@@ -382,6 +385,46 @@ def _records_pr9(payload: Mapping[str, Any]) -> list[RunRecord]:
     return records
 
 
+def _records_pr10(payload: Mapping[str, Any]) -> list[RunRecord]:
+    """PR10 distrib cells: the same campaign swept serially and via a
+    coordinator with two socket workers."""
+    config = payload.get("config", {})
+    facts = _host_facts(payload)
+    distrib = payload.get("distrib", {})
+    app = str(config.get("app", "campaign"))
+    records: list[RunRecord] = []
+    for variant in ("serial", "workers2"):
+        cell = distrib.get(variant)
+        if not isinstance(cell, dict):
+            continue
+        wall = cell.get("wall_s")
+        if not isinstance(wall, (int, float)):
+            continue
+        extra = {
+            k: cell[k]
+            for k in ("workers", "cells", "completed", "dispatched",
+                      "retried")
+            if isinstance(cell.get(k), (int, float))
+        }
+        if variant == "workers2" and isinstance(
+            distrib.get("speedup"), (int, float)
+        ):
+            extra["speedup_vs_serial"] = distrib["speedup"]
+        records.append(
+            RunRecord(
+                app=app,
+                bench="distrib_campaign",
+                variant=variant,
+                nprocs=config.get("nprocs"),
+                steps=config.get("steps"),
+                wall_s=float(wall),
+                extra=extra,
+                **facts,
+            )
+        )
+    return records
+
+
 _ADAPTERS = {
     "pr1": _records_pr1_pr2,
     "pr2": _records_pr1_pr2,
@@ -391,6 +434,7 @@ _ADAPTERS = {
     "pr6": _records_pr3_pr6,
     "pr7": _records_pr7,
     "pr9": _records_pr9,
+    "pr10": _records_pr10,
 }
 
 
@@ -470,11 +514,13 @@ def _record_from_config_result(
     host: str | None = None,
     cpu_count: int | None = None,
     version: str | None = None,
+    extra: Mapping[str, Any] | None = None,
 ) -> RunRecord:
     """One record from a RunConfig dict plus its measured outcome."""
     phase = _phase_totals(result or {})
     res = result or {}
     return RunRecord(
+        extra=dict(extra) if extra else (),
         app=str(config.get("app", "")),
         bench=bench,
         variant=str(res.get("label") or config.get("label") or ""),
@@ -548,6 +594,13 @@ def records_from_manifest(
             continue  # unmatchable legacy event: nothing to normalize
         config = dict(config)
         config.setdefault("label", event.get("label"))
+        # per-event provenance outranks the campaign-start block: a
+        # distrib campaign computes different cells on different
+        # hosts, and run-done events journal where each one ran.
+        # (campaign-start carries host as a {"name", "cpu_count"}
+        # dict; run-done carries a plain hostname string.)
+        ev_host = event.get("host")
+        worker = event.get("worker")
         records.append(
             _record_from_config_result(
                 config,
@@ -556,9 +609,10 @@ def records_from_manifest(
                 gflops=event.get("gflops"),
                 source=source,
                 key=key,
-                host=host,
-                cpu_count=cpu_count,
-                version=version,
+                host=ev_host if isinstance(ev_host, str) else host,
+                cpu_count=event.get("cpu_count", cpu_count),
+                version=event.get("version") or version,
+                extra={"worker": str(worker)} if worker else None,
             )
         )
     return records

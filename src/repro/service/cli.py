@@ -164,7 +164,8 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SPEC",
         help=(
             "campaign-level scheduler for cold computations: "
-            "'processes[:N]' (default), 'serial', or 'threads[:N]'"
+            "'processes[:N]' (default), 'serial', 'threads[:N]', or "
+            "'distrib:HOST:PORT' (fan out to repro-distrib workers)"
         ),
     )
 

@@ -37,11 +37,11 @@ from typing import Any
 
 from .. import __version__
 from ..campaign.cache import ResultCache
-from ..campaign.engine import default_manifest_path
+from ..campaign.engine import default_manifest_path, resolve_scheduler
 from ..campaign.manifest import Manifest, NullManifest
 from ..experiments import whatif
 from ..machines.catalog import PAPER_ORDER, get_machine
-from ..runtime.executors import Executor, get_executor
+from ..runtime.executors import Executor
 from .api import ApiError, parse_predict
 from .coalesce import Coalescer
 from .jobs import FAILED, JobQueue
@@ -154,7 +154,7 @@ class ReproService:
         elif isinstance(manifest, (str, Path)):
             manifest = Manifest(manifest)
         self.manifest = manifest
-        self.scheduler = get_executor(scheduler)
+        self.scheduler = resolve_scheduler(scheduler)
         self.coalescer = Coalescer()
         self.queue = JobQueue(
             cache=self.cache,

@@ -141,6 +141,26 @@ class TestCacheAndResume:
         )
         assert again.misses == 4 and again.hits == 0
 
+    def test_rerun_counters_keep_gets_equal_hits_plus_misses(
+        self, tmp_path
+    ):
+        """Regression: a forced rerun bypasses cache.get, so its puts
+        used to persist with zero matching lookups — lifetime counters
+        violated ``gets == hits + misses`` and status rendered a bogus
+        hit rate.  Forced executions now count as misses and as a
+        distinct ``reruns`` counter."""
+        cache = ResultCache(tmp_path)
+        run_campaign(TINY, cache=cache, scheduler="serial")
+        run_campaign(TINY, cache=cache, scheduler="serial", rerun=True)
+        life = ResultCache(tmp_path).lifetime_stats()
+        assert life.as_dict() == {
+            "hits": 0, "misses": 8, "puts": 8, "reruns": 4,
+        }
+        assert life.gets == life.hits + life.misses
+        # and an uncached campaign books nothing extra
+        run_campaign(TINY, cache=None, scheduler="serial", rerun=True)
+        assert ResultCache(tmp_path).lifetime_stats().reruns == 4
+
     def test_failed_config_is_isolated(self, tmp_path):
         spec = CampaignSpec(
             name="mixed",
@@ -226,6 +246,54 @@ class TestCacheAndResume:
         path = cache.put(cfg, {"wall_s": 1.0})
         path.write_text('{"key": "truncat')  # torn write
         assert cache.get(cfg) is None
+
+    def test_stale_tmp_files_are_invisible_and_swept(self, tmp_path):
+        """Regression: a worker killed between ``mkstemp`` and
+        ``os.replace`` leaves ``.{key[:8]}-*.tmp`` behind; those must
+        never count as entries, and ``clear()`` must sweep them so
+        shard dirs actually empty out."""
+        cache = ResultCache(tmp_path)
+        cfg = RunConfig(app="lbmhd", nprocs=4, steps=1)
+        cache.put(cfg, {"wall_s": 1.0})
+        shard = cache._path(cfg.key()).parent
+        leaked = shard / f".{cfg.key()[:8]}-leak1.tmp"
+        leaked.write_text('{"half": "writ')  # SIGKILL mid-write
+        assert len(cache) == 1
+        assert len(list(cache.entries())) == 1
+        assert cache.sweep_tmp() == 1
+        assert not leaked.exists()
+        # clear() sweeps any new leak itself, and the shard dir goes
+        leaked.write_text("x")
+        assert cache.clear() == 1
+        assert not leaked.exists()
+        assert not shard.exists()
+        assert len(cache) == 0
+
+    def test_killed_put_leak_is_cleared(self, tmp_path, monkeypatch):
+        """Simulate the kill window with injected exceptions: the
+        rename never happens, the in-``put`` cleanup is also denied
+        (as with SIGKILL there is no cleanup at all), and ``clear()``
+        still leaves an empty cache root behind."""
+        import os as _os
+
+        cache = ResultCache(tmp_path)
+        cfg = RunConfig(app="lbmhd", nprocs=4, steps=1)
+
+        def killed_replace(src, dst):
+            raise OSError("killed between mkstemp and replace")
+
+        monkeypatch.setattr(_os, "replace", killed_replace)
+        monkeypatch.setattr(
+            _os, "unlink", lambda p: (_ for _ in ()).throw(OSError("dead"))
+        )
+        with pytest.raises(OSError):
+            cache.put(cfg, {"wall_s": 1.0})
+        monkeypatch.undo()
+        shard = cache._path(cfg.key()).parent
+        assert list(shard.glob("*.tmp"))  # the leak exists
+        assert len(cache) == 0  # but is not an entry
+        cache.clear()
+        assert not shard.exists()
 
 
 class TestManifest:

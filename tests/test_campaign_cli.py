@@ -158,7 +158,7 @@ class TestStatusAndClean:
         s = json.loads(capsys.readouterr().out)
         assert s["cache"]["entries"] == 4
         assert s["cache"]["lifetime"] == {
-            "hits": 4, "misses": 4, "puts": 4,
+            "hits": 4, "misses": 4, "puts": 4, "reruns": 0,
         }
 
     def test_clean_empties_cache_and_journals(

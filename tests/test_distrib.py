@@ -1,0 +1,593 @@
+"""repro.distrib — wire protocol, fault handling, and the scheduler seam.
+
+Fast tests use stub runners and hand-rolled protocol exchanges over
+real sockets (loopback, ephemeral ports); the end-to-end class runs
+genuine solver configs through ``run_campaign`` with a distrib
+executor and compares against a serial sweep bit for bit.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import __version__
+from repro.campaign.cache import ResultCache
+from repro.campaign.engine import resolve_scheduler, run_campaign
+from repro.campaign.spec import CampaignSpec, RunConfig
+from repro.distrib import (
+    Coordinator,
+    DistribExecutor,
+    DistribWorker,
+    ProtocolError,
+    RemoteRunError,
+    WorkerError,
+    is_distrib_spec,
+    parse_endpoint,
+    recv_msg,
+    send_msg,
+)
+from repro.distrib import protocol as proto
+from repro.perfdb.ingest import records_from_manifest
+
+#: A fast fake result shaped like a worker result dict.
+def _stub_result(config, host="stub-host", **over):
+    out = {
+        "label": str(config.get("app", "?")),
+        "wall_s": 0.01,
+        "gflops": 1.0,
+        "diagnostics": {"x": 1.0},
+        "host": host,
+        "cpu_count": 2,
+        "version": __version__,
+    }
+    out.update(over)
+    return out
+
+
+def _jobs(n, cache_root=None):
+    return [
+        (
+            RunConfig(app="lbmhd", nprocs=2, steps=1, seed=i).to_dict(),
+            cache_root,
+        )
+        for i in range(n)
+    ]
+
+
+def _consume(coord, jobs, local_fn=None):
+    """Drive coord.dispatch on a thread; returns (results, thread)."""
+    results = []
+
+    def run():
+        results.extend(coord.dispatch(jobs, local_fn))
+
+    t = threading.Thread(target=run, daemon=True)
+    t.start()
+    return results, t
+
+
+def _fake_hello(coord, *, name="fake", version=__version__):
+    """A raw protocol client: connect + hello; returns (sock, reply)."""
+    sock = socket.create_connection(("127.0.0.1", coord.port), timeout=5)
+    sock.settimeout(5)
+    send_msg(
+        sock,
+        {
+            "type": "hello",
+            "name": name,
+            "host": "fakehost",
+            "cpu_count": 1,
+            "version": version,
+        },
+    )
+    return sock, recv_msg(sock)
+
+
+def _pull_one(sock):
+    """Raw client asks for work until a ``run`` arrives."""
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        send_msg(sock, {"type": "next"})
+        reply = recv_msg(sock)
+        if reply is None:
+            raise AssertionError("coordinator hung up while pulling")
+        if reply["type"] == "run":
+            return reply
+        time.sleep(0.05)
+    raise AssertionError("never got a run message")
+
+
+@pytest.fixture
+def coord():
+    c = Coordinator(
+        timeout_s=30,
+        max_attempts=3,
+        grace_s=60,  # effectively never fall back locally
+        heartbeat_timeout_s=10,
+        local_fallback=False,
+    )
+    c.ensure_started()
+    yield c
+    c.stop()
+
+
+# -- the wire format -------------------------------------------------------
+
+
+class TestProtocol:
+    def test_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            msg = {"type": "run", "config": {"app": "lbmhd", "n": [1, 2]}}
+            send_msg(a, msg)
+            assert recv_msg(b) == msg
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_msg(b) is None
+        finally:
+            b.close()
+
+    def test_torn_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(proto.HEADER.pack(100) + b"only ten b")
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_msg(b)
+        finally:
+            b.close()
+
+    def test_missing_payload_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(proto.HEADER.pack(10))  # header, then silence
+            a.close()
+            with pytest.raises(ProtocolError, match="between header"):
+                recv_msg(b)
+        finally:
+            b.close()
+
+    def test_oversized_length_raises(self, monkeypatch):
+        monkeypatch.setattr(proto, "MAX_FRAME", 64)
+        a, b = socket.socketpair()
+        try:
+            a.sendall(proto.HEADER.pack(65) + b"x" * 65)
+            with pytest.raises(ProtocolError, match="exceeds MAX_FRAME"):
+                recv_msg(b)
+            with pytest.raises(ProtocolError, match="refusing to send"):
+                send_msg(a, {"blob": "y" * 100})
+        finally:
+            a.close()
+            b.close()
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [(b"not json at all", "undecodable"), (b"[1, 2]", "JSON object")],
+    )
+    def test_bad_payloads_raise(self, payload, fragment):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(proto.HEADER.pack(len(payload)) + payload)
+            with pytest.raises(ProtocolError, match=fragment):
+                recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_parse_endpoint(self):
+        assert parse_endpoint("10.0.0.5:7713") == ("10.0.0.5", 7713)
+        assert parse_endpoint("distrib:10.0.0.5:7713") == (
+            "10.0.0.5",
+            7713,
+        )
+        assert parse_endpoint(" DISTRIB:localhost:80 ") == (
+            "localhost",
+            80,
+        )
+
+    @pytest.mark.parametrize(
+        "bad", ["no-port", "host:", ":123", "host:abc", "host:70000"]
+    )
+    def test_bad_endpoints_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_endpoint(bad)
+
+
+# -- the scheduler seam ----------------------------------------------------
+
+
+class TestSchedulerSeam:
+    def test_is_distrib_spec(self):
+        assert is_distrib_spec("distrib:127.0.0.1:0")
+        assert is_distrib_spec("  DISTRIB:host:1 ")
+        assert not is_distrib_spec("processes:4")
+        assert not is_distrib_spec(None)
+
+    def test_resolve_scheduler_builds_distrib_executor(self):
+        ex = resolve_scheduler("distrib:127.0.0.1:0")
+        assert isinstance(ex, DistribExecutor)
+        assert not ex.coordinator.started  # lazy: no socket yet
+        assert not ex.segment_support().ok
+        ex.close()
+
+    def test_plain_specs_still_resolve(self):
+        assert resolve_scheduler("serial").name == "serial"
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISTRIB_TIMEOUT", "12.5")
+        monkeypatch.setenv("REPRO_DISTRIB_ATTEMPTS", "7")
+        monkeypatch.setenv("REPRO_DISTRIB_GRACE", "0.5")
+        monkeypatch.setenv("REPRO_DISTRIB_LOCAL", "0")
+        ex = DistribExecutor.from_spec("distrib:127.0.0.1:0")
+        c = ex.coordinator
+        assert c.timeout_s == 12.5
+        assert c.attempts.max_attempts == 7
+        assert c.grace_s == 0.5
+        assert c.local_fallback is False
+        ex.close()
+
+    def test_bad_env_knob_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISTRIB_ATTEMPTS", "many")
+        with pytest.raises(ValueError, match="REPRO_DISTRIB_ATTEMPTS"):
+            DistribExecutor.from_spec("distrib:127.0.0.1:0")
+
+
+# -- dispatch and fault handling (stub runners) ----------------------------
+
+
+class TestDispatchFaults:
+    def test_two_workers_split_the_sweep(self, coord):
+        barrier = threading.Barrier(2)
+        gate_timeout = 10
+
+        def runner(config):
+            barrier.wait(timeout=gate_timeout)
+            return _stub_result(config)
+
+        workers = [
+            DistribWorker(coord.endpoint, name=f"w{i}", runner=runner)
+            for i in range(2)
+        ]
+        threads = [
+            threading.Thread(target=w.run, daemon=True) for w in workers
+        ]
+        for t in threads:
+            t.start()
+        results, consumer = _consume(coord, _jobs(2))
+        consumer.join(timeout=30)
+        assert not consumer.is_alive()
+        assert len(results) == 2
+        names = {p["result"]["worker"] for _, p, exc in results if p}
+        assert names == {"w0", "w1"}  # the barrier forces real mixing
+        assert coord.stats.completed == 2
+
+    def test_worker_death_mid_config_is_retried_elsewhere(self, coord):
+        results, consumer = _consume(coord, _jobs(1))
+        sock, welcome = _fake_hello(coord, name="doomed")
+        assert welcome["type"] == "welcome"
+        run = _pull_one(sock)
+        assert run["config"]["app"] == "lbmhd"
+        sock.close()  # SIGKILL equivalent: vanish mid-config
+
+        rescue = DistribWorker(
+            coord.endpoint, name="rescue", runner=_stub_result
+        )
+        threading.Thread(target=rescue.run, daemon=True).start()
+        consumer.join(timeout=30)
+        assert not consumer.is_alive()
+        (index, payload, exc) = results[0]
+        assert exc is None and payload["result"]["worker"] == "rescue"
+        assert coord.stats.dead_workers == 1
+        assert coord.stats.retried == 1
+
+    def test_heartbeat_silence_declares_the_worker_dead(self):
+        c = Coordinator(
+            timeout_s=60,
+            heartbeat_timeout_s=0.4,
+            grace_s=60,
+            local_fallback=False,
+        )
+        c.ensure_started()
+        try:
+            results, consumer = _consume(c, _jobs(1))
+            sock, _ = _fake_hello(c, name="silent")
+            _pull_one(sock)  # take the config, then never heartbeat
+            rescue = DistribWorker(
+                c.endpoint, name="rescue", runner=_stub_result
+            )
+            threading.Thread(target=rescue.run, daemon=True).start()
+            consumer.join(timeout=30)
+            assert not consumer.is_alive()
+            assert results[0][2] is None
+            assert c.stats.dead_workers >= 1
+            sock.close()
+        finally:
+            c.stop()
+
+    def test_per_config_timeout_reassigns(self):
+        """The deadline is absolute: heartbeats prove liveness but do
+        not buy a stalled worker more time."""
+        c = Coordinator(
+            timeout_s=0.4,
+            heartbeat_timeout_s=60,
+            grace_s=60,
+            local_fallback=False,
+        )
+        c.ensure_started()
+        try:
+            results, consumer = _consume(c, _jobs(1))
+            sock, _ = _fake_hello(c, name="stalled")
+            run = _pull_one(sock)
+            stop_beat = threading.Event()
+
+            def beat():
+                while not stop_beat.is_set():
+                    try:
+                        send_msg(
+                            sock,
+                            {"type": "heartbeat", "tid": run["tid"]},
+                        )
+                    except OSError:
+                        return
+                    time.sleep(0.1)
+
+            threading.Thread(target=beat, daemon=True).start()
+            rescue = DistribWorker(
+                c.endpoint, name="rescue", runner=_stub_result
+            )
+            threading.Thread(target=rescue.run, daemon=True).start()
+            consumer.join(timeout=30)
+            assert not consumer.is_alive()
+            stop_beat.set()
+            sock.close()
+            assert results[0][2] is None
+            assert results[0][1]["result"]["worker"] == "rescue"
+            assert c.stats.timeouts >= 1
+            assert c.stats.retried >= 1
+        finally:
+            c.stop()
+
+    def test_attempt_budget_exhaustion_carries_the_history(self):
+        c = Coordinator(
+            timeout_s=30,
+            max_attempts=2,
+            grace_s=60,
+            local_fallback=False,
+        )
+        c.ensure_started()
+        try:
+
+            def always_broken(config):
+                raise ValueError("kaboom")
+
+            w = DistribWorker(
+                c.endpoint, name="broken", runner=always_broken
+            )
+            threading.Thread(target=w.run, daemon=True).start()
+            results, consumer = _consume(c, _jobs(1))
+            consumer.join(timeout=30)
+            assert not consumer.is_alive()
+            index, payload, exc = results[0]
+            assert payload is None
+            assert isinstance(exc, RemoteRunError)
+            assert "2/2 attempt(s) failed" in str(exc)
+            assert "kaboom" in str(exc)
+            assert c.stats.failed == 1 and c.stats.retried == 1
+        finally:
+            c.stop()
+
+    def test_local_fallback_when_no_workers_connect(self):
+        c = Coordinator(
+            timeout_s=30, grace_s=0.1, local_fallback=True
+        )
+        c.ensure_started()
+        try:
+            done = []
+
+            def local_fn(job):
+                config, _root = job
+                done.append(config["seed"])
+                return {
+                    "key": RunConfig.from_dict(config).key(),
+                    "result": _stub_result(config),
+                }
+
+            results = list(c.dispatch(_jobs(3), local_fn))
+            assert len(results) == 3 and all(
+                e is None for _, _, e in results
+            )
+            assert sorted(done) == [0, 1, 2]
+            assert c.stats.local_runs == 3
+            assert c.stats.dispatched == 0  # nothing went remote
+        finally:
+            c.stop()
+
+    def test_version_mismatch_is_rejected_at_hello(self, coord):
+        sock, reply = _fake_hello(coord, version="0.0.1")
+        try:
+            assert reply["type"] == "reject"
+            assert "version mismatch" in reply["reason"]
+            assert coord.stats.rejected_workers == 1
+        finally:
+            sock.close()
+
+    def test_rejected_distribworker_raises_workererror(
+        self, coord, monkeypatch
+    ):
+        monkeypatch.setattr("repro.distrib.worker.__version__", "9.9.9")
+        w = DistribWorker(coord.endpoint, name="old")
+        with pytest.raises(WorkerError, match="version mismatch"):
+            w.run()
+
+    def test_duplicate_names_are_deduplicated(self, coord):
+        s1, r1 = _fake_hello(coord, name="twin")
+        s2, r2 = _fake_hello(coord, name="twin")
+        try:
+            assert r1["name"] == "twin"
+            assert r2["name"] == "twin#2"
+            assert len(coord.workers()) == 2
+        finally:
+            s1.close()
+            s2.close()
+
+    def test_coordinator_publishes_into_the_cache(self, coord, tmp_path):
+        w = DistribWorker(coord.endpoint, name="w", runner=_stub_result)
+        threading.Thread(target=w.run, daemon=True).start()
+        jobs = _jobs(2, cache_root=str(tmp_path))
+        results, consumer = _consume(coord, jobs)
+        consumer.join(timeout=30)
+        assert not consumer.is_alive()
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 2
+        for config_dict, _root in jobs:
+            entry = cache.get(RunConfig.from_dict(config_dict))
+            assert entry is not None and entry["worker"] == "w"
+        assert cache.lifetime_stats().puts == 2
+
+
+# -- end to end through run_campaign ---------------------------------------
+
+
+SPEC = CampaignSpec(
+    name="distrib-e2e",
+    apps=("lbmhd",),
+    nprocs=(2,),
+    seeds=(0, 1),
+    steps=1,
+    params={"lbmhd": {"shape": [8, 8, 8]}},
+)
+
+
+class TestEndToEnd:
+    def test_two_worker_campaign_matches_serial_bitwise(self, tmp_path):
+        serial = run_campaign(
+            SPEC, cache=tmp_path / "serial", scheduler="serial"
+        )
+        assert serial.ok
+
+        ex = resolve_scheduler("distrib:127.0.0.1:0")
+        ex.coordinator.grace_s = 60  # force the remote path
+        ex.coordinator.local_fallback = False
+        ex.coordinator.ensure_started()
+        workers = [
+            DistribWorker(ex.coordinator.endpoint, name=f"w{i}")
+            for i in range(2)
+        ]
+        for w in workers:
+            threading.Thread(target=w.run, daemon=True).start()
+        try:
+            remote = run_campaign(
+                SPEC,
+                cache=tmp_path / "remote",
+                manifest=tmp_path / "remote.jsonl",
+                scheduler=ex,
+            )
+        finally:
+            ex.close()
+        assert remote.ok
+        assert ex.stats.completed == 2 and ex.stats.local_runs == 0
+
+        serial_cache = ResultCache(tmp_path / "serial")
+        remote_cache = ResultCache(tmp_path / "remote")
+        assert len(serial_cache) == len(remote_cache) == 2
+        for cfg in SPEC.expand():
+            a = serial_cache.get(cfg)
+            b = remote_cache.get(cfg)
+            assert a is not None and b is not None
+            # bitwise: every numerical outcome identical; only wall
+            # clock and provenance may differ between the two sweeps
+            assert a["diagnostics"] == b["diagnostics"]
+            assert a["flops_per_step"] == b["flops_per_step"]
+            assert a["virtual_elapsed_s"] == b["virtual_elapsed_s"]
+
+    def test_manifest_provenance_flows_into_perfdb(self, tmp_path):
+        barrier = threading.Barrier(2)
+
+        def runner(config):
+            barrier.wait(timeout=10)
+            return _stub_result(
+                config, host=f"node-{threading.get_ident() % 7}"
+            )
+
+        ex = resolve_scheduler("distrib:127.0.0.1:0")
+        ex.coordinator.grace_s = 60
+        ex.coordinator.ensure_started()
+        for i in range(2):
+            w = DistribWorker(
+                ex.coordinator.endpoint, name=f"prov{i}", runner=runner
+            )
+            threading.Thread(target=w.run, daemon=True).start()
+        try:
+            report = run_campaign(
+                SPEC,
+                cache=tmp_path / "cache",
+                manifest=tmp_path / "m.jsonl",
+                scheduler=ex,
+            )
+        finally:
+            ex.close()
+        assert report.ok
+        records = records_from_manifest(tmp_path / "m.jsonl")
+        assert len(records) == 2
+        workers_seen = {
+            r.extra_dict().get("worker") for r in records
+        }
+        assert workers_seen == {"prov0", "prov1"}
+        for r in records:
+            assert r.host and r.host.startswith("node-")
+            assert r.cpu_count == 2
+            assert r.version == __version__
+
+
+# -- the CLI ---------------------------------------------------------------
+
+
+class TestCli:
+    def test_worker_exits_zero_when_coordinator_goes_away(self, coord):
+        from repro.distrib.cli import main
+
+        rc = {}
+
+        def run_cli():
+            rc["code"] = main(
+                ["worker", coord.endpoint, "--quiet"]
+            )
+
+        t = threading.Thread(target=run_cli, daemon=True)
+        t.start()
+        deadline = time.monotonic() + 10
+        while not coord.workers() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert coord.workers()
+        coord.stop()
+        t.join(timeout=10)
+        assert not t.is_alive()
+        assert rc["code"] == 0
+
+    def test_rejected_worker_exits_two(self, coord, monkeypatch, capsys):
+        from repro.distrib.cli import main
+
+        monkeypatch.setattr("repro.distrib.worker.__version__", "9.9.9")
+        assert main(["worker", coord.endpoint]) == 2
+        assert "version mismatch" in capsys.readouterr().err
+
+    def test_bad_endpoint_is_a_usage_error(self):
+        from repro.distrib.cli import main
+
+        with pytest.raises(ValueError):
+            main(["worker", "no-port-here"])
+
+    def test_scheduler_spec_pastes_into_the_worker_cli(self, coord):
+        # the exact --scheduler string works as the worker endpoint
+        w = DistribWorker(f"distrib:{coord.endpoint}", name="paste")
+        assert (w.host, w.port) == ("127.0.0.1", coord.port)

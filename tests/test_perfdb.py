@@ -63,7 +63,7 @@ def _record(**kw) -> RunRecord:
 def test_all_tracked_bench_files_present():
     names = {p.name for p in BENCH_FILES}
     assert names == {
-        f"BENCH_PR{i}.json" for i in (1, 2, 3, 4, 5, 6, 7, 9)
+        f"BENCH_PR{i}.json" for i in (1, 2, 3, 4, 5, 6, 7, 9, 10)
     }
 
 
@@ -113,6 +113,7 @@ def test_schema_sniffing_distinguishes_all_eras():
         "BENCH_PR6.json": "pr6",
         "BENCH_PR7.json": "pr7",
         "BENCH_PR9.json": "pr9",
+        "BENCH_PR10.json": "pr10",
     }
 
 
@@ -130,7 +131,7 @@ def test_full_trajectory_spans_eras_and_pivots():
     for path in BENCH_FILES:
         total += db.add(ingest_path(path))
     assert total == len(db.all()) >= 30
-    assert set(db.distinct("pr")) == {1, 2, 3, 4, 5, 6, 7, 9}
+    assert set(db.distinct("pr")) == {1, 2, 3, 4, 5, 6, 7, 9, 10}
     # the ISSUE acceptance pivot: gflops by app x executor x backend
     view = pivot(
         db.all(), rows=("app",), cols=("executor", "kernel_backend"),

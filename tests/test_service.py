@@ -181,6 +181,104 @@ class TestCoalescer:
 
         asyncio.run(scenario())
 
+    def test_interleaved_identical_submits_enqueue_once(self):
+        """Regression: two identical requests that both reach submit
+        before either's ``queue.submit`` await resolves must still
+        share one computation.  The gated fake queue parks every
+        submit on an event, forcing exactly the interleaving window
+        the old in-flight check missed."""
+        from repro.service.jobs import Job
+
+        class GatedQueue:
+            def __init__(self):
+                self.gate = asyncio.Event()
+                self.submissions: list[Job] = []
+
+            async def submit(self, config):
+                await self.gate.wait()  # the hole: submit yields here
+                job = Job(
+                    id=f"g{len(self.submissions) + 1:03d}",
+                    config=config,
+                    key=config.key(),
+                )
+                self.submissions.append(job)
+                return job
+
+        async def scenario():
+            coal = Coalescer()
+            queue = GatedQueue()
+            cfg = RunConfig(app="lbmhd", nprocs=4, steps=1)
+            t1 = asyncio.create_task(coal.submit(cfg, queue))
+            t2 = asyncio.create_task(coal.submit(cfg, queue))
+            await asyncio.sleep(0.05)  # both tasks are parked in-flight
+            queue.gate.set()
+            (job1, c1), (job2, c2) = await asyncio.gather(t1, t2)
+            assert job2 is job1
+            assert (c1, c2) == (False, True)
+            assert len(queue.submissions) == 1
+            assert coal.coalesced_total == 1
+            assert coal.in_flight == 1  # the job, no leftover placeholder
+
+        asyncio.run(scenario())
+
+    def test_failed_enqueue_wakes_waiters_to_retry(self):
+        """A waiter parked on another request's placeholder must not
+        hang (or crash) when that request's enqueue raises — it retries
+        and performs its own submission."""
+        from repro.service.jobs import Job
+
+        class FailFirstQueue:
+            def __init__(self):
+                self.gate = asyncio.Event()
+                self.calls = 0
+
+            async def submit(self, config):
+                self.calls += 1
+                call = self.calls
+                await self.gate.wait()
+                if call == 1:
+                    raise RuntimeError("backend down")
+                return Job(id=f"g{call}", config=config, key=config.key())
+
+        async def scenario():
+            coal = Coalescer()
+            queue = FailFirstQueue()
+            cfg = RunConfig(app="lbmhd", nprocs=4, steps=1)
+            t1 = asyncio.create_task(coal.submit(cfg, queue))
+            t2 = asyncio.create_task(coal.submit(cfg, queue))
+            await asyncio.sleep(0.05)
+            queue.gate.set()
+            results = await asyncio.gather(t1, t2, return_exceptions=True)
+            errors = [r for r in results if isinstance(r, Exception)]
+            jobs = [r for r in results if not isinstance(r, Exception)]
+            assert len(errors) == 1 and "backend down" in str(errors[0])
+            assert len(jobs) == 1 and jobs[0][1] is False
+            assert queue.calls == 2
+
+        asyncio.run(scenario())
+
+    def test_job_finishing_during_submit_is_not_indexed(self):
+        """If the enqueued job reaches a terminal state before submit
+        can index it, the in-flight table must stay clean — a later
+        identical request starts fresh instead of attaching to a
+        corpse."""
+        from repro.service.jobs import Job
+
+        class InstantQueue:
+            async def submit(self, config):
+                job = Job(id="g1", config=config, key=config.key())
+                job.state = "done"  # finished before submit returns
+                return job
+
+        async def scenario():
+            coal = Coalescer()
+            cfg = RunConfig(app="lbmhd", nprocs=4, steps=1)
+            job, coalesced = await coal.submit(cfg, InstantQueue())
+            assert job.finished and coalesced is False
+            assert coal.in_flight == 0
+
+        asyncio.run(scenario())
+
 
 # -- the HTTP service ------------------------------------------------------
 
